@@ -1,0 +1,39 @@
+//! # baselines — the comparators the paper evaluates against
+//!
+//! Two hand-fused SpMV implementations running on the same simulator as
+//! the framework, so Figures 2–4 compare scheduling strategies rather than
+//! simulation artifacts:
+//!
+//! * [`cub_like`] — a hardwired merge-path SpMV in the style of NVIDIA
+//!   CUB (Merrill & Garland), including the separate segmented-fixup
+//!   kernel and the single-column thread-mapped fast path the paper calls
+//!   out in §6.1. Fused: schedule and computation are interleaved in one
+//!   kernel body, so it pays **no** abstraction range overhead — this is
+//!   the 503-LoC monolith of Sidebar 1.
+//! * [`cusparse_like`] — a CSR-vector (warp-per-row) SpMV with a
+//!   CSR-scalar fallback, modelling the response curve of NVIDIA's closed
+//!   cuSparse: strong on regular matrices, collapsing on power-law rows.
+//!
+//! Both use [`simt::CostModel::fused`] (no per-iteration range charge).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cub_like;
+pub mod cusparse_like;
+
+pub use cub_like::cub_spmv;
+pub use cusparse_like::cusparse_spmv;
+
+use simt::LaunchReport;
+
+/// Result of a baseline SpMV run.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// The output vector.
+    pub y: Vec<f32>,
+    /// Simulated report (accumulated over all kernels of the algorithm).
+    pub report: LaunchReport,
+    /// Which internal kernel path ran (for diagnostics/CSVs).
+    pub path: &'static str,
+}

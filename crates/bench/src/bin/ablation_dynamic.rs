@@ -1,0 +1,81 @@
+//! Ablation F: static vs dynamic scheduling.
+//!
+//! The paper's abstraction covers both static schedules and the dynamic,
+//! queue-based family its related work (§7: Tzeng, CUIRRE, Atos) builds
+//! on. This harness pits the persistent work-queue schedule (at several
+//! chunk sizes) against merge-path across the corpus: the dynamic
+//! schedule needs zero setup and no knowledge of the distribution, but
+//! pays one global atomic per chunk and loses merge-path's *intra-tile*
+//! splitting (a monster row still lands on one thread).
+
+use bench::{summary, Cli, CsvWriter};
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+const CHUNKS: [u32; 4] = [1, 4, 16, 64];
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.limit.is_none() {
+        cli.limit = Some(80);
+    }
+    let spec = GpuSpec::v100();
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "ablation_dynamic.csv",
+        "kernel,dataset,rows,cols,nnzs,elapsed",
+    )
+    .expect("create csv");
+    let mut per_chunk: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+    let mut tm_ratio = Vec::new();
+    let mut lrb_ratio = Vec::new();
+    eprintln!("ablation F: dynamic work-queue vs static schedules");
+    bench::for_each_corpus_matrix(&cli, |ds, a, x| {
+        let mp = kernels::spmv(&spec, a, x, ScheduleKind::MergePath).expect("merge-path");
+        let tm = kernels::spmv(&spec, a, x, ScheduleKind::ThreadMapped).expect("thread-mapped");
+        let t_mp = mp.report.elapsed_ms();
+        csv.spmv_row("merge-path", &ds.name, a.rows(), a.cols(), a.nnz(), t_mp)
+            .unwrap();
+        tm_ratio.push(t_mp / tm.report.elapsed_ms());
+        let lrb = kernels::spmv(&spec, a, x, ScheduleKind::Lrb).expect("lrb");
+        csv.spmv_row("lrb", &ds.name, a.rows(), a.cols(), a.nnz(), lrb.report.elapsed_ms())
+            .unwrap();
+        lrb_ratio.push(t_mp / lrb.report.elapsed_ms());
+        for &chunk in &CHUNKS {
+            let run = kernels::spmv(&spec, a, x, ScheduleKind::WorkQueue(chunk)).expect("queue");
+            if cli.validate {
+                bench::validate_against_reference(&ds.name, a, x, &run.y);
+            }
+            let t = run.report.elapsed_ms();
+            csv.spmv_row(
+                &format!("work-queue-{chunk}"),
+                &ds.name,
+                a.rows(),
+                a.cols(),
+                a.nnz(),
+                t,
+            )
+            .unwrap();
+            per_chunk.entry(chunk).or_default().push(t_mp / t);
+        }
+    });
+    let path = csv.finish().unwrap();
+
+    println!("== Ablation F: dynamic work-queue vs merge-path (geomean of merge-path/queue) ==");
+    println!("{:<12} {:>24} {:>10} {:>10}", "chunk", "geomean vs merge-path", "p10", "p90");
+    for (chunk, s) in &per_chunk {
+        println!(
+            "{:<12} {:>23.2}x {:>9.2}x {:>9.2}x",
+            chunk,
+            summary::geomean(s),
+            summary::quantile(s, 0.1),
+            summary::quantile(s, 0.9)
+        );
+    }
+    println!(
+        "for context: vs merge-path, thread-mapped scores {:.2}x and LRB {:.2}x on this slice",
+        summary::geomean(&tm_ratio),
+        summary::geomean(&lrb_ratio)
+    );
+    println!("csv: {}", path.display());
+}

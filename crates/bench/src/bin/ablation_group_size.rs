@@ -1,0 +1,75 @@
+//! Ablation A (§5.2.3): sweep the group-mapped schedule's group size.
+//!
+//! Warp-mapped (32) and block-mapped (256) are single points of this
+//! sweep; the paper's portability claim is that the sweet spot can follow
+//! the problem's shape rather than the hardware's warp width.
+
+use bench::{summary, Cli, CsvWriter};
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+use std::collections::BTreeMap;
+
+const GROUP_SIZES: [u32; 7] = [8, 16, 32, 64, 128, 256, 512];
+
+fn main() {
+    let mut cli = Cli::parse();
+    // The sweep multiplies work by |GROUP_SIZES|; default to a subset.
+    if cli.limit.is_none() {
+        cli.limit = Some(60);
+    }
+    let spec = GpuSpec::v100();
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "ablation_group_size.csv",
+        "kernel,dataset,rows,cols,nnzs,elapsed",
+    )
+    .expect("create csv");
+    let mut per_size: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+    let mut best_counts: BTreeMap<u32, usize> = BTreeMap::new();
+    eprintln!("ablation A: group-size sweep ({} sizes)", GROUP_SIZES.len());
+    bench::for_each_corpus_matrix(&cli, |ds, a, x| {
+        // Normalize against merge-path on the same dataset.
+        let mp = kernels::spmv(&spec, a, x, ScheduleKind::MergePath).expect("merge-path");
+        let t_mp = mp.report.elapsed_ms();
+        let mut best = (f64::INFINITY, 0u32);
+        for &gs in &GROUP_SIZES {
+            let run = kernels::spmv(&spec, a, x, ScheduleKind::GroupMapped(gs)).expect("group");
+            if cli.validate {
+                bench::validate_against_reference(&ds.name, a, x, &run.y);
+            }
+            let t = run.report.elapsed_ms();
+            csv.spmv_row(
+                &format!("group-{gs}"),
+                &ds.name,
+                a.rows(),
+                a.cols(),
+                a.nnz(),
+                t,
+            )
+            .unwrap();
+            per_size.entry(gs).or_default().push(t_mp / t);
+            if t < best.0 {
+                best = (t, gs);
+            }
+        }
+        *best_counts.entry(best.1).or_default() += 1;
+    });
+    let path = csv.finish().unwrap();
+
+    println!("== Ablation A: group-mapped group-size sweep ==");
+    println!("{:<12} {:>26} {:>12}", "group size", "geomean vs merge-path", "best-on");
+    for (gs, s) in &per_size {
+        let label = match gs {
+            32 => " (= warp-mapped)",
+            256 => " (= block-mapped)",
+            _ => "",
+        };
+        println!(
+            "{:<12} {:>25.2}x {:>12}{label}",
+            gs,
+            summary::geomean(s),
+            best_counts.get(gs).copied().unwrap_or(0)
+        );
+    }
+    println!("csv: {}", path.display());
+}

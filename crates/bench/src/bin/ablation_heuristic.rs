@@ -1,0 +1,99 @@
+//! Ablation B (§6.2): sweep the heuristic's α (rows/cols) and β (nnz)
+//! thresholds and report the geomean speedup over the cuSparse-like
+//! baseline at each point — showing how flat/sensitive the paper's
+//! (α = 500, β = 10 000) choice is.
+
+use bench::{summary, Cli, CsvWriter};
+use loops::Heuristic;
+use simt::GpuSpec;
+
+const ALPHAS: [usize; 4] = [50, 200, 500, 2_000];
+const BETAS: [usize; 4] = [1_000, 10_000, 50_000, 200_000];
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.limit.is_none() {
+        cli.limit = Some(80);
+    }
+    let spec = GpuSpec::v100();
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "ablation_heuristic.csv",
+        "alpha,beta,geomean_speedup",
+    )
+    .expect("create csv");
+
+    // Cache per-dataset timings once: baseline + each pure schedule the
+    // heuristic can pick.
+    struct Entry {
+        rows: usize,
+        cols: usize,
+        nnz: usize,
+        t_base: f64,
+        t_merge: f64,
+        t_thread: f64,
+        t_group: f64,
+    }
+    let mut entries = Vec::new();
+    eprintln!("ablation B: caching per-dataset timings");
+    bench::for_each_corpus_matrix(&cli, |_ds, a, x| {
+        use loops::schedule::ScheduleKind as K;
+        let t = |k| {
+            kernels::spmv(&spec, a, x, k)
+                .expect("spmv")
+                .report
+                .elapsed_ms()
+        };
+        entries.push(Entry {
+            rows: a.rows(),
+            cols: a.cols(),
+            nnz: a.nnz(),
+            t_base: baselines::cusparse_spmv(&spec, a, x)
+                .expect("cusparse")
+                .report
+                .elapsed_ms(),
+            t_merge: t(K::MergePath),
+            t_thread: t(K::ThreadMapped),
+            t_group: t(K::GroupMapped(32)),
+        });
+    });
+
+    println!("== Ablation B: heuristic threshold sweep (geomean speedup vs cuSparse-like) ==");
+    print!("{:>10}", "alpha\\beta");
+    for b in BETAS {
+        print!("{b:>12}");
+    }
+    println!();
+    let mut best = (0.0f64, 0usize, 0usize);
+    for a in ALPHAS {
+        print!("{a:>10}");
+        for b in BETAS {
+            let h = Heuristic::new(a, b);
+            let speedups: Vec<f64> = entries
+                .iter()
+                .map(|e| {
+                    let t = match h.select(e.rows, e.cols, e.nnz) {
+                        loops::schedule::ScheduleKind::MergePath => e.t_merge,
+                        loops::schedule::ScheduleKind::ThreadMapped => e.t_thread,
+                        _ => e.t_group,
+                    };
+                    e.t_base / t
+                })
+                .collect();
+            let g = summary::geomean(&speedups);
+            csv.row(&format!("{a},{b},{g:.4}")).unwrap();
+            if g > best.0 {
+                best = (g, a, b);
+            }
+            print!("{g:>11.2}x");
+        }
+        println!();
+    }
+    let path = csv.finish().unwrap();
+    println!();
+    println!(
+        "best: {:.2}x at alpha={}, beta={}   (paper uses alpha=500, beta=10000)",
+        best.0, best.1, best.2
+    );
+    println!("csv: {}", path.display());
+}

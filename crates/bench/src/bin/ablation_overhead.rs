@@ -1,0 +1,106 @@
+//! Ablation C (§6.1): decompose the abstraction's overhead.
+//!
+//! Runs the framework's merge-path SpMV against the CUB-like fused kernel
+//! (identical algorithm, hand-interleaved) and splits their difference
+//! into the three channels the simulator models:
+//!
+//! * **issue work** — the per-iteration range charge and per-span
+//!   bookkeeping (visible only when compute-bound);
+//! * **memory traffic** — the extra per-span offset reads the decoupled
+//!   schedule performs;
+//! * **elapsed** — what actually survives the roofline max (what Figure 2
+//!   reports).
+//!
+//! Additionally re-runs the framework kernel under the fused cost model
+//! (range charge forced to zero) to isolate the pure iterator-indirection
+//! term.
+
+use bench::{summary, Cli, CsvWriter};
+use loops::schedule::ScheduleKind;
+use simt::{CostModel, GpuSpec};
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.limit.is_none() {
+        cli.limit = Some(80);
+    }
+    let spec = GpuSpec::v100();
+    let standard = CostModel::standard();
+    let fused = CostModel::fused();
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "ablation_overhead.csv",
+        "dataset,rows,cols,nnzs,elapsed_fw,elapsed_cub,units_fw,units_cub,bytes_fw,bytes_cub,range_units",
+    )
+    .expect("create csv");
+    let (mut r_elapsed, mut r_units, mut r_bytes, mut range_fracs) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    eprintln!("ablation C: framework vs fused decomposition");
+    bench::for_each_corpus_matrix(&cli, |ds, a, x| {
+        if a.cols() == 1 {
+            return; // CUB's fast path is a different algorithm; skip here.
+        }
+        let fw = kernels::spmv::spmv_with_model(
+            &spec,
+            &standard,
+            a,
+            x,
+            ScheduleKind::MergePath,
+            kernels::spmv::DEFAULT_BLOCK,
+        )
+        .expect("framework spmv");
+        let fw_nocharge = kernels::spmv::spmv_with_model(
+            &spec,
+            &fused,
+            a,
+            x,
+            ScheduleKind::MergePath,
+            kernels::spmv::DEFAULT_BLOCK,
+        )
+        .expect("framework spmv, fused model");
+        let cub = baselines::cub_spmv(&spec, a, x).expect("cub");
+        let range_units = fw.report.timing.total_units - fw_nocharge.report.timing.total_units;
+        csv.row(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            ds.name,
+            a.rows(),
+            a.cols(),
+            a.nnz(),
+            fw.report.elapsed_ms(),
+            cub.report.elapsed_ms(),
+            fw.report.timing.total_units,
+            cub.report.timing.total_units,
+            fw.report.mem.total_bytes(),
+            cub.report.mem.total_bytes(),
+            range_units,
+        ))
+        .unwrap();
+        r_elapsed.push(fw.report.elapsed_ms() / cub.report.elapsed_ms());
+        r_units.push(fw.report.timing.total_units / cub.report.timing.total_units.max(1.0));
+        r_bytes.push(fw.report.mem.total_bytes() as f64 / cub.report.mem.total_bytes().max(1) as f64);
+        if fw.report.timing.total_units > 0.0 {
+            range_fracs.push(1.0 + range_units.max(0.0) / fw.report.timing.total_units);
+        }
+    });
+    let path = csv.finish().unwrap();
+
+    println!("== Ablation C: abstraction overhead decomposition (framework merge-path vs fused CUB-like) ==");
+    println!("datasets:                      {}", r_elapsed.len());
+    println!(
+        "issue-work overhead (geomean): {:+.1}%",
+        (summary::geomean(&r_units) - 1.0) * 100.0
+    );
+    println!(
+        "  of which pure range charge:  {:+.1}%",
+        (summary::geomean(&range_fracs) - 1.0) * 100.0
+    );
+    println!(
+        "memory-traffic overhead:       {:+.1}%  (per-span offset reads)",
+        (summary::geomean(&r_bytes) - 1.0) * 100.0
+    );
+    println!(
+        "elapsed overhead:              {:+.1}%  (what survives the roofline; Figure 2's number)",
+        (summary::geomean(&r_elapsed) - 1.0) * 100.0
+    );
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Print the surrogate corpus' structure: per-family counts, nnz span,
+//! and imbalance statistics — the evidence that the corpus covers the two
+//! axes the paper's evaluation plots (total work × row-length skew).
+
+use bench::{Cli, CsvWriter};
+use sparse::RowStats;
+use std::collections::BTreeMap;
+
+fn main() {
+    let cli = Cli::parse();
+    let specs = match cli.limit {
+        Some(n) => sparse::corpus::corpus_subset(n),
+        None => sparse::corpus::suite_sparse_surrogate(),
+    };
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "corpus_stats.csv",
+        "dataset,family,rows,cols,nnz,mean_row,cv,gini,max_over_mean,empty_frac",
+    )
+    .expect("create csv");
+
+    #[derive(Default)]
+    struct Agg {
+        count: usize,
+        nnz_min: usize,
+        nnz_max: usize,
+        cv_min: f64,
+        cv_max: f64,
+    }
+    let mut families: BTreeMap<String, Agg> = BTreeMap::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let a = spec.build();
+        let s = RowStats::of(&a);
+        csv.row(&format!(
+            "{},{:?},{},{},{},{:.2},{:.3},{:.3},{:.1},{:.3}",
+            spec.name,
+            spec.family,
+            a.rows(),
+            a.cols(),
+            a.nnz(),
+            s.mean,
+            s.cv,
+            s.gini,
+            s.max_over_mean,
+            s.empty_frac
+        ))
+        .unwrap();
+        let e = families.entry(format!("{:?}", spec.family)).or_insert(Agg {
+            count: 0,
+            nnz_min: usize::MAX,
+            nnz_max: 0,
+            cv_min: f64::INFINITY,
+            cv_max: 0.0,
+        });
+        e.count += 1;
+        e.nnz_min = e.nnz_min.min(a.nnz());
+        e.nnz_max = e.nnz_max.max(a.nnz());
+        e.cv_min = e.cv_min.min(s.cv);
+        e.cv_max = e.cv_max.max(s.cv);
+        if (i + 1) % 40 == 0 {
+            eprintln!("  [{}/{}]", i + 1, specs.len());
+        }
+    }
+    let path = csv.finish().unwrap();
+
+    println!("== SuiteSparse surrogate corpus: {} matrices ==", specs.len());
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>8} {:>8}",
+        "family", "count", "min nnz", "max nnz", "min CV", "max CV"
+    );
+    for (f, a) in &families {
+        println!(
+            "{:<14} {:>6} {:>12} {:>12} {:>8.2} {:>8.2}",
+            f, a.count, a.nnz_min, a.nnz_max, a.cv_min, a.cv_max
+        );
+    }
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Figure 2: abstraction overhead — framework merge-path SpMV vs a
+//! CUB-like hardwired merge-path, across the corpus.
+//!
+//! Paper's claims: runtimes almost perfectly match; geomean slowdown 2.5%;
+//! 92% of datasets reach ≥ 90% of CUB's performance; CUB wins clearly
+//! only on single-column (sparse-vector) matrices via its specialized
+//! thread-mapped heuristic.
+
+use bench::{summary, Cli, CsvWriter};
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    let spec = GpuSpec::v100();
+    let mut csv = CsvWriter::create(&cli.out_dir, "fig2.csv", "kernel,dataset,rows,cols,nnzs,elapsed")
+        .expect("create fig2.csv");
+    let mut ratios = Vec::new(); // ours / cub
+    let mut single_col_ratios = Vec::new();
+    let mut pts_ours = Vec::new();
+    let mut pts_cub = Vec::new();
+    eprintln!("fig2: framework merge-path vs CUB-like (hardwired)");
+    bench::for_each_corpus_matrix(&cli, |ds, a, x| {
+        let ours = kernels::spmv(&spec, a, x, ScheduleKind::MergePath).expect("framework spmv");
+        let cub = baselines::cub_spmv(&spec, a, x).expect("cub spmv");
+        if cli.validate {
+            bench::validate_against_reference(&ds.name, a, x, &ours.y);
+            bench::validate_against_reference(&ds.name, a, x, &cub.y);
+        }
+        let (t_ours, t_cub) = (ours.report.elapsed_ms(), cub.report.elapsed_ms());
+        csv.spmv_row("merge-path", &ds.name, a.rows(), a.cols(), a.nnz(), t_ours)
+            .unwrap();
+        csv.spmv_row("cub", &ds.name, a.rows(), a.cols(), a.nnz(), t_cub)
+            .unwrap();
+        pts_ours.push((a.nnz() as f64, t_ours));
+        pts_cub.push((a.nnz() as f64, t_cub));
+        let ratio = t_ours / t_cub;
+        if a.cols() == 1 {
+            single_col_ratios.push(ratio);
+        } else {
+            ratios.push(ratio);
+        }
+    });
+    let path = csv.finish().unwrap();
+
+    let all: Vec<f64> = ratios
+        .iter()
+        .chain(&single_col_ratios)
+        .copied()
+        .collect();
+    let slowdown = summary::geomean(&all) - 1.0;
+    let at_90 = summary::fraction(&all, |r| r <= 1.0 / 0.9);
+    println!("== Figure 2: abstraction overhead (ours merge-path vs CUB) ==");
+    println!("datasets:                      {}", all.len());
+    println!(
+        "geomean slowdown vs CUB:       {:+.1}%   (paper: +2.5%)",
+        slowdown * 100.0
+    );
+    println!(
+        "datasets at >=90% of CUB perf: {:.0}%   (paper: 92%)",
+        at_90 * 100.0
+    );
+    if !ratios.is_empty() {
+        println!(
+            "geomean slowdown, multi-col:   {:+.1}%",
+            (summary::geomean(&ratios) - 1.0) * 100.0
+        );
+    }
+    if !single_col_ratios.is_empty() {
+        println!(
+            "geomean slowdown, single-col:  {:+.1}%  (CUB's thread-mapped heuristic)",
+            (summary::geomean(&single_col_ratios) - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("runtime vs nnz (log-log; o = ours, c = CUB — the paper's Figure 2 scatter):");
+    print!(
+        "{}",
+        bench::ScatterPlot::new(64, 16)
+            .log_axes(true, true)
+            .labels("nnz", "elapsed ms (simulated)")
+            .series('c', pts_cub)
+            .series('o', pts_ours)
+            .render()
+    );
+    println!("csv: {}", path.display());
+}

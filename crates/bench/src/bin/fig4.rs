@@ -1,0 +1,76 @@
+//! Figure 4: the heuristic-combined SpMV vs the cuSparse-like baseline.
+//!
+//! Paper's claims: combining the schedules with the α/β heuristic
+//! (merge-path unless the matrix is small, §6.2) yields a geomean speedup
+//! of 2.7× over cuSparse with a peak of 39×.
+
+use bench::{summary, Cli, CsvWriter};
+use simt::GpuSpec;
+
+fn main() {
+    let cli = Cli::parse();
+    let spec = GpuSpec::v100();
+    let heuristic = loops::Heuristic::paper();
+    let mut csv = CsvWriter::create(&cli.out_dir, "fig4.csv", "kernel,dataset,rows,cols,nnzs,elapsed,speedup")
+        .expect("create fig4.csv");
+    let mut speedups = Vec::new();
+    let mut points = Vec::new();
+    let mut peak: (f64, String) = (0.0, String::new());
+    eprintln!("fig4: heuristic-combined SpMV vs cuSparse-like");
+    bench::for_each_corpus_matrix(&cli, |ds, a, x| {
+        let kind = heuristic.select(a.rows(), a.cols(), a.nnz());
+        let ours = kernels::spmv(&spec, a, x, kind).expect("framework spmv");
+        let base = baselines::cusparse_spmv(&spec, a, x).expect("cusparse spmv");
+        if cli.validate {
+            bench::validate_against_reference(&ds.name, a, x, &ours.y);
+        }
+        let (t_ours, t_base) = (ours.report.elapsed_ms(), base.report.elapsed_ms());
+        let speedup = t_base / t_ours;
+        csv.row(&format!(
+            "heuristic[{}],{},{},{},{},{},{:.4}",
+            kind,
+            ds.name,
+            a.rows(),
+            a.cols(),
+            a.nnz(),
+            t_ours,
+            speedup
+        ))
+        .unwrap();
+        if speedup > peak.0 {
+            peak = (speedup, ds.name.clone());
+        }
+        points.push((a.nnz() as f64, speedup));
+        speedups.push(speedup);
+    });
+    let path = csv.finish().unwrap();
+
+    println!("== Figure 4: heuristic-combined SpMV vs cuSparse-like ==");
+    println!("datasets:           {}", speedups.len());
+    println!(
+        "geomean speedup:    {:.2}x   (paper: 2.7x)",
+        summary::geomean(&speedups)
+    );
+    println!("peak speedup:       {:.1}x on {}   (paper: 39x)", peak.0, peak.1);
+    println!(
+        "datasets faster:    {:.0}%",
+        summary::fraction(&speedups, |s| s > 1.0) * 100.0
+    );
+    println!(
+        "p10 / median / p90: {:.2}x / {:.2}x / {:.2}x",
+        summary::quantile(&speedups, 0.1),
+        summary::quantile(&speedups, 0.5),
+        summary::quantile(&speedups, 0.9)
+    );
+    println!();
+    println!("speedup vs nnz (log-log; the paper's Figure 4 scatter):");
+    print!(
+        "{}",
+        bench::ScatterPlot::new(64, 16)
+            .log_axes(true, true)
+            .labels("nnz", "speedup vs cuSparse-like (x)")
+            .series('*', points)
+            .render()
+    );
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,147 @@
+//! Locality analysis (paper §8's second future-work item): how does the
+//! *schedule* change the cache behaviour of SpMV's `x`-gathers?
+//!
+//! For each matrix we reconstruct the order in which each schedule's
+//! processors touch the atoms, interleave the per-processor streams
+//! round-robin (an idealized concurrent execution), and replay the
+//! resulting `x`-address stream through a simulated V100 L2
+//! ([`simt::CacheSim`]). The schedules differ *only* in visitation order —
+//! same addresses, same totals — so the hit-rate spread is pure locality.
+//!
+//! This is analysis, not timing: the cost model prices bandwidth, not
+//! hits. The report quantifies how much headroom a locality-aware model
+//! (the paper's proposed orthogonal abstraction) would have to work with.
+
+use bench::{Cli, CsvWriter};
+use loops::work::TileSet;
+use loops::CsrTiles;
+use simt::{CacheConfig, CacheSim};
+use sparse::Csr;
+
+/// Per-processor atom streams for each schedule shape.
+fn streams_thread_mapped(a: &Csr<f32>, threads: usize) -> Vec<Vec<usize>> {
+    // Thread t owns rows t, t+threads, …; visits their atoms in order.
+    let mut out = vec![Vec::new(); threads];
+    for (t, stream) in out.iter_mut().enumerate() {
+        let mut row = t;
+        while row < a.rows() {
+            stream.extend(a.row_range(row));
+            row += threads;
+        }
+    }
+    out
+}
+
+fn streams_merge_path(a: &Csr<f32>, items_per_thread: usize) -> Vec<Vec<usize>> {
+    // Thread t owns a contiguous merge chunk; its atoms are contiguous.
+    let work = CsrTiles::new(a);
+    let total = work.num_tiles() + work.num_atoms();
+    let threads = total.div_ceil(items_per_thread);
+    // Approximate the atom share: contiguous slices of the atom space.
+    let mut out = Vec::with_capacity(threads);
+    let per = a.nnz().div_ceil(threads.max(1)).max(1);
+    let mut begin = 0usize;
+    for _ in 0..threads {
+        let end = (begin + per).min(a.nnz());
+        out.push((begin..end).collect());
+        begin = end;
+        if begin >= a.nnz() {
+            break;
+        }
+    }
+    out
+}
+
+fn streams_warp_per_row(a: &Csr<f32>, warps: usize) -> Vec<Vec<usize>> {
+    // Warp w owns rows w, w+warps, …; lanes stride the row (visitation
+    // order within the row is still ascending).
+    let mut out = vec![Vec::new(); warps];
+    for (w, stream) in out.iter_mut().enumerate() {
+        let mut row = w;
+        while row < a.rows() {
+            stream.extend(a.row_range(row));
+            row += warps;
+        }
+    }
+    out
+}
+
+/// Round-robin interleave per-processor streams and replay x-gathers.
+fn replay(a: &Csr<f32>, streams: &[Vec<usize>]) -> f64 {
+    let mut cache = CacheSim::new(CacheConfig::v100_l2());
+    let mut cursors = vec![0usize; streams.len()];
+    let mut remaining: usize = streams.iter().map(Vec::len).sum();
+    while remaining > 0 {
+        for (s, cur) in streams.iter().zip(cursors.iter_mut()) {
+            if *cur < s.len() {
+                let atom = s[*cur];
+                *cur += 1;
+                remaining -= 1;
+                let col = a.col_indices()[atom] as u64;
+                cache.access(col * 4); // x[col], 4-byte floats
+            }
+        }
+    }
+    cache.stats().hit_rate()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    // x must exceed the 6 MiB L2 (≥ ~1.5 M columns) for order to matter.
+    let cases: Vec<(&str, Csr<f32>)> = vec![
+        ("banded_3M", sparse::gen::banded(3_000_000, 4, 1)),
+        ("stencil5_1730", sparse::gen::stencil5(1_730, 1_730, 2)),
+        ("uniform_3M", sparse::gen::uniform(3_000_000, 3_000_000, 12_000_000, 3)),
+        ("powerlaw_3M", sparse::gen::powerlaw(3_000_000, 3_000_000, 12_000_000, 1.8, 4)),
+        ("rmat_s21", sparse::gen::rmat(21, 6, (0.57, 0.19, 0.19), 5)),
+    ];
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "locality_report.csv",
+        "dataset,rows,nnz,hit_thread_mapped,hit_merge_path,hit_warp_per_row",
+    )
+    .expect("create csv");
+    println!("== Locality report: simulated V100 L2 hit rate of SpMV x-gathers ==");
+    println!(
+        "{:<16} {:>10} {:>15} {:>12} {:>14}",
+        "dataset", "nnz", "thread-mapped", "merge-path", "warp-per-row"
+    );
+    for (name, a) in &cases {
+        let tm = replay(a, &streams_thread_mapped(a, 2560));
+        let mp = replay(a, &streams_merge_path(a, 7));
+        let wr = replay(a, &streams_warp_per_row(a, 2560));
+        println!(
+            "{:<16} {:>10} {:>14.1}% {:>11.1}% {:>13.1}%",
+            name,
+            a.nnz(),
+            tm * 100.0,
+            mp * 100.0,
+            wr * 100.0
+        );
+        csv.row(&format!(
+            "{name},{},{},{tm:.4},{mp:.4},{wr:.4}",
+            a.rows(),
+            a.nnz()
+        ))
+        .unwrap();
+    }
+    let path = csv.finish().unwrap();
+    println!("\n(same addresses, different visitation order: the spread is the headroom a");
+    println!(" locality-aware scheduling model — the paper's §8 follow-up — could exploit)");
+
+    // The data-side lever: RCM reordering packs column accesses together.
+    println!("\nRCM reordering (merge-path order, uniform_3M):");
+    let a = &cases[2].1;
+    let before = replay(a, &streams_merge_path(a, 7));
+    let p = sparse::reorder::rcm(a);
+    let b = sparse::reorder::permute_symmetric(a, &p);
+    let after = replay(&b, &streams_merge_path(&b, 7));
+    println!(
+        "  L2 hit rate {:.1}% -> {:.1}%   (bandwidth {} -> {})",
+        before * 100.0,
+        after * 100.0,
+        sparse::reorder::bandwidth(a),
+        sparse::reorder::bandwidth(&b)
+    );
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,51 @@
+//! The artifact's `run.sh`, as a binary: executes every experiment in
+//! sequence (figures, table, ablations) with shared flags, leaving all
+//! CSVs under `results/`. `--limit N` subsets every corpus-driven
+//! experiment for a quick pass.
+
+use std::process::Command;
+
+const BINS: [&str; 13] = [
+    "fig2",
+    "fig3",
+    "fig4",
+    "table1",
+    "ablation_group_size",
+    "ablation_heuristic",
+    "ablation_overhead",
+    "ablation_devices",
+    "ablation_dynamic",
+    "ablation_multi_gpu",
+    "locality_report",
+    "timeline",
+    "corpus_stats",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for bin in BINS {
+        println!("\n================ {bin} ================");
+        let path = exe_dir.join(bin);
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("!! {bin} exited with {status}");
+            failed.push(bin);
+        }
+    }
+    println!("\n================ summary ================");
+    if failed.is_empty() {
+        println!("all {} experiments completed; CSVs in results/", BINS.len());
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

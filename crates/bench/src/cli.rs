@@ -1,0 +1,95 @@
+//! Minimal flag parsing shared by the experiment binaries (no external
+//! CLI dependency; the flags are few and uniform).
+
+/// Parsed common flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Run only the first `limit` corpus entries (deterministic subset).
+    pub limit: Option<usize>,
+    /// Output directory for CSVs.
+    pub out_dir: String,
+    /// Validate simulated results against CPU references where cheap.
+    pub validate: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            limit: None,
+            out_dir: "results".into(),
+            validate: true,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse from an iterator of arguments (excluding `argv[0]`).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut cli = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--limit" => {
+                    let v = it.next().ok_or("--limit needs a value")?;
+                    cli.limit = Some(v.parse().map_err(|_| format!("bad --limit '{v}'"))?);
+                }
+                "--out" => {
+                    cli.out_dir = it.next().ok_or("--out needs a value")?;
+                }
+                "--no-validate" => cli.validate = false,
+                "--help" | "-h" => {
+                    return Err(
+                        "flags: --limit N   run first N corpus entries\n       --out DIR   CSV output directory (default results/)\n       --no-validate   skip CPU cross-checks"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown flag '{other}' (try --help)")),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Parse from the process environment, exiting with a message on error.
+    pub fn parse() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&[]).unwrap();
+        assert_eq!(c.limit, None);
+        assert_eq!(c.out_dir, "results");
+        assert!(c.validate);
+    }
+
+    #[test]
+    fn all_flags() {
+        let c = parse(&["--limit", "12", "--out", "/tmp/x", "--no-validate"]).unwrap();
+        assert_eq!(c.limit, Some(12));
+        assert_eq!(c.out_dir, "/tmp/x");
+        assert!(!c.validate);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--limit"]).is_err());
+        assert!(parse(&["--limit", "abc"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

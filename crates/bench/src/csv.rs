@@ -1,0 +1,83 @@
+//! CSV emission in the artifact's format.
+//!
+//! The paper's `run.sh` produces files whose rows look like
+//! `merge-path,1138_bus,1138,1138,4054,0.0200195`; the harness reproduces
+//! that layout so the artifact's plotting notebook could consume our
+//! output unchanged.
+
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// A buffered CSV file writer.
+#[derive(Debug)]
+pub struct CsvWriter {
+    path: PathBuf,
+    out: BufWriter<std::fs::File>,
+    rows: usize,
+}
+
+impl CsvWriter {
+    /// Create `dir/name` (creating `dir` as needed) and write `header`.
+    pub fn create(dir: &str, name: &str, header: &str) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(name);
+        let mut out = BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(out, "{header}")?;
+        Ok(Self {
+            path,
+            out,
+            rows: 0,
+        })
+    }
+
+    /// Write one raw row (caller formats the fields).
+    pub fn row(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.out, "{line}")?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// The artifact's standard row: kernel, dataset, shape, elapsed (ms).
+    pub fn spmv_row(
+        &mut self,
+        kernel: &str,
+        dataset: &str,
+        rows: usize,
+        cols: usize,
+        nnzs: usize,
+        elapsed_ms: f64,
+    ) -> std::io::Result<()> {
+        self.row(&format!("{kernel},{dataset},{rows},{cols},{nnzs},{elapsed_ms}"))
+    }
+
+    /// Rows written so far (excluding the header).
+    pub fn rows_written(&self) -> usize {
+        self.rows
+    }
+
+    /// Flush and report the file path.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.out.flush()?;
+        Ok(self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_rows_and_reports_path() {
+        let dir = std::env::temp_dir().join("bench_csv_test");
+        let dir = dir.to_str().unwrap();
+        let mut w = CsvWriter::create(dir, "t.csv", "kernel,dataset,rows,cols,nnzs,elapsed")
+            .unwrap();
+        w.spmv_row("merge-path", "1138_bus", 1138, 1138, 4054, 0.02).unwrap();
+        assert_eq!(w.rows_written(), 1);
+        let path = w.finish().unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap(), "kernel,dataset,rows,cols,nnzs,elapsed");
+        assert_eq!(lines.next().unwrap(), "merge-path,1138_bus,1138,1138,4054,0.02");
+    }
+}

@@ -1,0 +1,178 @@
+//! Terminal scatter plots — a stand-in for the artifact's Jupyter
+//! notebook, so every figure binary can show its shape inline.
+
+/// A character-grid scatter plot with optional log axes.
+#[derive(Debug)]
+pub struct ScatterPlot {
+    width: usize,
+    height: usize,
+    x_log: bool,
+    y_log: bool,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    x_label: String,
+    y_label: String,
+}
+
+impl ScatterPlot {
+    /// A `width × height` plot canvas.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width: width.max(16),
+            height: height.max(6),
+            x_log: false,
+            y_log: false,
+            series: Vec::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+        }
+    }
+
+    /// Use logarithmic x (and optionally y) scaling; non-positive points
+    /// are dropped on log axes.
+    pub fn log_axes(mut self, x_log: bool, y_log: bool) -> Self {
+        self.x_log = x_log;
+        self.y_log = y_log;
+        self
+    }
+
+    /// Axis labels shown under/over the canvas.
+    pub fn labels(mut self, x: &str, y: &str) -> Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Add a series drawn with `symbol` (later series draw over earlier).
+    pub fn series(mut self, symbol: char, points: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        self.series.push((symbol, points.into_iter().collect()));
+        self
+    }
+
+    fn tx(&self, v: f64) -> Option<f64> {
+        if self.x_log {
+            (v > 0.0).then(|| v.log10())
+        } else {
+            Some(v)
+        }
+    }
+
+    fn ty(&self, v: f64) -> Option<f64> {
+        if self.y_log {
+            (v > 0.0).then(|| v.log10())
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Render to a multi-line string (empty series → a note).
+    pub fn render(&self) -> String {
+        let pts: Vec<(usize, f64, f64)> = self
+            .series
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (_, ps))| {
+                ps.iter()
+                    .filter_map(move |&(x, y)| Some((i, self.tx(x)?, self.ty(y)?)))
+            })
+            .collect();
+        if pts.is_empty() {
+            return "(no plottable points)\n".into();
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(_, x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &pts {
+            let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+            grid[self.height - 1 - cy][cx] = self.series[si].0;
+        }
+        let back = |v: f64, log: bool| if log { 10f64.powf(v) } else { v };
+        let mut out = String::new();
+        if !self.y_label.is_empty() {
+            out.push_str(&format!("{}\n", self.y_label));
+        }
+        for (r, row) in grid.iter().enumerate() {
+            let yv = back(y1 - (y1 - y0) * r as f64 / (self.height - 1) as f64, self.y_log);
+            let tick = if r == 0 || r == self.height - 1 || r == self.height / 2 {
+                format!("{yv:>9.3}")
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&format!("{tick} |{}|\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{:>9}  {:<w$.3e}{:>r$.3e}\n",
+            "",
+            back(x0, self.x_log),
+            back(x1, self.x_log),
+            w = self.width / 2,
+            r = self.width - self.width / 2,
+        ));
+        if !self.x_label.is_empty() {
+            out.push_str(&format!("{:>w$}\n", self.x_label, w = 11 + self.width / 2));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_in_roughly_the_right_corner() {
+        let p = ScatterPlot::new(40, 10)
+            .series('o', [(1.0, 1.0), (100.0, 100.0)])
+            .render();
+        let lines: Vec<&str> = p.lines().collect();
+        // Low-left point on the bottom row, high-right on the top row.
+        assert!(lines[0].contains('o') || lines[1].contains('o'));
+        assert!(lines[9].contains('o') || lines[8].contains('o'));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_points() {
+        let p = ScatterPlot::new(30, 8)
+            .log_axes(true, true)
+            .series('x', [(0.0, 5.0), (-3.0, 1.0)])
+            .render();
+        assert!(p.contains("no plottable points"));
+    }
+
+    #[test]
+    fn multiple_series_use_their_symbols() {
+        let p = ScatterPlot::new(30, 8)
+            .series('a', [(1.0, 1.0)])
+            .series('b', [(10.0, 10.0)])
+            .render();
+        assert!(p.contains('a'));
+        assert!(p.contains('b'));
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let p = ScatterPlot::new(20, 6).series('*', [(5.0, 5.0)]).render();
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn labels_appear() {
+        let p = ScatterPlot::new(20, 6)
+            .labels("nnz", "speedup")
+            .series('*', [(1.0, 2.0), (2.0, 1.0)])
+            .render();
+        assert!(p.contains("nnz"));
+        assert!(p.contains("speedup"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Corpus iteration shared by the experiment binaries.
+
+use crate::cli::Cli;
+use sparse::corpus::{corpus_subset, suite_sparse_surrogate, CorpusSpec};
+use sparse::Csr;
+
+/// Maximum nnz for which CPU validation is run (keeps harness runs fast
+/// while still cross-checking a large share of the corpus).
+pub const VALIDATE_NNZ_LIMIT: usize = 300_000;
+
+/// Iterate the (possibly limited) corpus, materializing each matrix once
+/// and handing it — with its test vector — to `f`. Progress is printed to
+/// stderr every few datasets.
+pub fn for_each_corpus_matrix(
+    cli: &Cli,
+    mut f: impl FnMut(&CorpusSpec, &Csr<f32>, &[f32]),
+) {
+    let specs = match cli.limit {
+        Some(n) => corpus_subset(n),
+        None => suite_sparse_surrogate(),
+    };
+    let total = specs.len();
+    for (i, spec) in specs.iter().enumerate() {
+        let a = spec.build();
+        let x = sparse::dense::test_vector(a.cols());
+        f(spec, &a, &x);
+        if (i + 1) % 25 == 0 || i + 1 == total {
+            eprintln!("  [{}/{}] {}", i + 1, total, spec.name);
+        }
+    }
+}
+
+/// Cross-check a simulated SpMV result against the CPU reference when the
+/// matrix is small enough; panics (with the dataset name) on mismatch so a
+/// broken kernel can never produce a plausible-looking figure.
+pub fn validate_against_reference(name: &str, a: &Csr<f32>, x: &[f32], y: &[f32]) {
+    if a.nnz() > VALIDATE_NNZ_LIMIT {
+        return;
+    }
+    let want = a.spmv_ref(x);
+    for (i, (g, w)) in y.iter().zip(&want).enumerate() {
+        assert!(
+            (g - w).abs() < 5e-3 * w.abs().max(1.0),
+            "{name}: y[{i}] = {g}, reference {w}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limited_iteration_visits_requested_count() {
+        let cli = Cli {
+            limit: Some(5),
+            ..Cli::default()
+        };
+        let mut names = Vec::new();
+        for_each_corpus_matrix(&cli, |spec, a, x| {
+            names.push(spec.name.clone());
+            assert_eq!(x.len(), a.cols());
+        });
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn validation_accepts_the_reference_itself() {
+        let a = sparse::gen::uniform(50, 50, 400, 5);
+        let x = sparse::dense::test_vector(50);
+        let y = a.spmv_ref(&x);
+        validate_against_reference("self", &a, &x, &y);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference")]
+    fn validation_rejects_wrong_results() {
+        let a = sparse::gen::uniform(50, 50, 400, 5);
+        let x = sparse::dense::test_vector(50);
+        let mut y = a.spmv_ref(&x);
+        y[3] += 1.0;
+        validate_against_reference("broken", &a, &x, &y);
+    }
+}

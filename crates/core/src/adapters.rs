@@ -1,0 +1,239 @@
+//! Format adapters: sparse structures expressed as tile sets (paper §4.1).
+//!
+//! Each adapter is the Rust analogue of the paper's Listing 1 — it tells
+//! the framework where a format's tiles and atoms live. CSR's row offsets
+//! serve directly; COO derives offsets on construction (its entries must
+//! be row-major sorted, i.e. canonical); CSC's *columns* are the tiles.
+
+use crate::work::TileSet;
+use sparse::{Coo, Csc, Csr, Ell};
+
+/// A CSR matrix as a tile set: tiles = rows, atoms = nonzeros.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrTiles<'a, V = f32> {
+    csr: &'a Csr<V>,
+}
+
+impl<'a, V: Copy + Sync> CsrTiles<'a, V> {
+    /// Wrap a CSR matrix.
+    pub fn new(csr: &'a Csr<V>) -> Self {
+        Self { csr }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &'a Csr<V> {
+        self.csr
+    }
+}
+
+impl<V: Copy + Sync> TileSet for CsrTiles<'_, V> {
+    fn num_tiles(&self) -> usize {
+        self.csr.rows()
+    }
+    fn num_atoms(&self) -> usize {
+        self.csr.nnz()
+    }
+    #[inline]
+    fn tile_atoms(&self, t: usize) -> std::ops::Range<usize> {
+        self.csr.row_range(t)
+    }
+    #[inline]
+    fn tile_offset(&self, i: usize) -> usize {
+        self.csr.row_offsets()[i]
+    }
+}
+
+/// A canonical (row-major sorted) COO matrix as a tile set: tiles = rows,
+/// atoms = entries. Offsets are derived once at construction — the
+/// "slightly more complex iterator" the paper says other formats need
+/// (§5.2.1).
+#[derive(Debug, Clone)]
+pub struct CooTiles {
+    offsets: Vec<usize>,
+}
+
+impl CooTiles {
+    /// Build from a canonical COO matrix.
+    ///
+    /// # Panics
+    /// If the matrix is not sorted row-major ([`Coo::is_canonical`]).
+    pub fn new<V: Copy>(coo: &Coo<V>) -> Self {
+        assert!(
+            coo.is_canonical(),
+            "COO tile set requires canonical (row-major sorted) entries"
+        );
+        let mut offsets = vec![0usize; coo.rows() + 1];
+        for &r in coo.row_indices() {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..coo.rows() {
+            offsets[i + 1] += offsets[i];
+        }
+        Self { offsets }
+    }
+}
+
+impl TileSet for CooTiles {
+    fn num_tiles(&self) -> usize {
+        self.offsets.len() - 1
+    }
+    fn num_atoms(&self) -> usize {
+        *self.offsets.last().expect("rows+1 entries")
+    }
+    #[inline]
+    fn tile_atoms(&self, t: usize) -> std::ops::Range<usize> {
+        self.offsets[t]..self.offsets[t + 1]
+    }
+    #[inline]
+    fn tile_offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+}
+
+/// A CSC matrix as a tile set: tiles = **columns**, atoms = nonzeros —
+/// the same schedules load-balance a column-major traversal untouched.
+#[derive(Debug, Clone, Copy)]
+pub struct CscTiles<'a, V = f32> {
+    csc: &'a Csc<V>,
+}
+
+impl<'a, V: Copy + Sync> CscTiles<'a, V> {
+    /// Wrap a CSC matrix.
+    pub fn new(csc: &'a Csc<V>) -> Self {
+        Self { csc }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &'a Csc<V> {
+        self.csc
+    }
+}
+
+impl<V: Copy + Sync> TileSet for CscTiles<'_, V> {
+    fn num_tiles(&self) -> usize {
+        self.csc.cols()
+    }
+    fn num_atoms(&self) -> usize {
+        self.csc.nnz()
+    }
+    #[inline]
+    fn tile_atoms(&self, t: usize) -> std::ops::Range<usize> {
+        self.csc.col_offsets()[t]..self.csc.col_offsets()[t + 1]
+    }
+    #[inline]
+    fn tile_offset(&self, i: usize) -> usize {
+        self.csc.col_offsets()[i]
+    }
+}
+
+/// An ELL matrix as a tile set: tiles = rows, atoms = **slots** (padding
+/// included). Atoms-per-tile is the constant pad width, so every schedule
+/// sees a perfectly regular workload — the format *is* the load balancer
+/// (§7's "already-load-balanced formats"); kernels skip padded slots at
+/// consumption time.
+#[derive(Debug, Clone, Copy)]
+pub struct EllTiles<'a, V = f32> {
+    ell: &'a Ell<V>,
+}
+
+impl<'a, V: Copy + Default + Sync> EllTiles<'a, V> {
+    /// Wrap an ELL matrix.
+    pub fn new(ell: &'a Ell<V>) -> Self {
+        Self { ell }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &'a Ell<V> {
+        self.ell
+    }
+}
+
+impl<V: Copy + Default + Sync> TileSet for EllTiles<'_, V> {
+    fn num_tiles(&self) -> usize {
+        self.ell.rows()
+    }
+    fn num_atoms(&self) -> usize {
+        self.ell.slots()
+    }
+    #[inline]
+    fn tile_atoms(&self, t: usize) -> std::ops::Range<usize> {
+        t * self.ell.width()..(t + 1) * self.ell.width()
+    }
+    #[inline]
+    fn tile_offset(&self, i: usize) -> usize {
+        i * self.ell.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::convert;
+
+    fn sample() -> Csr<f32> {
+        Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 5],
+            vec![0, 2, 0, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_tiles_mirror_row_structure() {
+        let a = sample();
+        let w = CsrTiles::new(&a);
+        assert_eq!(w.num_tiles(), 3);
+        assert_eq!(w.num_atoms(), 5);
+        assert_eq!(w.tile_atoms(0), 0..2);
+        assert_eq!(w.atoms_in_tile(1), 0);
+        assert!(w.validate());
+    }
+
+    #[test]
+    fn coo_tiles_derive_the_same_offsets() {
+        let a = sample();
+        let coo = convert::csr_to_coo(&a);
+        let w = CooTiles::new(&coo);
+        let wc = CsrTiles::new(&a);
+        for i in 0..=3 {
+            assert_eq!(w.tile_offset(i), wc.tile_offset(i));
+        }
+        assert!(w.validate());
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical")]
+    fn coo_tiles_reject_unsorted_input() {
+        let coo = Coo::from_parts(2, 2, vec![1, 0], vec![0, 0], vec![1.0f32, 2.0]).unwrap();
+        let _ = CooTiles::new(&coo);
+    }
+
+    #[test]
+    fn ell_tiles_are_perfectly_regular() {
+        let a = sample();
+        let e = Ell::from_csr(&a, 10.0).unwrap();
+        let w = EllTiles::new(&e);
+        assert_eq!(w.num_tiles(), 3);
+        assert_eq!(w.num_atoms(), 9); // 3 rows × width 3, padding included
+        for t in 0..3 {
+            assert_eq!(w.atoms_in_tile(t), 3);
+        }
+        assert!(w.validate());
+    }
+
+    #[test]
+    fn csc_tiles_use_columns() {
+        let a = sample();
+        let csc = convert::csr_to_csc(&a);
+        let w = CscTiles::new(&csc);
+        assert_eq!(w.num_tiles(), 4);
+        assert_eq!(w.num_atoms(), 5);
+        // Column 0 holds entries from rows 0 and 2.
+        assert_eq!(w.atoms_in_tile(0), 2);
+        assert_eq!(w.atoms_in_tile(2), 1);
+        assert!(w.validate());
+    }
+}

@@ -1,0 +1,114 @@
+//! Schedule-selection heuristic (paper §6.2, Figure 4).
+//!
+//! "We use merge-path unless either the number of rows or columns are less
+//! than the threshold α and the nonzeros of a given matrix are less than
+//! threshold β (we choose α = 500 and β = 10 000 for SuiteSparse). In this
+//! case, we use thread-mapped or group-mapped load balancing instead."
+//!
+//! The split between thread- and group-mapped on the small side follows
+//! the same observation CUB exploits (§6.1): single-column matrices
+//! (sparse vectors) are perfectly balanced at one atom per tile, so the
+//! zero-setup thread-mapped kernel wins; every other small matrix gets
+//! group-mapped at warp width.
+
+use crate::schedule::ScheduleKind;
+use serde::{Deserialize, Serialize};
+
+/// Threshold-based schedule selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heuristic {
+    /// Row/column threshold (paper: 500).
+    pub alpha: usize,
+    /// Nonzero threshold (paper: 10 000).
+    pub beta: usize,
+    /// Group size used when the small-matrix branch picks group-mapped.
+    pub small_group: u32,
+}
+
+impl Heuristic {
+    /// The paper's SuiteSparse calibration: α = 500, β = 10 000.
+    pub fn paper() -> Self {
+        Self {
+            alpha: 500,
+            beta: 10_000,
+            small_group: 32,
+        }
+    }
+
+    /// Custom thresholds (for the α/β ablation sweep).
+    pub fn new(alpha: usize, beta: usize) -> Self {
+        Self {
+            alpha,
+            beta,
+            small_group: 32,
+        }
+    }
+
+    /// Pick a schedule for a `rows × cols` matrix with `nnz` nonzeros.
+    pub fn select(&self, rows: usize, cols: usize, nnz: usize) -> ScheduleKind {
+        let small = (rows < self.alpha || cols < self.alpha) && nnz < self.beta;
+        if small {
+            if cols == 1 {
+                ScheduleKind::ThreadMapped
+            } else {
+                ScheduleKind::GroupMapped(self.small_group)
+            }
+        } else {
+            ScheduleKind::MergePath
+        }
+    }
+}
+
+impl Default for Heuristic {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_matrices_get_merge_path() {
+        let h = Heuristic::paper();
+        assert_eq!(h.select(100_000, 100_000, 1_000_000), ScheduleKind::MergePath);
+        // Small dims but many nonzeros → still merge-path.
+        assert_eq!(h.select(100, 100, 50_000), ScheduleKind::MergePath);
+        // Large dims, few nonzeros → merge-path (neither dim small).
+        assert_eq!(h.select(10_000, 10_000, 500), ScheduleKind::MergePath);
+    }
+
+    #[test]
+    fn small_matrices_get_group_mapped() {
+        let h = Heuristic::paper();
+        assert_eq!(h.select(100, 100, 500), ScheduleKind::GroupMapped(32));
+        // One small dimension suffices.
+        assert_eq!(h.select(100, 100_000, 5_000), ScheduleKind::GroupMapped(32));
+    }
+
+    #[test]
+    fn sparse_vectors_get_thread_mapped() {
+        let h = Heuristic::paper();
+        assert_eq!(h.select(400, 1, 300), ScheduleKind::ThreadMapped);
+        // A big sparse vector is not "small": merge-path.
+        assert_eq!(h.select(1_000_000, 1, 700_000), ScheduleKind::MergePath);
+    }
+
+    #[test]
+    fn thresholds_are_configurable() {
+        let h = Heuristic::new(10, 100);
+        assert_eq!(h.select(100, 100, 50), ScheduleKind::MergePath);
+        assert_eq!(h.select(5, 5, 50), ScheduleKind::GroupMapped(32));
+    }
+
+    #[test]
+    fn boundaries_are_exclusive() {
+        let h = Heuristic::paper();
+        // rows == alpha is not "< alpha".
+        assert_eq!(h.select(500, 500, 100), ScheduleKind::MergePath);
+        assert_eq!(h.select(499, 500, 100), ScheduleKind::GroupMapped(32));
+        // nnz == beta is not "< beta".
+        assert_eq!(h.select(499, 499, 10_000), ScheduleKind::MergePath);
+    }
+}

@@ -1,0 +1,139 @@
+//! Counting and transform iterators — the paper's Listing 1 vocabulary.
+//!
+//! In the C++ original, sparse formats are described to the framework with
+//! a `counting_iterator` (atom and tile id sequences) and a
+//! `transform_iterator` (atoms-per-tile computed on the fly from, e.g.,
+//! row offsets). These Rust equivalents exist so format adapters read like
+//! the paper; they are ordinary `Iterator`s and compose with everything
+//! in `std`.
+
+/// An iterator over `begin..end` — the paper's `counting_iterator<int>`.
+///
+/// (Thin wrapper over `Range<usize>` kept for API parity; it also allows
+/// random access via [`CountingIter::at`], which the C++ iterator offers
+/// through `operator[]`.)
+#[derive(Debug, Clone)]
+pub struct CountingIter {
+    next: usize,
+    end: usize,
+}
+
+impl CountingIter {
+    /// Count from `begin` (inclusive) to `end` (exclusive).
+    pub fn new(begin: usize, end: usize) -> Self {
+        Self {
+            next: begin,
+            end: end.max(begin),
+        }
+    }
+
+    /// Random access: the `i`-th value of the original sequence.
+    pub fn at(&self, i: usize) -> usize {
+        self.next + i
+    }
+}
+
+impl Iterator for CountingIter {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.next < self.end {
+            let v = self.next;
+            self.next += 1;
+            Some(v)
+        } else {
+            None
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CountingIter {}
+
+/// `make_transform_iterator`: applies `f` to each element of `inner`.
+///
+/// With `inner = CountingIter` and `f = |i| offsets[i+1] - offsets[i]`
+/// this is exactly the paper's atoms-per-tile iterator for CSR.
+#[derive(Debug, Clone)]
+pub struct TransformIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F> TransformIter<I, F> {
+    /// Wrap `inner`, mapping through `f`.
+    pub fn new(inner: I, f: F) -> Self {
+        Self { inner, f }
+    }
+}
+
+impl<I: Iterator, F: FnMut(I::Item) -> T, T> Iterator for TransformIter<I, F> {
+    type Item = T;
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        self.inner.next().map(&mut self.f)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: ExactSizeIterator, F: FnMut(I::Item) -> T, T> ExactSizeIterator for TransformIter<I, F> {}
+
+/// The paper's Listing-1 construction for CSR: an iterator yielding each
+/// row's nonzero count from the row-offsets array.
+pub fn atoms_per_tile_csr(row_offsets: &[usize]) -> impl Iterator<Item = usize> + '_ {
+    TransformIter::new(CountingIter::new(0, row_offsets.len().saturating_sub(1)), |i| {
+        row_offsets[i + 1] - row_offsets[i]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_iter_yields_range() {
+        let v: Vec<usize> = CountingIter::new(3, 7).collect();
+        assert_eq!(v, vec![3, 4, 5, 6]);
+        assert_eq!(CountingIter::new(3, 7).len(), 4);
+        assert_eq!(CountingIter::new(5, 5).count(), 0);
+        assert_eq!(CountingIter::new(7, 3).count(), 0); // inverted is empty
+    }
+
+    #[test]
+    fn counting_iter_random_access() {
+        let it = CountingIter::new(10, 100);
+        assert_eq!(it.at(0), 10);
+        assert_eq!(it.at(5), 15);
+    }
+
+    #[test]
+    fn transform_iter_maps() {
+        let v: Vec<usize> = TransformIter::new(CountingIter::new(0, 4), |i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn transform_preserves_exact_size() {
+        let it = TransformIter::new(CountingIter::new(0, 4), |i| i + 1);
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn listing1_csr_atoms_per_tile() {
+        // Row offsets of the 3-row sample used throughout: [0, 2, 2, 5].
+        let offsets = [0usize, 2, 2, 5];
+        let counts: Vec<usize> = atoms_per_tile_csr(&offsets).collect();
+        assert_eq!(counts, vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn listing1_empty_offsets() {
+        let offsets: [usize; 1] = [0];
+        assert_eq!(atoms_per_tile_csr(&offsets).count(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! # loops — a programming model for GPU load balancing
+//!
+//! Rust port of the PPoPP '23 paper's contribution: a fine-grained
+//! load-balancing abstraction that **separates workload mapping from work
+//! execution**. The pipeline has three stages (paper §3, Figure 1):
+//!
+//! 1. **Define the work** ([`work`], [`adapters`], [`iterators`]): a sparse
+//!    data structure is described as *work atoms* (indivisible units, e.g.
+//!    nonzeros), *work tiles* (logical groups, e.g. rows), and a *tile set*
+//!    (the whole problem). Any format reduces to three sequences: the
+//!    atoms, the tiles, and the atoms-per-tile counts — exactly the three
+//!    iterators of the paper's Listing 1.
+//!
+//! 2. **Define the load balance** ([`schedule`]): a pluggable schedule maps
+//!    tiles/atoms onto processing elements and hands each element
+//!    ready-to-consume ranges. Five schedules are provided, mirroring
+//!    §4.2/§5.2 —
+//!    [`schedule::ThreadMappedSchedule`] (tile per thread),
+//!    [`schedule::MergePathSchedule`] (perfectly even atoms+tiles split via
+//!    2-D diagonal search), and the cooperative-groups generalization
+//!    [`schedule::GroupMappedSchedule`], whose `warp_mapped` /
+//!    `block_mapped` constructors recover the classic warp- and
+//!    block-level schedules for free.
+//!
+//! 3. **Define the work execution** (your kernel): the user owns the
+//!    kernel boundary (§4.3) — schedules are consumed *inside* kernels
+//!    launched through [`simt`], typically as a nested range-based loop:
+//!
+//! ```
+//! use loops::adapters::CsrTiles;
+//! use loops::schedule::ThreadMappedSchedule;
+//! use simt::{GpuSpec, LaunchConfig, GlobalMem};
+//!
+//! let a = sparse::gen::uniform(256, 256, 2048, 1);
+//! let x = sparse::dense::test_vector(256);
+//! let mut y = vec![0.0f32; 256];
+//! let work = CsrTiles::new(&a);
+//! let sched = ThreadMappedSchedule::new(&work);
+//! {
+//!     let gy = GlobalMem::new(&mut y);
+//!     simt::launch_threads(
+//!         &GpuSpec::v100(),
+//!         LaunchConfig::over_threads(256, 128),
+//!         |t| {
+//!             // the paper's Listing 3, in Rust:
+//!             for row in sched.tiles(t) {
+//!                 let mut sum = 0.0f32;
+//!                 for nz in sched.atoms(row, t) {
+//!                     sum += a.values()[nz] * x[a.col_indices()[nz] as usize];
+//!                 }
+//!                 gy.store(row, sum);
+//!             }
+//!         },
+//!     )
+//!     .unwrap();
+//! }
+//! let want = a.spmv_ref(&x);
+//! assert!(y.iter().zip(&want).all(|(a, b)| (a - b).abs() < 1e-3));
+//! ```
+//!
+//! Switching the schedule — the whole point of the abstraction — is a
+//! one-identifier change ([`schedule::ScheduleKind`], §6.2), or letting
+//! the [`heuristic::Heuristic`] pick per dataset.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapters;
+pub mod heuristic;
+pub mod iterators;
+pub mod ranges;
+pub mod schedule;
+pub mod work;
+
+pub use adapters::{CooTiles, CscTiles, CsrTiles, EllTiles};
+pub use heuristic::Heuristic;
+pub use ranges::{
+    block_stride_range, grid_stride_range, infinite_range, step_range, warp_stride_range,
+    ChargeKind, Charged, StepRange,
+};
+pub use schedule::{
+    GroupMappedSchedule, LrbPlan, LrbSchedule, MergePathSchedule, ScheduleKind,
+    ThreadMappedSchedule, TileSpan, WorkQueueSchedule,
+};
+pub use work::{CountedTiles, SliceTiles, SubsetTiles, TileSet};

@@ -1,0 +1,312 @@
+//! Logarithmic Radix Binning (LRB) — the binning schedule of the paper's
+//! related work (§7: Fox et al. / Green et al., "a particularly effective
+//! technique for binning work based on a logarithmic work estimate").
+//!
+//! A *binning kernel* classifies every tile by `⌈log₂(atoms)⌉` into 33
+//! buckets (bin 0 = empty tiles) and scatters tile ids into a reordered
+//! array, bucket by bucket. Processing then walks the buckets with a
+//! granularity matched to their size class:
+//!
+//! * **small** tiles (fewer atoms than a warp) — one tile per thread;
+//! * **medium** tiles (up to `medium_limit`) — group-mapped at warp width;
+//! * **large** tiles — group-mapped at block width.
+//!
+//! Unlike the paper's own schedules, LRB is a *two-pass* technique: it
+//! owns a preparatory kernel launch. That makes it exactly the kind of
+//! "higher-level API built on the abstraction" §4.3 sanctions — the
+//! binning pass and each per-class pass are ordinary launches over
+//! [`SubsetTiles`] views, with no bespoke kernel machinery.
+
+use crate::work::{SubsetTiles, TileSet};
+use simt::{CostModel, GlobalMem, GpuSpec, LaneCtx, LaunchConfig, LaunchReport};
+
+/// Number of logarithmic bins (bin 0 = empty, bin `k` = 2^(k-1) < len ≤ 2^k).
+pub const NUM_BINS: usize = 33;
+
+/// The result of the binning pass: tile ids grouped by bin, plus the
+/// class boundaries used for processing.
+#[derive(Debug, Clone)]
+pub struct LrbPlan {
+    /// Tile ids reordered bucket-by-bucket (ascending bin).
+    pub order: Vec<u32>,
+    /// Start offset of each bin in `order` (`NUM_BINS + 1` entries).
+    pub bin_offsets: Vec<usize>,
+    /// The simulated cost of the binning kernel.
+    pub binning_report: LaunchReport,
+}
+
+impl LrbPlan {
+    /// Tile ids whose atom count is in `(2^(bin-1), 2^bin]`.
+    pub fn bin(&self, bin: usize) -> &[u32] {
+        &self.order[self.bin_offsets[bin]..self.bin_offsets[bin + 1]]
+    }
+
+    /// All tile ids with at most `limit` atoms (bins up to
+    /// `ceil(log2(limit)) + 1`, exclusive of larger).
+    fn class(&self, lo_bin: usize, hi_bin: usize) -> &[u32] {
+        &self.order[self.bin_offsets[lo_bin]..self.bin_offsets[hi_bin]]
+    }
+}
+
+/// The LRB composite schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct LrbSchedule {
+    /// Tiles with at most this many atoms are processed one-per-thread.
+    pub small_limit: usize,
+    /// Tiles with at most this many atoms (and more than `small_limit`)
+    /// get a warp; larger tiles get a block.
+    pub medium_limit: usize,
+    /// Threads per block for every pass.
+    pub block_dim: u32,
+}
+
+impl Default for LrbSchedule {
+    fn default() -> Self {
+        Self {
+            small_limit: 32,
+            medium_limit: 1024,
+            block_dim: 256,
+        }
+    }
+}
+
+impl LrbSchedule {
+    // LOC-BEGIN(lrb)
+    /// The binning kernel: one thread per tile computes the tile's bin
+    /// (`⌈log₂(atoms)⌉`), claims a slot with an atomic bin counter, and
+    /// scatters its tile id. (Slot order within a bin is made
+    /// deterministic afterwards; hardware LRB is unordered within bins.)
+    pub fn bin_tiles<W: TileSet>(
+        &self,
+        spec: &GpuSpec,
+        model: &CostModel,
+        work: &W,
+    ) -> simt::Result<LrbPlan> {
+        let n = work.num_tiles();
+        // Pass 1 (fused here): count bin sizes with atomics.
+        let mut counts = vec![0u64; NUM_BINS];
+        let count_report = {
+            let gc = GlobalMem::new(&mut counts);
+            simt::launch_threads_with_model(
+                spec,
+                model,
+                LaunchConfig::over_threads(n.max(1) as u64, self.block_dim),
+                |t| {
+                    let mut tile = t.global_thread_id() as usize;
+                    while tile < n {
+                        t.charge_tile();
+                        gc.fetch_add(bin_of(work.atoms_in_tile(tile)), 1);
+                        t.charge_atomic();
+                        tile += t.grid_size() as usize;
+                    }
+                },
+            )?
+        };
+        // Host prefix sum over 33 counters (trivial; charged as part of
+        // the scatter kernel's prologue on hardware).
+        let mut bin_offsets = vec![0usize; NUM_BINS + 1];
+        for b in 0..NUM_BINS {
+            bin_offsets[b + 1] = bin_offsets[b] + counts[b] as usize;
+        }
+        // Pass 2: scatter tile ids to their bin segments.
+        let mut order = vec![0u32; n];
+        let mut cursors: Vec<u64> = bin_offsets[..NUM_BINS].iter().map(|&o| o as u64).collect();
+        let scatter_report = {
+            let go = GlobalMem::new(&mut order);
+            let gcur = GlobalMem::new(&mut cursors);
+            simt::launch_threads_with_model(
+                spec,
+                model,
+                LaunchConfig::over_threads(n.max(1) as u64, self.block_dim),
+                |t| {
+                    let mut tile = t.global_thread_id() as usize;
+                    while tile < n {
+                        t.charge_tile();
+                        let slot = gcur.fetch_add(bin_of(work.atoms_in_tile(tile)), 1);
+                        t.charge_atomic();
+                        go.store(slot as usize, tile as u32);
+                        t.write_bytes(4);
+                        tile += t.grid_size() as usize;
+                    }
+                },
+            )?
+        };
+        // Deterministic order within bins (atomic claim order varies).
+        for b in 0..NUM_BINS {
+            order[bin_offsets[b]..bin_offsets[b + 1]].sort_unstable();
+        }
+        let mut binning_report = count_report;
+        binning_report.accumulate(&scatter_report);
+        Ok(LrbPlan {
+            order,
+            bin_offsets,
+            binning_report,
+        })
+    }
+
+    /// Process every atom: `f(lane, global_tile, atom)`, with each size
+    /// class launched at its own granularity. Returns the accumulated
+    /// report (binning + up to three processing passes).
+    pub fn process<W: TileSet>(
+        &self,
+        spec: &GpuSpec,
+        model: &CostModel,
+        work: &W,
+        plan: &LrbPlan,
+        f: impl Fn(&LaneCtx<'_>, usize, usize) + Sync,
+    ) -> simt::Result<LaunchReport> {
+        let small_hi = bin_of(self.small_limit) as usize + 1;
+        let medium_hi = bin_of(self.medium_limit) as usize + 1;
+        let mut total = plan.binning_report.clone();
+        // Small tiles: one per thread (includes empty tiles — no atoms).
+        let small = plan.class(0, small_hi);
+        if !small.is_empty() {
+            let view = SubsetTiles::new(work, small);
+            let sched = crate::schedule::ThreadMappedSchedule::new(&view);
+            let cfg = LaunchConfig::over_threads(small.len() as u64, self.block_dim);
+            let r = simt::launch_threads_with_model(spec, model, cfg, |t| {
+                for local in sched.tiles(t) {
+                    for atom in sched.atoms(local, t) {
+                        f(t, view.global_tile(local), atom);
+                    }
+                }
+            })?;
+            total.accumulate(&r);
+        }
+        // Medium and large classes: group-mapped at warp / block width.
+        for (lo, hi, group) in [
+            (small_hi, medium_hi, spec.warp_size),
+            (medium_hi, NUM_BINS, self.block_dim),
+        ] {
+            let tiles = plan.class(lo.min(NUM_BINS), hi.min(NUM_BINS).max(lo.min(NUM_BINS)));
+            if tiles.is_empty() {
+                continue;
+            }
+            let view = SubsetTiles::new(work, tiles);
+            let sched = crate::schedule::GroupMappedSchedule::new(&view, group);
+            let cfg = sched.launch_config(self.block_dim, spec.num_sms * 8);
+            let r = simt::launch_groups_with_model(spec, model, cfg, group, |g| {
+                sched.process(g, |lane, local, atom| f(lane, view.global_tile(local), atom));
+            })?;
+            total.accumulate(&r);
+        }
+        Ok(total)
+    }
+    // LOC-END(lrb)
+}
+
+/// Bin index of a tile with `len` atoms: 0 for empty, else `⌈log₂ len⌉ + 1`.
+#[inline]
+pub fn bin_of(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        (usize::BITS - (len - 1).leading_zeros()) as usize + usize::from(len == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::CountedTiles;
+
+    #[test]
+    fn bin_of_is_logarithmic() {
+        assert_eq!(bin_of(0), 0);
+        assert_eq!(bin_of(1), 1);
+        assert_eq!(bin_of(2), 1);
+        assert_eq!(bin_of(3), 2);
+        assert_eq!(bin_of(4), 2);
+        assert_eq!(bin_of(5), 3);
+        assert_eq!(bin_of(1024), 10);
+        assert_eq!(bin_of(1025), 11);
+    }
+
+    fn plan_for(counts: Vec<usize>) -> (CountedTiles, LrbPlan) {
+        let w = CountedTiles::from_counts(counts);
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        let plan = LrbSchedule::default()
+            .bin_tiles(&spec, &model, &w)
+            .unwrap();
+        (w, plan)
+    }
+
+    #[test]
+    fn binning_partitions_all_tiles_by_log_size() {
+        let counts = vec![0usize, 1, 2, 3, 31, 32, 33, 1000, 5000, 0, 7];
+        let (w, plan) = plan_for(counts.clone());
+        assert_eq!(plan.order.len(), counts.len());
+        let mut seen: Vec<u32> = plan.order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..counts.len() as u32).collect::<Vec<_>>());
+        for b in 0..NUM_BINS {
+            for &t in plan.bin(b) {
+                assert_eq!(bin_of(w.atoms_in_tile(t as usize)), b, "tile {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn process_visits_every_atom_once_with_correct_tiles() {
+        let counts: Vec<usize> = (0..300).map(|i| (i * 13) % 70).collect();
+        let (w, plan) = plan_for(counts);
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        let mut hits = vec![0u32; w.num_atoms()];
+        {
+            let g = GlobalMem::new(&mut hits);
+            LrbSchedule::default()
+                .process(&spec, &model, &w, &plan, |_, tile, atom| {
+                    assert!(w.tile_atoms(tile).contains(&atom));
+                    g.fetch_add(atom, 1);
+                })
+                .unwrap();
+        }
+        assert!(hits.iter().all(|&h| h == 1), "every atom exactly once");
+    }
+
+    #[test]
+    fn process_handles_single_class_corpora() {
+        // All tiny.
+        let (w, plan) = plan_for(vec![2; 64]);
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        let mut n = vec![0u64; 1];
+        {
+            let g = GlobalMem::new(&mut n);
+            LrbSchedule::default()
+                .process(&spec, &model, &w, &plan, |_, _, _| {
+                    g.fetch_add(0, 1);
+                })
+                .unwrap();
+        }
+        assert_eq!(n[0], w.num_atoms() as u64);
+        // All huge.
+        let (w, plan) = plan_for(vec![3000; 4]);
+        let mut n = vec![0u64; 1];
+        {
+            let g = GlobalMem::new(&mut n);
+            LrbSchedule::default()
+                .process(&spec, &model, &w, &plan, |_, _, _| {
+                    g.fetch_add(0, 1);
+                })
+                .unwrap();
+        }
+        assert_eq!(n[0], w.num_atoms() as u64);
+    }
+
+    #[test]
+    fn binning_cost_is_charged() {
+        let (_w, plan) = plan_for(vec![5; 1000]);
+        assert!(plan.binning_report.elapsed_ms() > 0.0);
+        assert!(plan.binning_report.mem.atomic_ops >= 2000); // two passes
+    }
+
+    #[test]
+    fn empty_work_produces_empty_plan() {
+        let (_w, plan) = plan_for(vec![]);
+        assert!(plan.order.is_empty());
+        assert_eq!(*plan.bin_offsets.last().unwrap(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Load-balancing schedules (paper §4.2 and §5.2).
+//!
+//! Each schedule maps a [`crate::work::TileSet`] onto processing elements
+//! and hands kernels ready-to-consume ranges. Selecting a schedule is a
+//! one-identifier change ([`ScheduleKind`]), exactly the workflow §6.2
+//! describes for exploring the optimization space.
+//!
+//! | schedule | granularity | strength | paper |
+//! |---|---|---|---|
+//! | [`ThreadMappedSchedule`] | tile per thread | regular short rows, zero setup | §4.2, Listing 2 |
+//! | [`GroupMappedSchedule::warp_mapped`] | tile batch per warp | medium rows | §5.2.2 |
+//! | [`GroupMappedSchedule::block_mapped`] | tile batch per block | long rows | §5.2.2 |
+//! | [`GroupMappedSchedule`] | tile batch per arbitrary group | tunable, AMD-width portable | §5.2.3 (novel) |
+//! | [`MergePathSchedule`] | even atoms+tiles split per thread | adversarial imbalance | §5.2.1 |
+
+mod group_mapped;
+mod lrb;
+mod merge_path;
+mod thread_mapped;
+mod work_queue;
+
+pub use group_mapped::GroupMappedSchedule;
+pub use lrb::{bin_of, LrbPlan, LrbSchedule, NUM_BINS as LRB_NUM_BINS};
+pub use merge_path::{MergePathSchedule, MergeSpans, TileSpan};
+pub use thread_mapped::ThreadMappedSchedule;
+pub use work_queue::WorkQueueSchedule;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier for selecting a schedule at run time — the paper's "single
+/// C++ enum" switch (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// One tile per thread, grid-strided.
+    ThreadMapped,
+    /// Tile batches per warp (group-mapped at warp width).
+    WarpMapped,
+    /// Tile batches per block (group-mapped at block width).
+    BlockMapped,
+    /// Tile batches per group of the given size.
+    GroupMapped(u32),
+    /// Merge-path: perfectly even `tiles + atoms` split.
+    MergePath,
+    /// Dynamic: persistent threads claiming tile chunks from a global
+    /// atomic queue.
+    WorkQueue(u32),
+    /// Logarithmic Radix Binning: a binning pass groups tiles by
+    /// log2(size), then each size class runs at matched granularity.
+    Lrb,
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ThreadMapped => write!(f, "thread-mapped"),
+            Self::WarpMapped => write!(f, "warp-mapped"),
+            Self::BlockMapped => write!(f, "block-mapped"),
+            Self::GroupMapped(n) => write!(f, "group-mapped({n})"),
+            Self::MergePath => write!(f, "merge-path"),
+            Self::WorkQueue(c) => write!(f, "work-queue({c})"),
+            Self::Lrb => write!(f, "lrb"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_display_like_the_paper_csvs() {
+        assert_eq!(ScheduleKind::MergePath.to_string(), "merge-path");
+        assert_eq!(ScheduleKind::ThreadMapped.to_string(), "thread-mapped");
+        assert_eq!(ScheduleKind::GroupMapped(64).to_string(), "group-mapped(64)");
+        assert_eq!(ScheduleKind::WarpMapped.to_string(), "warp-mapped");
+        assert_eq!(ScheduleKind::BlockMapped.to_string(), "block-mapped");
+        assert_eq!(ScheduleKind::WorkQueue(16).to_string(), "work-queue(16)");
+        assert_eq!(ScheduleKind::Lrb.to_string(), "lrb");
+    }
+}

@@ -1,0 +1,133 @@
+//! The thread-mapped schedule (paper §4.2, Listing 2).
+//!
+//! One work tile per thread, grid-strided: thread `t` processes tiles
+//! `t, t + gridSize, t + 2·gridSize, …`, consuming each tile's atoms
+//! sequentially. Zero setup cost; collapses when tiles have wildly
+//! different sizes (a single hub row stalls its whole warp), which is
+//! precisely the motivation for everything else in this crate.
+
+use crate::ranges::{grid_stride_range, step_range, Charged, StepRange};
+use crate::work::TileSet;
+use simt::LaneCtx;
+
+/// Tile-per-thread schedule over a tile set.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadMappedSchedule<'w, W> {
+    work: &'w W,
+}
+
+// The paper reports kernel-contributing LoC for each schedule (Table 1);
+// the markers below delimit the equivalent region counted by the Table 1
+// harness.
+impl<'w, W: TileSet> ThreadMappedSchedule<'w, W> {
+    /// Wrap a tile set.
+    pub fn new(work: &'w W) -> Self {
+        Self { work }
+    }
+
+    // LOC-BEGIN(thread_mapped)
+    /// Range of tiles processed by `lane`'s thread: start at the global
+    /// thread id, stride by the grid size (Listing 2, `tiles()`).
+    pub fn tiles<'l, 'm>(&self, lane: &'l LaneCtx<'m>) -> Charged<'l, 'm, StepRange> {
+        Charged::tiles(grid_stride_range(lane, 0, self.work.num_tiles()), lane)
+    }
+
+    /// Range of atoms within `tile`, processed sequentially by this
+    /// thread (Listing 2, `atoms()`).
+    pub fn atoms<'l, 'm>(&self, tile: usize, lane: &'l LaneCtx<'m>) -> Charged<'l, 'm, StepRange> {
+        let r = self.work.tile_atoms(tile);
+        Charged::atoms(step_range(r.start, r.end, 1), lane)
+    }
+    // LOC-END(thread_mapped)
+
+    /// The wrapped tile set.
+    pub fn work(&self) -> &'w W {
+        self.work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::CountedTiles;
+    use simt::{GpuSpec, LaunchConfig};
+
+    fn work() -> CountedTiles {
+        CountedTiles::from_counts([2, 0, 3, 1, 4])
+    }
+
+    #[test]
+    fn every_tile_and_atom_visited_exactly_once() {
+        let w = work();
+        let sched = ThreadMappedSchedule::new(&w);
+        let spec = GpuSpec::test_tiny();
+        let mut tile_hits = vec![0u32; w.num_tiles()];
+        let mut atom_hits = vec![0u32; w.num_atoms()];
+        {
+            let gt = simt::GlobalMem::new(&mut tile_hits);
+            let ga = simt::GlobalMem::new(&mut atom_hits);
+            simt::launch_threads(&spec, LaunchConfig::new(1, 8), |t| {
+                for tile in sched.tiles(t) {
+                    gt.fetch_add(tile, 1);
+                    for atom in sched.atoms(tile, t) {
+                        ga.fetch_add(atom, 1);
+                    }
+                }
+            })
+            .unwrap();
+        }
+        assert!(tile_hits.iter().all(|&h| h == 1));
+        assert!(atom_hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn coverage_holds_when_threads_outnumber_tiles_and_vice_versa() {
+        for &(grid, block) in &[(4u32, 8u32), (1, 8), (16, 64)] {
+            let w = work();
+            let sched = ThreadMappedSchedule::new(&w);
+            let spec = GpuSpec::test_tiny();
+            let mut atom_hits = vec![0u32; w.num_atoms()];
+            {
+                let ga = simt::GlobalMem::new(&mut atom_hits);
+                simt::launch_threads(&spec, LaunchConfig::new(grid, block), |t| {
+                    for tile in sched.tiles(t) {
+                        for atom in sched.atoms(tile, t) {
+                            ga.fetch_add(atom, 1);
+                        }
+                    }
+                })
+                .unwrap();
+            }
+            assert!(
+                atom_hits.iter().all(|&h| h == 1),
+                "grid={grid} block={block}"
+            );
+        }
+    }
+
+    #[test]
+    fn imbalanced_tiles_produce_divergent_warp_costs() {
+        // 8 tiles, one huge: thread-mapped should cost far more than the
+        // balanced equivalent with the same atom total.
+        let hub = CountedTiles::from_counts([1000, 1, 1, 1, 1, 1, 1, 1]);
+        let flat = CountedTiles::from_counts([126; 8]);
+        let spec = GpuSpec::test_tiny();
+        let run = |w: &CountedTiles| {
+            let sched = ThreadMappedSchedule::new(w);
+            simt::launch_threads(&spec, LaunchConfig::new(1, 8), |t| {
+                for tile in sched.tiles(t) {
+                    for _ in sched.atoms(tile, t) {}
+                }
+            })
+            .unwrap()
+            .timing
+            .compute_ms
+        };
+        let t_hub = run(&hub);
+        let t_flat = run(&flat);
+        assert!(
+            t_hub > 3.0 * t_flat,
+            "hub {t_hub} should dwarf flat {t_flat}"
+        );
+    }
+}

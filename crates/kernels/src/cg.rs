@@ -1,0 +1,192 @@
+//! Conjugate Gradient — an end-to-end iterative solver whose inner loop
+//! is nothing but the framework's load-balanced primitives: one SpMV (any
+//! schedule) and three reductions per iteration. This is the "downstream
+//! user" workload the paper's §2 composability goal describes: the solver
+//! owns its control flow and composes library pieces inside it.
+
+use crate::reduce::dot;
+use loops::schedule::ScheduleKind;
+use simt::{CostModel, GpuSpec, LaunchReport};
+use sparse::Csr;
+
+/// Result of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgRun {
+    /// The solution estimate.
+    pub x: Vec<f32>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − Ax‖₂`.
+    pub residual: f64,
+    /// Accumulated report over every SpMV and reduction.
+    pub report: LaunchReport,
+}
+
+/// Solve `A x = b` for symmetric positive-definite `A` with plain CG.
+pub fn cg(
+    spec: &GpuSpec,
+    a: &Csr<f32>,
+    b: &[f32],
+    kind: ScheduleKind,
+    tol: f64,
+    max_iters: usize,
+) -> simt::Result<CgRun> {
+    assert_eq!(a.rows(), a.cols(), "CG needs a square (SPD) matrix");
+    assert_eq!(b.len(), a.rows(), "rhs must match the matrix");
+    let n = a.rows();
+    let model = CostModel::standard();
+    let mut x = vec![0.0f32; n];
+    let mut r: Vec<f32> = b.to_vec(); // r = b − A·0
+    let mut p = r.clone();
+    let mut total: Option<LaunchReport> = None;
+    let track = |rep: &LaunchReport, total: &mut Option<LaunchReport>| match total {
+        Some(t) => t.accumulate(rep),
+        None => *total = Some(rep.clone()),
+    };
+
+    let rr0 = dot(spec, &model, &r, &r)?;
+    track(&rr0.report, &mut total);
+    let mut rr = rr0.value;
+    let b_norm = rr.sqrt().max(1e-30);
+    let mut iterations = 0usize;
+    while iterations < max_iters && rr.sqrt() / b_norm > tol {
+        // q = A p  (the load-balanced kernel under test).
+        let spmv = crate::spmv::spmv_with_model(spec, &model, a, &p, kind, crate::spmv::DEFAULT_BLOCK)?;
+        track(&spmv.report, &mut total);
+        let q = spmv.y;
+        let pq = dot(spec, &model, &p, &q)?;
+        track(&pq.report, &mut total);
+        if pq.value <= 0.0 {
+            break; // not SPD (or numerically exhausted)
+        }
+        let alpha = (rr / pq.value) as f32;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * q[i];
+        }
+        let rr_new = dot(spec, &model, &r, &r)?;
+        track(&rr_new.report, &mut total);
+        let beta = (rr_new.value / rr) as f32;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new.value;
+        iterations += 1;
+    }
+    // True residual (guards against accumulated drift).
+    let final_spmv = crate::spmv::spmv_with_model(spec, &model, a, &x, kind, crate::spmv::DEFAULT_BLOCK)?;
+    track(&final_spmv.report, &mut total);
+    let residual = b
+        .iter()
+        .zip(&final_spmv.y)
+        .map(|(bi, axi)| {
+            let d = f64::from(*bi) - f64::from(*axi);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt();
+    Ok(CgRun {
+        x,
+        iterations,
+        residual,
+        report: total.expect("at least the initial reduction ran"),
+    })
+}
+
+/// A symmetric positive-definite test matrix: the 5-point grid Laplacian
+/// plus a diagonal shift (strictly diagonally dominant ⇒ SPD).
+pub fn spd_laplacian(nx: usize, ny: usize) -> Csr<f32> {
+    let n = nx * ny;
+    let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(5 * n);
+    let idx = |x: usize, y: usize| (y * nx + x) as u32;
+    for y in 0..ny {
+        for x in 0..nx {
+            let c = idx(x, y);
+            triplets.push((c, c, 4.5)); // 4 neighbors + 0.5 shift
+            if x > 0 {
+                triplets.push((c, idx(x - 1, y), -1.0));
+            }
+            if x + 1 < nx {
+                triplets.push((c, idx(x + 1, y), -1.0));
+            }
+            if y > 0 {
+                triplets.push((c, idx(x, y - 1), -1.0));
+            }
+            if y + 1 < ny {
+                triplets.push((c, idx(x, y + 1), -1.0));
+            }
+        }
+    }
+    Csr::from_triplets(n, n, triplets).expect("laplacian is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_the_laplacian_under_several_schedules() {
+        let spec = GpuSpec::v100();
+        let a = spd_laplacian(24, 24);
+        let x_true = sparse::dense::test_vector(a.cols());
+        let b = a.spmv_ref(&x_true);
+        for kind in [
+            ScheduleKind::MergePath,
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::WarpMapped,
+        ] {
+            let run = cg(&spec, &a, &b, kind, 1e-7, 2_000).unwrap();
+            assert!(
+                run.residual < 1e-3,
+                "{kind}: residual {} after {} iterations",
+                run.residual,
+                run.iterations
+            );
+            let max_err = run
+                .x
+                .iter()
+                .zip(&x_true)
+                .map(|(g, w)| (g - w).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_err < 1e-2, "{kind}: max err {max_err}");
+        }
+    }
+
+    #[test]
+    fn converges_in_bounded_iterations_on_well_conditioned_systems() {
+        let spec = GpuSpec::v100();
+        let a = spd_laplacian(16, 16);
+        let b = vec![1.0f32; a.rows()];
+        let run = cg(&spec, &a, &b, ScheduleKind::MergePath, 1e-8, 1_000).unwrap();
+        assert!(run.iterations < 200, "took {} iterations", run.iterations);
+        assert!(run.residual < 1e-4);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let spec = GpuSpec::test_tiny();
+        let a = spd_laplacian(8, 8);
+        let run = cg(&spec, &a, &vec![0.0; a.rows()], ScheduleKind::ThreadMapped, 1e-8, 100)
+            .unwrap();
+        assert_eq!(run.iterations, 0);
+        assert!(run.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn report_grows_with_iterations() {
+        let spec = GpuSpec::v100();
+        let a = spd_laplacian(12, 12);
+        let b = vec![1.0f32; a.rows()];
+        let loose = cg(&spec, &a, &b, ScheduleKind::MergePath, 1e-2, 1_000).unwrap();
+        let tight = cg(&spec, &a, &b, ScheduleKind::MergePath, 1e-8, 1_000).unwrap();
+        assert!(tight.iterations > loose.iterations);
+        assert!(tight.report.elapsed_ms() > loose.report.elapsed_ms());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular_systems() {
+        let a = sparse::gen::uniform(4, 5, 10, 1);
+        let _ = cg(&GpuSpec::test_tiny(), &a, &[0.0; 4], ScheduleKind::MergePath, 1e-6, 10);
+    }
+}

@@ -1,0 +1,210 @@
+//! Graph substrate for the data-centric traversal kernels (§5.3).
+//!
+//! A [`Graph`] is a CSR adjacency structure with edge weights plus the
+//! accessors Listing 5 uses (`get_neighbor`, `get_edge_weight`). A
+//! [`Frontier`] is the set of active vertices of one traversal iteration;
+//! under the abstraction it *is* a tile set — tiles are frontier vertices,
+//! atoms are their incident edges — which is exactly how "sparse-linear-
+//! algebra load balancing" transfers to graphs.
+
+use loops::work::{CountedTiles, TileSet};
+use sparse::Csr;
+
+/// A directed, weighted graph in CSR adjacency form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Csr<f32>,
+}
+
+impl Graph {
+    /// Build from a CSR adjacency matrix (entry `(u,v,w)` = edge `u→v`
+    /// with weight `w`; weights must be non-negative for SSSP).
+    pub fn new(adj: Csr<f32>) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        Self { adj }
+    }
+
+    /// Build a random graph with non-negative weights from any generator
+    /// output (weights are folded to `|w|`).
+    pub fn from_generator(mut adj: Csr<f32>) -> Self {
+        for v in adj.values_mut() {
+            *v = v.abs();
+        }
+        Self::new(adj)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj.row_len(u)
+    }
+
+    /// The flat edge-id range of `u`'s out-edges.
+    pub fn edge_range(&self, u: usize) -> std::ops::Range<usize> {
+        self.adj.row_range(u)
+    }
+
+    /// Listing 5's `get_neighbor`: destination of edge `e`.
+    #[inline]
+    pub fn neighbor(&self, e: usize) -> usize {
+        self.adj.col_indices()[e] as usize
+    }
+
+    /// Listing 5's `get_edge_weight`.
+    #[inline]
+    pub fn edge_weight(&self, e: usize) -> f32 {
+        self.adj.values()[e]
+    }
+
+    /// The underlying adjacency matrix.
+    pub fn adjacency(&self) -> &Csr<f32> {
+        &self.adj
+    }
+}
+
+/// One iteration's active-vertex set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    vertices: Vec<u32>,
+}
+
+impl Frontier {
+    /// A frontier holding exactly `src`.
+    pub fn source(src: usize) -> Self {
+        Self {
+            vertices: vec![src as u32],
+        }
+    }
+
+    /// Build from a dense activation bitmap.
+    pub fn from_flags(flags: &[u32]) -> Self {
+        Self {
+            vertices: flags
+                .iter()
+                .enumerate()
+                .filter(|&(_, &f)| f != 0)
+                .map(|(v, _)| v as u32)
+                .collect(),
+        }
+    }
+
+    /// Active vertices, ascending.
+    pub fn vertices(&self) -> &[u32] {
+        &self.vertices
+    }
+
+    /// Number of active vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when traversal has converged.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Total edges incident to the frontier (the iteration's atom count).
+    pub fn work_size(&self, g: &Graph) -> usize {
+        self.vertices
+            .iter()
+            .map(|&v| g.degree(v as usize))
+            .sum()
+    }
+
+    /// Express this frontier as a tile set: tiles = frontier vertices,
+    /// atoms = their incident edges. This is the bridge that lets *any*
+    /// schedule in the framework balance a traversal iteration.
+    pub fn tile_set(&self, g: &Graph) -> CountedTiles {
+        CountedTiles::from_counts(self.vertices.iter().map(|&v| g.degree(v as usize)))
+    }
+
+    /// Map a (frontier tile, within-tile atom) pair back to a concrete
+    /// edge id: `tile`'s vertex is `vertices[tile]`, and the tile's atoms
+    /// are that vertex's edges in order.
+    pub fn edge_of(&self, g: &Graph, tiles: &CountedTiles, tile: usize, atom: usize) -> usize {
+        let within = atom - tiles.tile_offset(tile);
+        g.edge_range(self.vertices[tile] as usize).start + within
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Graph {
+        Graph::new(
+            Csr::from_triplets(
+                4,
+                4,
+                vec![
+                    (0u32, 1u32, 1.0f32),
+                    (0, 2, 2.0),
+                    (1, 3, 3.0),
+                    (2, 3, 1.0),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn graph_accessors() {
+        let g = g();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        let e = g.edge_range(0);
+        assert_eq!(g.neighbor(e.start), 1);
+        assert_eq!(g.edge_weight(e.start + 1), 2.0);
+    }
+
+    #[test]
+    fn from_generator_makes_weights_nonnegative() {
+        let adj = sparse::gen::uniform(30, 30, 200, 1);
+        let g = Graph::from_generator(adj);
+        for e in 0..g.num_edges() {
+            assert!(g.edge_weight(e) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular_adjacency() {
+        let _ = Graph::new(sparse::gen::uniform(3, 4, 5, 1));
+    }
+
+    #[test]
+    fn frontier_tile_set_maps_edges_faithfully() {
+        let g = g();
+        let f = Frontier::from_flags(&[1, 0, 1, 0]); // vertices 0 and 2
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.work_size(&g), 3); // deg(0)=2, deg(2)=1
+        let tiles = f.tile_set(&g);
+        assert_eq!(tiles.num_tiles(), 2);
+        assert_eq!(tiles.num_atoms(), 3);
+        // Tile 0 = vertex 0: atoms 0,1 → edges 0,1. Tile 1 = vertex 2:
+        // atom 2 → vertex 2's only edge.
+        assert_eq!(f.edge_of(&g, &tiles, 0, 0), 0);
+        assert_eq!(f.edge_of(&g, &tiles, 0, 1), 1);
+        let v2_edge = g.edge_range(2).start;
+        assert_eq!(f.edge_of(&g, &tiles, 1, 2), v2_edge);
+    }
+
+    #[test]
+    fn frontier_source_and_empty() {
+        let f = Frontier::source(3);
+        assert_eq!(f.vertices(), &[3]);
+        let e = Frontier::from_flags(&[0, 0]);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # kernels — applications written against the load-balancing abstraction
+//!
+//! Stage three of the paper's pipeline (§3.3, §4.3): user-owned kernels
+//! that consume load-balanced ranges. Everything here is expressed the way
+//! the paper's listings are — a computation wrapped around schedule-
+//! provided tiles/atoms — so switching schedules never touches the math:
+//!
+//! * [`mod@spmv`] — sparse matrix × dense vector under *every* schedule
+//!   (Listing 3), the paper's benchmark application;
+//! * [`spmm`] — sparse matrix × dense matrix: Listing 4's "one extra loop"
+//!   around the same SpMV body;
+//! * [`spgemm`] — Gustavson sparse × sparse with the two-kernel
+//!   count-then-fill structure §5.3 sketches;
+//! * [`graph`], [`traversal`], [`bfs`], [`sssp`], [`pagerank`] —
+//!   data-centric graph algorithms (Listing 5): the *same* schedules
+//!   load-balance frontier expansion and power iteration, which is the
+//!   paper's reuse claim in action;
+//! * [`spmv_multi`] — SpMV partitioned across a simulated multi-GPU node
+//!   (the paper's §8 future work): the cross-device partition is itself a
+//!   load-balancing schedule;
+//! * [`triangle`] — triangle counting, the Logarithmic-Radix-Binning
+//!   workload of §7, on the same traversal engine;
+//! * [`reduce`], [`cg`] — device-wide reductions and a Conjugate Gradient
+//!   solver composed from the framework's primitives (§3.3's cooperative
+//!   algorithms, §2's composability goal);
+//! * [`mod@reference`] — sequential ground-truth implementations every
+//!   simulated kernel is validated against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bfs;
+pub mod cg;
+pub mod graph;
+pub mod pagerank;
+pub mod reduce;
+pub mod reference;
+pub mod spgemm;
+pub mod spmm;
+pub mod spmv;
+pub mod spmv_multi;
+pub mod sssp;
+pub mod triangle;
+pub mod traversal;
+
+pub use graph::{Frontier, Graph};
+pub use spmv::{spmv, SpmvRun};

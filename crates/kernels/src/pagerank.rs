@@ -1,0 +1,204 @@
+//! PageRank via power iteration — every iteration is one load-balanced
+//! SpMV, so the whole algorithm inherits whatever schedule you pick
+//! (§5.3's "the same schedules are easily reusable in this different
+//! application domain", pushed one application further: Gunrock and
+//! GraphBLAST both list PageRank among the primitives built on these
+//! load-balancing techniques, §7).
+//!
+//! `rank_{k+1} = (1-d)/n + d · (Mᵀ rank_k + dangling_mass/n)` where `M`
+//! is the column-normalized adjacency. We materialize `Mᵀ` once (a CSR
+//! whose rows are *in*-edges with values `1/outdeg(source)`), then
+//! iterate simulated SpMVs until the L1 delta crosses the tolerance.
+
+use crate::graph::Graph;
+use loops::schedule::ScheduleKind;
+use simt::{CostModel, GpuSpec, LaunchReport};
+use sparse::{convert, Csr};
+
+/// Result of a simulated PageRank run.
+#[derive(Debug, Clone)]
+pub struct PageRankRun {
+    /// Per-vertex rank, summing to 1.
+    pub rank: Vec<f32>,
+    /// Power iterations executed.
+    pub iterations: usize,
+    /// Accumulated report over all iterations.
+    pub report: LaunchReport,
+}
+
+/// Standard damping factor.
+pub const DAMPING: f32 = 0.85;
+
+/// Build the column-normalized transposed adjacency `Mᵀ` (row `v` holds
+/// `1/outdeg(u)` for every in-neighbor `u` of `v`).
+pub fn normalized_transpose(g: &Graph) -> Csr<f32> {
+    let n = g.num_vertices();
+    let mut m = g.adjacency().clone();
+    {
+        let degrees: Vec<usize> = (0..n).map(|u| g.degree(u)).collect();
+        let offsets = m.row_offsets().to_vec();
+        let vals = m.values_mut();
+        for u in 0..n {
+            let d = degrees[u].max(1) as f32;
+            for v in vals[offsets[u]..offsets[u + 1]].iter_mut() {
+                *v = 1.0 / d;
+            }
+        }
+    }
+    convert::transpose(&m)
+}
+
+/// Run PageRank with the given schedule until the L1 delta falls below
+/// `tol` (or `max_iters`).
+pub fn pagerank(
+    spec: &GpuSpec,
+    g: &Graph,
+    kind: ScheduleKind,
+    tol: f32,
+    max_iters: usize,
+) -> simt::Result<PageRankRun> {
+    let n = g.num_vertices();
+    assert!(n > 0, "graph must have vertices");
+    let mt = normalized_transpose(g);
+    let dangling: Vec<usize> = (0..n).filter(|&u| g.degree(u) == 0).collect();
+    let model = CostModel::standard();
+
+    let mut rank = vec![1.0f32 / n as f32; n];
+    let mut iterations = 0usize;
+    let mut total: Option<LaunchReport> = None;
+    while iterations < max_iters {
+        let run = crate::spmv::spmv_with_model(
+            spec,
+            &model,
+            &mt,
+            &rank,
+            kind,
+            crate::spmv::DEFAULT_BLOCK,
+        )?;
+        let dangling_mass: f32 = dangling.iter().map(|&u| rank[u]).sum();
+        let teleport = (1.0 - DAMPING) / n as f32 + DAMPING * dangling_mass / n as f32;
+        let next: Vec<f32> = run.y.iter().map(|&s| teleport + DAMPING * s).collect();
+        let delta: f32 = next
+            .iter()
+            .zip(&rank)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        rank = next;
+        match &mut total {
+            Some(t) => t.accumulate(&run.report),
+            None => total = Some(run.report),
+        }
+        iterations += 1;
+        if delta < tol {
+            break;
+        }
+    }
+    Ok(PageRankRun {
+        rank,
+        iterations,
+        report: total.expect("at least one iteration"),
+    })
+}
+
+/// CPU reference implementation (identical math, f64 accumulation).
+pub fn pagerank_ref(g: &Graph, tol: f64, max_iters: usize) -> Vec<f32> {
+    let n = g.num_vertices();
+    let d = f64::from(DAMPING);
+    let mut rank = vec![1.0f64 / n as f64; n];
+    for _ in 0..max_iters {
+        let mut next = vec![0.0f64; n];
+        let mut dangling_mass = 0.0f64;
+        for u in 0..n {
+            let deg = g.degree(u);
+            if deg == 0 {
+                dangling_mass += rank[u];
+                continue;
+            }
+            let share = rank[u] / deg as f64;
+            let (nbrs, _) = g.adjacency().row(u);
+            for &v in nbrs {
+                next[v as usize] += share;
+            }
+        }
+        let teleport = (1.0 - d) / n as f64 + d * dangling_mass / n as f64;
+        let mut delta = 0.0f64;
+        for (v, slot) in next.iter_mut().enumerate() {
+            *slot = teleport + d * *slot;
+            delta += (*slot - rank[v]).abs();
+        }
+        rank = next;
+        if delta < tol {
+            break;
+        }
+    }
+    rank.into_iter().map(|r| r as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rmat_graph() -> Graph {
+        Graph::from_generator(sparse::gen::rmat(9, 8, (0.57, 0.19, 0.19), 41))
+    }
+
+    #[test]
+    fn ranks_sum_to_one_and_match_reference() {
+        let g = rmat_graph();
+        let spec = GpuSpec::v100();
+        for kind in [ScheduleKind::MergePath, ScheduleKind::WarpMapped] {
+            let run = pagerank(&spec, &g, kind, 1e-6, 100).unwrap();
+            let total: f32 = run.rank.iter().sum();
+            assert!((total - 1.0).abs() < 1e-3, "{kind}: ranks sum to {total}");
+            let want = pagerank_ref(&g, 1e-8, 200);
+            for (v, (got, expect)) in run.rank.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - expect).abs() < 1e-4,
+                    "{kind}: rank[{v}] = {got}, want {expect}"
+                );
+            }
+            assert!(run.iterations > 3, "{kind}: converged suspiciously fast");
+        }
+    }
+
+    #[test]
+    fn hubs_outrank_leaves() {
+        // Star: everyone links to vertex 0.
+        let n = 100u32;
+        let triplets: Vec<(u32, u32, f32)> =
+            (1..n).map(|u| (u, 0u32, 1.0f32)).collect();
+        let g = Graph::new(Csr::from_triplets(n as usize, n as usize, triplets).unwrap());
+        let run = pagerank(&GpuSpec::test_tiny(), &g, ScheduleKind::MergePath, 1e-7, 200).unwrap();
+        let hub = run.rank[0];
+        assert!(run.rank[1..].iter().all(|&r| r < hub / 5.0), "hub dominates");
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // A chain ending in a dangling vertex: 0→1→2, 2 has no out-edges.
+        let g = Graph::new(
+            Csr::from_triplets(3, 3, vec![(0u32, 1u32, 1.0f32), (1, 2, 1.0)]).unwrap(),
+        );
+        let run = pagerank(&GpuSpec::test_tiny(), &g, ScheduleKind::ThreadMapped, 1e-8, 500).unwrap();
+        let total: f32 = run.rank.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "mass conserved: {total}");
+        let want = pagerank_ref(&g, 1e-10, 1000);
+        for (got, expect) in run.rank.iter().zip(&want) {
+            assert!((got - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn normalized_transpose_columns_sum_to_outdeg_shares() {
+        let g = rmat_graph();
+        let mt = normalized_transpose(&g);
+        assert_eq!(mt.rows(), g.num_vertices());
+        // Each original out-row contributed deg × (1/deg) = 1 total mass.
+        let total: f32 = mt.values().iter().sum();
+        let non_dangling = (0..g.num_vertices()).filter(|&u| g.degree(u) > 0).count();
+        assert!(
+            (total - non_dangling as f32).abs() < 1e-2 * non_dangling as f32,
+            "mass {total} vs {non_dangling}"
+        );
+    }
+}

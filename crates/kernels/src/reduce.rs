@@ -1,0 +1,171 @@
+//! Device-wide reduction and dot product — the parallel primitive §3.3
+//! names when it says the consumed ranges can "combine the results with
+//! neighboring threads to implement more complex algorithms such as
+//! parallel reduce or scan".
+//!
+//! Two-level scheme: a grid-stride pass accumulates per-block partials
+//! through a block-wide tree reduction (group collectives), then a single
+//! block folds the partials. The iterative solvers ([`crate::cg`]) are
+//! built on these.
+
+use simt::{CostModel, GlobalMem, GpuSpec, LaunchConfig, LaunchReport};
+
+/// Result of a device reduction.
+#[derive(Debug, Clone)]
+pub struct ReduceRun {
+    /// The reduced value.
+    pub value: f64,
+    /// Accumulated report (two launches).
+    pub report: LaunchReport,
+}
+
+/// Device-wide sum of `f(i)` for `i ∈ [0, n)`.
+pub fn reduce_sum<F>(spec: &GpuSpec, model: &CostModel, n: usize, f: F) -> simt::Result<ReduceRun>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    const BLOCK: u32 = 256;
+    let grid = n
+        .div_ceil(BLOCK as usize)
+        .clamp(1, (spec.num_sms * 8) as usize) as u32;
+    let mut partials = vec![0.0f64; grid as usize];
+    // Pass 1: block partials (each block reduces its grid-stride share).
+    let pass1 = {
+        let gp = GlobalMem::new(&mut partials);
+        simt::launch_groups_with_model(
+            spec,
+            model,
+            LaunchConfig::new(grid, BLOCK),
+            BLOCK,
+            |g| {
+                let vals = g.phase(|lane| {
+                    let mut acc = 0.0f64;
+                    let mut i = lane.global_thread_id() as usize;
+                    while i < n {
+                        lane.charge_atom();
+                        acc += f(i);
+                        i += lane.grid_size() as usize;
+                    }
+                    acc
+                });
+                let total = g.reduce_sum_f64(&vals);
+                g.phase_for_each(|lane| {
+                    if lane.group_rank() == 0 {
+                        gp.store(lane.block_idx() as usize, total);
+                        lane.write_bytes(8);
+                    }
+                });
+            },
+        )?
+    };
+    // Pass 2: one block folds the partials.
+    let mut out = vec![0.0f64; 1];
+    let pass2 = {
+        let gp = GlobalMem::new(&mut partials);
+        let go = GlobalMem::new(&mut out);
+        simt::launch_groups_with_model(spec, model, LaunchConfig::new(1, BLOCK), BLOCK, |g| {
+            let vals = g.phase(|lane| {
+                let mut acc = 0.0f64;
+                let mut i = lane.group_rank() as usize;
+                while i < gp.len() {
+                    lane.read_bytes(8);
+                    acc += gp.load(i);
+                    i += lane.group_size() as usize;
+                }
+                acc
+            });
+            let total = g.reduce_sum_f64(&vals);
+            g.phase_for_each(|lane| {
+                if lane.group_rank() == 0 {
+                    go.store(0, total);
+                    lane.write_bytes(8);
+                }
+            });
+        })?
+    };
+    let mut report = pass1;
+    report.accumulate(&pass2);
+    Ok(ReduceRun {
+        value: out[0],
+        report,
+    })
+}
+
+/// Device dot product `xᵀy`.
+pub fn dot(
+    spec: &GpuSpec,
+    model: &CostModel,
+    x: &[f32],
+    y: &[f32],
+) -> simt::Result<ReduceRun> {
+    assert_eq!(x.len(), y.len(), "dot operands must match");
+    reduce_sum(spec, model, x.len(), |i| f64::from(x[i]) * f64::from(y[i]))
+}
+
+/// Device L2 norm `‖x‖₂`.
+pub fn norm2(spec: &GpuSpec, model: &CostModel, x: &[f32]) -> simt::Result<ReduceRun> {
+    let mut r = reduce_sum(spec, model, x.len(), |i| {
+        let v = f64::from(x[i]);
+        v * v
+    })?;
+    r.value = r.value.sqrt();
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_sequential_for_varied_sizes() {
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        for n in [0usize, 1, 7, 256, 1000, 100_000] {
+            let run = reduce_sum(&spec, &model, n, |i| i as f64).unwrap();
+            let want = (n as f64 - 1.0) * n as f64 / 2.0;
+            let want = if n == 0 { 0.0 } else { want };
+            assert!(
+                (run.value - want).abs() < 1e-6 * want.abs().max(1.0),
+                "n={n}: {} vs {want}",
+                run.value
+            );
+        }
+    }
+
+    #[test]
+    fn dot_and_norm_agree_with_reference() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let x = sparse::dense::test_vector(10_000);
+        let y: Vec<f32> = x.iter().map(|v| v * 0.5 - 0.1).collect();
+        let want: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| f64::from(*a) * f64::from(*b))
+            .sum();
+        let got = dot(&spec, &model, &x, &y).unwrap().value;
+        assert!((got - want).abs() < 1e-6 * want.abs());
+        let n2 = norm2(&spec, &model, &x).unwrap().value;
+        let want_n: f64 = x.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt();
+        assert!((n2 - want_n).abs() < 1e-9 * want_n.max(1.0));
+    }
+
+    #[test]
+    fn reduction_is_deterministic() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let x = sparse::dense::test_vector(50_000);
+        let a = dot(&spec, &model, &x, &x).unwrap().value;
+        let b = dot(&spec, &model, &x, &x).unwrap().value;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_covers_two_kernels() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let run = reduce_sum(&spec, &model, 1000, |_| 1.0).unwrap();
+        assert_eq!(run.value, 1000.0);
+        assert!(run.report.timing.overhead_ms >= 2.0 * spec.launch_overhead_us * 1e-3 - 1e-12);
+    }
+}

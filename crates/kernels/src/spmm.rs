@@ -1,0 +1,162 @@
+//! Sparse-Matrix × Dense-Matrix multiplication (paper §5.3, Listing 4).
+//!
+//! "A simple loop wrapped around SpMV": the kernel body is Listing 3 plus
+//! one loop over the columns of `B` — and because the schedule is
+//! decoupled, the *same* merge-path/thread-mapped machinery balances it
+//! (the rewrite Yang et al. had to do by hand, for free).
+
+use loops::adapters::CsrTiles;
+use loops::ranges::step_range;
+use loops::schedule::{MergePathSchedule, ScheduleKind, ThreadMappedSchedule};
+use simt::{CostModel, GlobalMem, GpuSpec, LaunchConfig, LaunchReport};
+use sparse::{Csr, DenseMatrix};
+
+/// Result of one simulated SpMM.
+#[derive(Debug, Clone)]
+pub struct SpmmRun {
+    /// The dense output `C = A·B`.
+    pub c: DenseMatrix<f32>,
+    /// Simulated launch report.
+    pub report: LaunchReport,
+}
+
+/// Run SpMM with the given schedule (thread-mapped or merge-path; the
+/// cooperative schedules reduce by tile and are exposed through SpMV).
+pub fn spmm(
+    spec: &GpuSpec,
+    a: &Csr<f32>,
+    b: &DenseMatrix<f32>,
+    kind: ScheduleKind,
+) -> simt::Result<SpmmRun> {
+    spmm_with_model(spec, &CostModel::standard(), a, b, kind)
+}
+
+/// [`spmm`] with an explicit cost model.
+pub fn spmm_with_model(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    b: &DenseMatrix<f32>,
+    kind: ScheduleKind,
+) -> simt::Result<SpmmRun> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let block = crate::spmv::DEFAULT_BLOCK.min(spec.max_threads_per_block);
+    let work = CsrTiles::new(a);
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    let (values, col_indices) = (a.values(), a.col_indices());
+    let n_cols = b.cols();
+    let report = {
+        let gc = GlobalMem::new(c.as_mut_slice());
+        match kind {
+            ScheduleKind::MergePath => {
+                let sched = MergePathSchedule::new(&work, crate::spmv::MERGE_ITEMS_PER_THREAD);
+                let cfg = sched.launch_config(block);
+                simt::launch_threads_with_model(spec, model, cfg, |t| {
+                    for span in sched.spans(t) {
+                        // Listing 4: the new loop over B's columns.
+                        for col in step_range(0, n_cols, 1) {
+                            let mut sum = 0.0f32;
+                            for nz in sched.atoms(&span, t) {
+                                sum += values[nz]
+                                    * b.get(col_indices[nz] as usize, col);
+                            }
+                            let out = span.tile * n_cols + col;
+                            if span.complete {
+                                gc.store(out, sum);
+                                t.write_bytes(4);
+                            } else if !span.atoms.is_empty() {
+                                gc.fetch_add(out, sum);
+                                t.charge_atomic();
+                            }
+                        }
+                    }
+                })?
+            }
+            _ => {
+                // Thread-mapped is the default for everything else; the
+                // paper's Listing 4 is written against it.
+                let sched = ThreadMappedSchedule::new(&work);
+                let cfg = LaunchConfig::over_threads(a.rows().max(1) as u64, block);
+                simt::launch_threads_with_model(spec, model, cfg, |t| {
+                    for row in sched.tiles(t) {
+                        for col in step_range(0, n_cols, 1) {
+                            let mut sum = 0.0f32;
+                            for nz in sched.atoms(row, t) {
+                                sum += values[nz]
+                                    * b.get(col_indices[nz] as usize, col);
+                            }
+                            gc.store(row * n_cols + col, sum);
+                            t.write_bytes(4);
+                        }
+                    }
+                })?
+            }
+        }
+    };
+    Ok(SpmmRun { c, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::spmm_ref;
+
+    fn check(a: &Csr<f32>, b: &DenseMatrix<f32>, kind: ScheduleKind) {
+        let run = spmm(&GpuSpec::test_tiny(), a, b, kind).unwrap();
+        let want = spmm_ref(a, b);
+        for r in 0..a.rows() {
+            for j in 0..b.cols() {
+                let (g, w) = (run.c.get(r, j), want.get(r, j));
+                assert!(
+                    (g - w).abs() < 1e-3 * w.abs().max(1.0),
+                    "{kind}: C[{r},{j}] = {g}, want {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_both_schedules() {
+        let a = sparse::gen::uniform(60, 50, 500, 41);
+        let b = DenseMatrix::from_fn(50, 7, |r, c| ((r + 2 * c) as f32).sin());
+        check(&a, &b, ScheduleKind::ThreadMapped);
+        check(&a, &b, ScheduleKind::MergePath);
+    }
+
+    #[test]
+    fn power_law_rows_still_correct_under_merge_path() {
+        let a = sparse::gen::powerlaw(120, 100, 2_000, 1.8, 42);
+        let b = DenseMatrix::from_fn(100, 3, |r, c| 0.01 * (r as f32) - 0.5 * (c as f32));
+        check(&a, &b, ScheduleKind::MergePath);
+    }
+
+    #[test]
+    fn single_column_b_degenerates_to_spmv() {
+        let a = sparse::gen::uniform(80, 70, 600, 43);
+        let x = sparse::dense::test_vector(70);
+        let b = DenseMatrix::from_vec(70, 1, x.clone());
+        let run = spmm(&GpuSpec::test_tiny(), &a, &b, ScheduleKind::MergePath).unwrap();
+        let want = a.spmv_ref(&x);
+        for r in 0..80 {
+            assert!((run.c.get(r, 0) - want[r]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn spmm_costs_scale_with_b_columns() {
+        let a = sparse::gen::uniform(200, 200, 3_000, 44);
+        let b1 = DenseMatrix::<f32>::zeros(200, 1);
+        let b8 = DenseMatrix::<f32>::zeros(200, 8);
+        let r1 = spmm(&GpuSpec::v100(), &a, &b1, ScheduleKind::ThreadMapped).unwrap();
+        let r8 = spmm(&GpuSpec::v100(), &a, &b8, ScheduleKind::ThreadMapped).unwrap();
+        assert!(r8.report.timing.total_units > 4.0 * r1.report.timing.total_units);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = sparse::gen::uniform(10, 10, 20, 1);
+        let b = DenseMatrix::<f32>::zeros(11, 2);
+        let _ = spmm(&GpuSpec::test_tiny(), &a, &b, ScheduleKind::ThreadMapped);
+    }
+}

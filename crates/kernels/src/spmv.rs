@@ -1,0 +1,542 @@
+//! Load-balanced SpMV — the paper's benchmark application (Listing 3).
+//!
+//! `y = A·x` with the computation written once per schedule *shape*
+//! (per-thread ranges vs cooperative batches) and the schedule chosen by a
+//! [`ScheduleKind`] — the "single enum identifier" switch of §6.2. Every
+//! variant runs on the simulator, charges the framework's range overheads,
+//! and returns both the result vector and the launch's timing report.
+
+use loops::adapters::CsrTiles;
+use loops::schedule::{
+    GroupMappedSchedule, MergePathSchedule, ScheduleKind, ThreadMappedSchedule,
+};
+use simt::{CostModel, GlobalMem, GpuSpec, LaunchConfig, LaunchReport};
+use sparse::Csr;
+
+/// Items per thread for merge-path, following CUB's V100 tuning.
+pub const MERGE_ITEMS_PER_THREAD: usize = 7;
+
+/// Default threads per block (the paper's Listing 3 uses 256).
+pub const DEFAULT_BLOCK: u32 = 256;
+
+/// Result of one simulated SpMV.
+#[derive(Debug, Clone)]
+pub struct SpmvRun {
+    /// The output vector `y`.
+    pub y: Vec<f32>,
+    /// Simulated launch report (use `report.elapsed_ms()`).
+    pub report: LaunchReport,
+    /// Which schedule actually ran (after any clamping).
+    pub schedule: ScheduleKind,
+}
+
+/// Run SpMV with the given schedule and the standard cost model.
+pub fn spmv(
+    spec: &GpuSpec,
+    a: &Csr<f32>,
+    x: &[f32],
+    kind: ScheduleKind,
+) -> simt::Result<SpmvRun> {
+    spmv_with_model(spec, &CostModel::standard(), a, x, kind, DEFAULT_BLOCK)
+}
+
+/// Run SpMV with full control over cost model and block size.
+pub fn spmv_with_model(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    kind: ScheduleKind,
+    block_dim: u32,
+) -> simt::Result<SpmvRun> {
+    assert_eq!(x.len(), a.cols(), "x must have one entry per column");
+    let block_dim = block_dim.min(spec.max_threads_per_block);
+    match kind {
+        ScheduleKind::ThreadMapped => thread_mapped(spec, model, a, x, block_dim),
+        ScheduleKind::MergePath => merge_path(spec, model, a, x, block_dim),
+        ScheduleKind::WarpMapped => group_mapped(spec, model, a, x, spec.warp_size, block_dim),
+        ScheduleKind::BlockMapped => group_mapped(spec, model, a, x, block_dim, block_dim),
+        ScheduleKind::GroupMapped(g) => group_mapped(spec, model, a, x, g, block_dim),
+        ScheduleKind::WorkQueue(chunk) => work_queue(spec, model, a, x, chunk.max(1), block_dim),
+        ScheduleKind::Lrb => lrb(spec, model, a, x, block_dim),
+    }
+}
+
+/// Logarithmic-Radix-Binning SpMV (§7 related work): a binning pass
+/// groups rows by log2(length); tiny rows go thread-per-row, medium rows
+/// warp-per-batch, huge rows block-per-batch — each class an ordinary
+/// launch over a [`loops::work::SubsetTiles`] view.
+fn lrb(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    block_dim: u32,
+) -> simt::Result<SpmvRun> {
+    use loops::schedule::{bin_of, GroupMappedSchedule, LrbSchedule};
+    use loops::work::SubsetTiles;
+    let work = CsrTiles::new(a);
+    let cfg_sched = LrbSchedule {
+        block_dim,
+        ..LrbSchedule::default()
+    };
+    let plan = cfg_sched.bin_tiles(spec, model, &work)?;
+    let mut y = vec![0.0f32; a.rows()];
+    let (values, col_indices) = (a.values(), a.col_indices());
+    let mut report = plan.binning_report.clone();
+
+    let small_hi = bin_of(cfg_sched.small_limit) + 1;
+    let medium_hi = bin_of(cfg_sched.medium_limit) + 1;
+    let class = |lo: usize, hi: usize| &plan.order[plan.bin_offsets[lo]..plan.bin_offsets[hi]];
+    // Small rows: one per thread, plain local accumulation.
+    let small = class(0, small_hi);
+    if !small.is_empty() {
+        let view = SubsetTiles::new(&work, small);
+        let sched = ThreadMappedSchedule::new(&view);
+        let gy = GlobalMem::new(&mut y);
+        let r = simt::launch_threads_with_model(
+            spec,
+            model,
+            LaunchConfig::over_threads(small.len() as u64, block_dim),
+            |t| {
+                for local in sched.tiles(t) {
+                    let mut sum = 0.0f32;
+                    for nz in sched.atoms(local, t) {
+                        sum += values[nz] * x[col_indices[nz] as usize];
+                    }
+                    gy.store(view.global_tile(local), sum);
+                    t.write_bytes(4);
+                }
+            },
+        )?;
+        report.accumulate(&r);
+    }
+    // Medium/large rows: group-mapped batches with per-tile reduction.
+    for (lo, hi, group) in [
+        (small_hi, medium_hi, spec.warp_size),
+        (medium_hi, loops::schedule::LRB_NUM_BINS, block_dim),
+    ] {
+        let tiles = class(lo, hi.max(lo));
+        if tiles.is_empty() {
+            continue;
+        }
+        let view = SubsetTiles::new(&work, tiles);
+        let sched = GroupMappedSchedule::new(&view, group);
+        let cfg = sched.launch_config(block_dim, spec.num_sms * 8);
+        let gy = GlobalMem::new(&mut y);
+        let r = simt::launch_groups_with_model(spec, model, cfg, group, |g| {
+            sched.process_batches(
+                g,
+                |_lane, _local, nz| values[nz] * x[col_indices[nz] as usize],
+                |lane, local, sum| {
+                    gy.store(view.global_tile(local), sum);
+                    lane.write_bytes(4);
+                },
+            );
+        })?;
+        report.accumulate(&r);
+    }
+    Ok(SpmvRun {
+        y,
+        report,
+        schedule: ScheduleKind::Lrb,
+    })
+}
+
+/// Dynamic SpMV: persistent threads claim row chunks from a global atomic
+/// queue (the dynamic half of the abstraction's schedule space).
+fn work_queue(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    chunk: u32,
+    block_dim: u32,
+) -> simt::Result<SpmvRun> {
+    use loops::schedule::WorkQueueSchedule;
+    let work = CsrTiles::new(a);
+    let sched = WorkQueueSchedule::new(&work, chunk as usize);
+    let mut y = vec![0.0f32; a.rows()];
+    let (values, col_indices) = (a.values(), a.col_indices());
+    let cfg = sched.launch_config(spec, block_dim);
+    let report = {
+        let gy = GlobalMem::new(&mut y);
+        simt::launch_threads_with_model(spec, model, cfg, |t| {
+            sched.process_tiles(t, |lane, row| {
+                let mut sum = 0.0f32;
+                for nz in sched.atoms(row, lane) {
+                    sum += values[nz] * x[col_indices[nz] as usize];
+                }
+                gy.store(row, sum);
+                lane.write_bytes(4);
+            });
+        })?
+    };
+    Ok(SpmvRun {
+        y,
+        report,
+        schedule: ScheduleKind::WorkQueue(chunk),
+    })
+}
+
+/// Listing 3: tile-per-thread SpMV.
+fn thread_mapped(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    block_dim: u32,
+) -> simt::Result<SpmvRun> {
+    let work = CsrTiles::new(a);
+    let sched = ThreadMappedSchedule::new(&work);
+    let mut y = vec![0.0f32; a.rows()];
+    let (values, col_indices) = (a.values(), a.col_indices());
+    let cfg = LaunchConfig::over_threads(a.rows().max(1) as u64, block_dim);
+    let report = {
+        let gy = GlobalMem::new(&mut y);
+        simt::launch_threads_with_model(spec, model, cfg, |t| {
+            // Consume rows, then atoms, exactly as the paper's kernel.
+            for row in sched.tiles(t) {
+                let mut sum = 0.0f32;
+                for nz in sched.atoms(row, t) {
+                    sum += values[nz] * x[col_indices[nz] as usize];
+                }
+                gy.store(row, sum);
+                t.write_bytes(4);
+            }
+        })?
+    };
+    Ok(SpmvRun {
+        y,
+        report,
+        schedule: ScheduleKind::ThreadMapped,
+    })
+}
+
+/// §5.2.1: merge-path SpMV. Complete tiles store directly; partial tiles
+/// combine through `atomicAdd` (the framework-level equivalent of CUB's
+/// carry-out/fixup pass).
+fn merge_path(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    block_dim: u32,
+) -> simt::Result<SpmvRun> {
+    let work = CsrTiles::new(a);
+    let sched = MergePathSchedule::new(&work, MERGE_ITEMS_PER_THREAD);
+    let mut y = vec![0.0f32; a.rows()];
+    let (values, col_indices) = (a.values(), a.col_indices());
+    let cfg = sched.launch_config(block_dim);
+    let report = {
+        let gy = GlobalMem::new(&mut y);
+        simt::launch_threads_with_model(spec, model, cfg, |t| {
+            for span in sched.spans(t) {
+                let mut sum = 0.0f32;
+                for nz in sched.atoms(&span, t) {
+                    sum += values[nz] * x[col_indices[nz] as usize];
+                }
+                if span.complete {
+                    gy.store(span.tile, sum);
+                    t.write_bytes(4);
+                } else if !span.atoms.is_empty() {
+                    gy.fetch_add(span.tile, sum);
+                    t.charge_atomic();
+                }
+            }
+        })?
+    };
+    Ok(SpmvRun {
+        y,
+        report,
+        schedule: ScheduleKind::MergePath,
+    })
+}
+
+/// §5.2.2/§5.2.3: group-mapped SpMV (warp- and block-mapped are the same
+/// code at fixed group sizes — the "free" rows of Table 1).
+fn group_mapped(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    group_size: u32,
+    block_dim: u32,
+) -> simt::Result<SpmvRun> {
+    // A group cannot exceed its block and must tile it evenly.
+    let group_size = group_size.clamp(1, block_dim);
+    let group_size = largest_divisor_leq(block_dim, group_size);
+    let work = CsrTiles::new(a);
+    let sched = GroupMappedSchedule::new(&work, group_size);
+    let mut y = vec![0.0f32; a.rows()];
+    let (values, col_indices) = (a.values(), a.col_indices());
+    // Oversubscribe ~8 blocks per SM; rounds absorb the remainder.
+    let cfg = sched.launch_config(block_dim, spec.num_sms * 8);
+    let report = {
+        let gy = GlobalMem::new(&mut y);
+        simt::launch_groups_with_model(spec, model, cfg, group_size, |g| {
+            sched.process_batches(
+                g,
+                |_lane, _tile, nz| values[nz] * x[col_indices[nz] as usize],
+                |lane, tile, sum| {
+                    gy.store(tile, sum);
+                    lane.write_bytes(4);
+                },
+            );
+        })?
+    };
+    Ok(SpmvRun {
+        y,
+        report,
+        schedule: ScheduleKind::GroupMapped(group_size),
+    })
+}
+
+/// SpMV over the ELL format: thread-mapped on a *perfectly regular* tile
+/// set (the format itself is the load balancer — §7's "already-load-
+/// balanced formats"). Padded slots are skipped at consumption time but
+/// still cost their slot's work: the price of padding, measurable against
+/// the scheduling-based answers.
+pub fn spmv_ell(
+    spec: &GpuSpec,
+    e: &sparse::Ell<f32>,
+    x: &[f32],
+) -> simt::Result<SpmvRun> {
+    use loops::adapters::EllTiles;
+    assert_eq!(x.len(), e.cols(), "x must have one entry per column");
+    let model = CostModel::standard();
+    let work = EllTiles::new(e);
+    let sched = ThreadMappedSchedule::new(&work);
+    let mut y = vec![0.0f32; e.rows()];
+    let (values, col_indices) = (e.values(), e.col_indices());
+    let block = DEFAULT_BLOCK.min(spec.max_threads_per_block);
+    let cfg = LaunchConfig::over_threads(e.rows().max(1) as u64, block);
+    let report = {
+        let gy = GlobalMem::new(&mut y);
+        simt::launch_threads_with_model(spec, &model, cfg, |t| {
+            for row in sched.tiles(t) {
+                let mut sum = 0.0f32;
+                for slot in sched.atoms(row, t) {
+                    let c = col_indices[slot];
+                    if c != sparse::ell::PAD {
+                        sum += values[slot] * x[c as usize];
+                    }
+                }
+                gy.store(row, sum);
+                t.write_bytes(4);
+            }
+        })?
+    };
+    Ok(SpmvRun {
+        y,
+        report,
+        schedule: ScheduleKind::ThreadMapped,
+    })
+}
+
+/// Largest divisor of `n` that is ≤ `k` (≥ 1). Keeps arbitrary group sizes
+/// legal for any block size.
+pub(crate) fn largest_divisor_leq(n: u32, k: u32) -> u32 {
+    (1..=k.min(n)).rev().find(|d| n % d == 0).unwrap_or(1)
+}
+
+/// SpMV over COO: one thread per stored entry, scattering into `y` with
+/// `atomicAdd`. Perfectly balanced by construction — every atom is its own
+/// tile — but every atom pays the atomic: the opposite end of the
+/// balance/overhead trade from tile-based schedules, and the reason
+/// formats like F-COO exist (§7).
+pub fn spmv_coo(
+    spec: &GpuSpec,
+    a: &sparse::Coo<f32>,
+    x: &[f32],
+) -> simt::Result<SpmvRun> {
+    assert_eq!(x.len(), a.cols(), "x must have one entry per column");
+    let model = CostModel::standard();
+    let mut y = vec![0.0f32; a.rows()];
+    let (rows, cols, vals) = (a.row_indices(), a.col_indices(), a.values());
+    let n = a.nnz();
+    let block = DEFAULT_BLOCK.min(spec.max_threads_per_block);
+    let report = {
+        let gy = GlobalMem::new(&mut y);
+        simt::launch_threads_with_model(
+            spec,
+            &model,
+            LaunchConfig::over_threads(n.max(1) as u64, block),
+            |t| {
+                let mut i = t.global_thread_id() as usize;
+                while i < n {
+                    t.charge_atom();
+                    gy.fetch_add(rows[i] as usize, vals[i] * x[cols[i] as usize]);
+                    t.charge_atomic();
+                    i += t.grid_size() as usize;
+                }
+            },
+        )?
+    };
+    Ok(SpmvRun {
+        y,
+        report,
+        schedule: ScheduleKind::ThreadMapped,
+    })
+}
+
+/// Maximum relative error between a simulated result and the reference.
+pub fn max_rel_error(got: &[f32], want: &[f32]) -> f32 {
+    assert_eq!(got.len(), want.len());
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0f32, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_schedules(a: &Csr<f32>, spec: &GpuSpec) {
+        let x = sparse::dense::test_vector(a.cols());
+        let want = a.spmv_ref(&x);
+        for kind in [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::MergePath,
+            ScheduleKind::WarpMapped,
+            ScheduleKind::BlockMapped,
+            ScheduleKind::GroupMapped(16),
+            ScheduleKind::GroupMapped(3), // awkward size → clamped to a divisor
+            ScheduleKind::WorkQueue(1),
+            ScheduleKind::WorkQueue(16),
+            ScheduleKind::Lrb,
+        ] {
+            let run = spmv(spec, a, &x, kind).unwrap();
+            let err = max_rel_error(&run.y, &want);
+            assert!(
+                err < 2e-3,
+                "{kind}: max rel error {err} on {}x{}",
+                a.rows(),
+                a.cols()
+            );
+            assert!(run.report.elapsed_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_schedules_agree_with_reference_on_random_matrix() {
+        let a = sparse::gen::uniform(500, 400, 6_000, 11);
+        check_all_schedules(&a, &GpuSpec::v100());
+    }
+
+    #[test]
+    fn all_schedules_handle_power_law_imbalance() {
+        let a = sparse::gen::powerlaw(800, 800, 16_000, 1.8, 12);
+        check_all_schedules(&a, &GpuSpec::v100());
+    }
+
+    #[test]
+    fn all_schedules_handle_empty_rows_and_tiny_matrices() {
+        let a = Csr::from_triplets(5, 5, vec![(0u32, 0u32, 1.0f32), (4, 4, 2.0)]).unwrap();
+        check_all_schedules(&a, &GpuSpec::v100());
+        let empty = Csr::<f32>::empty(3, 3);
+        check_all_schedules(&empty, &GpuSpec::v100());
+    }
+
+    #[test]
+    fn all_schedules_work_on_tiny_device_and_wide_warps() {
+        let a = sparse::gen::uniform(100, 100, 1_000, 13);
+        check_all_schedules(&a, &GpuSpec::test_tiny());
+        check_all_schedules(&a, &GpuSpec::mi100());
+    }
+
+    #[test]
+    fn merge_path_beats_thread_mapped_on_hub_matrix() {
+        let spec = GpuSpec::v100();
+        let a = sparse::gen::hub_rows(20_000, 20_000, 2, 20_000, 2, 14);
+        let x = sparse::dense::test_vector(a.cols());
+        let tm = spmv(&spec, &a, &x, ScheduleKind::ThreadMapped).unwrap();
+        let mp = spmv(&spec, &a, &x, ScheduleKind::MergePath).unwrap();
+        assert!(
+            mp.report.elapsed_ms() < tm.report.elapsed_ms() / 2.0,
+            "merge-path {} ms vs thread-mapped {} ms",
+            mp.report.elapsed_ms(),
+            tm.report.elapsed_ms()
+        );
+    }
+
+    #[test]
+    fn thread_mapped_wins_on_tiny_regular_matrix() {
+        // Tiny, perfectly regular: merge-path's setup cannot pay off.
+        let spec = GpuSpec::v100();
+        let a = sparse::gen::diagonal(64, 15);
+        let x = sparse::dense::test_vector(64);
+        let tm = spmv(&spec, &a, &x, ScheduleKind::ThreadMapped).unwrap();
+        let mp = spmv(&spec, &a, &x, ScheduleKind::MergePath).unwrap();
+        assert!(tm.report.elapsed_ms() <= mp.report.elapsed_ms());
+    }
+
+    #[test]
+    fn ell_spmv_matches_csr_reference() {
+        let spec = GpuSpec::v100();
+        let a = sparse::gen::banded(5_000, 4, 16);
+        let e = sparse::Ell::from_csr(&a, 2.0).unwrap();
+        let x = sparse::dense::test_vector(a.cols());
+        let run = spmv_ell(&spec, &e, &x).unwrap();
+        let err = max_rel_error(&run.y, &a.spmv_ref(&x));
+        assert!(err < 2e-3, "err {err}");
+    }
+
+    #[test]
+    fn ell_thread_mapped_is_regular_but_pays_for_padding() {
+        let spec = GpuSpec::v100();
+        // Skewed matrix: ELL pads every row to the max (512 vs 8).
+        // (Row count divides the block size: a ragged tail block would
+        // trip the latency-exposure term — see DESIGN.md's model notes.)
+        let a = sparse::gen::hub_rows(20_480, 20_480, 64, 512, 8, 17);
+        let e = sparse::Ell::from_csr(&a, 80.0).unwrap();
+        let x = sparse::dense::test_vector(a.cols());
+        let ell = spmv_ell(&spec, &e, &x).unwrap();
+        let err = max_rel_error(&ell.y, &a.spmv_ref(&x));
+        assert!(err < 2e-3, "err {err}");
+        let csr_tm = spmv(&spec, &a, &x, ScheduleKind::ThreadMapped).unwrap();
+        // The format pre-balances every row to the same slot count, so the
+        // workload is regular by construction...
+        assert!(ell.report.timing.sm_utilization > 0.5);
+        // ...but the padding is real work: `slots` touched, not `nnz` —
+        // the §7 trade between pre-balanced formats and active schedules.
+        assert!(
+            ell.report.timing.total_units > 5.0 * csr_tm.report.timing.total_units,
+            "53x fill should dominate: ell {} vs csr {}",
+            ell.report.timing.total_units,
+            csr_tm.report.timing.total_units
+        );
+    }
+
+    #[test]
+    fn coo_scatter_matches_reference_and_pays_for_atomics() {
+        let spec = GpuSpec::v100();
+        let a = sparse::gen::powerlaw(5_000, 5_000, 80_000, 1.8, 18);
+        let coo = sparse::convert::csr_to_coo(&a);
+        let x = sparse::dense::test_vector(a.cols());
+        let run = spmv_coo(&spec, &coo, &x).unwrap();
+        let err = max_rel_error(&run.y, &a.spmv_ref(&x));
+        assert!(err < 2e-3, "err {err}");
+        // Balanced but atomic-bound: more issue work than merge-path.
+        let mp = spmv(&spec, &a, &x, ScheduleKind::MergePath).unwrap();
+        assert!(run.report.timing.total_units > mp.report.timing.total_units);
+        assert!(run.report.mem.atomic_ops as usize >= a.nnz());
+    }
+
+    #[test]
+    fn largest_divisor_behaves() {
+        assert_eq!(largest_divisor_leq(256, 32), 32);
+        assert_eq!(largest_divisor_leq(256, 3), 2);
+        assert_eq!(largest_divisor_leq(256, 1), 1);
+        assert_eq!(largest_divisor_leq(96, 64), 48);
+        assert_eq!(largest_divisor_leq(7, 7), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per column")]
+    fn x_length_checked() {
+        let a = sparse::gen::uniform(10, 10, 20, 1);
+        let _ = spmv(&GpuSpec::v100(), &a, &[1.0; 3], ScheduleKind::MergePath);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error types for kernel launches.
+
+use std::fmt;
+
+/// Errors produced when validating or executing a kernel launch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// `block_dim` exceeds the device's `max_threads_per_block`.
+    BlockTooLarge {
+        /// Requested threads per block.
+        requested: u32,
+        /// Device limit.
+        limit: u32,
+    },
+    /// A zero-sized grid or block was requested.
+    EmptyLaunch,
+    /// Declared dynamic shared memory exceeds the per-block limit.
+    SharedMemTooLarge {
+        /// Requested bytes per block.
+        requested: u32,
+        /// Device limit per block.
+        limit: u32,
+    },
+    /// A block allocated more shared memory at runtime than it declared at
+    /// launch (CUDA would fault; we fail the launch deterministically).
+    SharedMemOverflow {
+        /// Block that overflowed.
+        block_idx: u32,
+        /// Bytes the block tried to hold live at once.
+        used: u32,
+        /// Bytes declared in the [`crate::LaunchConfig`].
+        declared: u32,
+    },
+    /// Cooperative group size must be a power of two that divides the block
+    /// or be a multiple of the block's warp count structure; see
+    /// [`crate::BlockCtx::for_each_group`].
+    BadGroupSize {
+        /// Requested group size.
+        group_size: u32,
+        /// Block size it must tile.
+        block_dim: u32,
+    },
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BlockTooLarge { requested, limit } => write!(
+                f,
+                "block of {requested} threads exceeds device limit of {limit}"
+            ),
+            Self::EmptyLaunch => write!(f, "grid and block dimensions must be non-zero"),
+            Self::SharedMemTooLarge { requested, limit } => write!(
+                f,
+                "declared shared memory {requested} B exceeds per-block limit {limit} B"
+            ),
+            Self::SharedMemOverflow {
+                block_idx,
+                used,
+                declared,
+            } => write!(
+                f,
+                "block {block_idx} held {used} B of shared memory live but declared only {declared} B"
+            ),
+            Self::BadGroupSize {
+                group_size,
+                block_dim,
+            } => write!(
+                f,
+                "group size {group_size} does not evenly tile block of {block_dim} threads"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Convenience result alias for launch operations.
+pub type Result<T> = std::result::Result<T, LaunchError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = LaunchError::BlockTooLarge {
+            requested: 2048,
+            limit: 1024,
+        };
+        assert!(e.to_string().contains("2048"));
+        assert!(e.to_string().contains("1024"));
+        let e = LaunchError::BadGroupSize {
+            group_size: 48,
+            block_dim: 256,
+        };
+        assert!(e.to_string().contains("48"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LaunchError::EmptyLaunch);
+    }
+}

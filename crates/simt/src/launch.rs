@@ -1,0 +1,432 @@
+//! Kernel launching: configuration, the block-kernel trait, and the
+//! parallel executor.
+//!
+//! Blocks execute functionally on a pool of host threads (work-stealing by
+//! atomic counter); each block produces a [`BlockCost`], and the device
+//! timing model turns the collection into a [`LaunchReport`]. Execution is
+//! deterministic *per block*; cross-block global-memory interleavings vary
+//! like they would on hardware, which is why the provided kernels only
+//! communicate through atomics or disjoint writes.
+
+use crate::block::{BlockCost, BlockCtx};
+use crate::cost::CostModel;
+use crate::error::{LaunchError, Result};
+use crate::group::GroupCtx;
+use crate::lane::LaneCtx;
+use crate::occupancy::Occupancy;
+use crate::report::LaunchReport;
+use crate::scheduler::device_time;
+use crate::spec::GpuSpec;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Launch geometry: 1-D grid of 1-D blocks plus declared shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of blocks.
+    pub grid_dim: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Dynamic shared memory declared per block, in bytes.
+    pub shared_bytes: u32,
+}
+
+impl LaunchConfig {
+    /// A grid of `grid_dim` blocks of `block_dim` threads.
+    pub fn new(grid_dim: u32, block_dim: u32) -> Self {
+        Self {
+            grid_dim,
+            block_dim,
+            shared_bytes: 0,
+        }
+    }
+
+    /// Enough blocks of `block_dim` threads to cover `total_threads`
+    /// (the classic `(n + b - 1) / b` launch).
+    pub fn over_threads(total_threads: u64, block_dim: u32) -> Self {
+        let grid = total_threads.div_ceil(u64::from(block_dim.max(1)));
+        Self::new(grid.min(u64::from(u32::MAX)) as u32, block_dim)
+    }
+
+    /// Declare dynamic shared memory per block.
+    pub fn with_shared(mut self, bytes: u32) -> Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    /// Total threads in the launch.
+    pub fn grid_size(&self) -> u64 {
+        u64::from(self.grid_dim) * u64::from(self.block_dim)
+    }
+}
+
+/// A kernel expressed at block granularity.
+pub trait BlockKernel: Sync {
+    /// Execute one block.
+    fn run(&self, block: &mut BlockCtx<'_>);
+}
+
+impl<F: Fn(&mut BlockCtx<'_>) + Sync> BlockKernel for F {
+    fn run(&self, block: &mut BlockCtx<'_>) {
+        self(block)
+    }
+}
+
+fn validate(spec: &GpuSpec, cfg: &LaunchConfig) -> Result<Occupancy> {
+    if cfg.grid_dim == 0 || cfg.block_dim == 0 {
+        return Err(LaunchError::EmptyLaunch);
+    }
+    Occupancy::compute(spec, cfg.block_dim, cfg.shared_bytes)
+}
+
+/// Launch a block kernel with an explicit cost model.
+pub fn launch_with_model<K: BlockKernel>(
+    spec: &GpuSpec,
+    model: &CostModel,
+    cfg: LaunchConfig,
+    kernel: &K,
+) -> Result<LaunchReport> {
+    let occ = validate(spec, &cfg)?;
+    let t0 = std::time::Instant::now();
+    let blocks = run_blocks(spec, model, &cfg, kernel)?;
+    let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let timing = device_time(spec, model, &blocks, &occ);
+    let mem = blocks
+        .iter()
+        .fold(crate::cost::MemSummary::default(), |acc, b| {
+            acc.merged(b.mem)
+        });
+    Ok(LaunchReport {
+        grid_dim: cfg.grid_dim,
+        block_dim: cfg.block_dim,
+        shared_bytes: cfg.shared_bytes,
+        occupancy: occ,
+        timing,
+        mem,
+        host_wall_ms,
+    })
+}
+
+/// Launch a block kernel with the standard cost model.
+pub fn launch<K: BlockKernel>(spec: &GpuSpec, cfg: LaunchConfig, kernel: &K) -> Result<LaunchReport> {
+    launch_with_model(spec, &CostModel::standard(), cfg, kernel)
+}
+
+/// Launch a per-thread kernel (no barriers, no shared memory): `f` runs
+/// once per thread, exactly like a plain CUDA `__global__` function body.
+pub fn launch_threads<F>(spec: &GpuSpec, cfg: LaunchConfig, f: F) -> Result<LaunchReport>
+where
+    F: Fn(&LaneCtx<'_>) + Sync,
+{
+    launch_threads_with_model(spec, &CostModel::standard(), cfg, f)
+}
+
+/// [`launch_threads`] with an explicit cost model.
+pub fn launch_threads_with_model<F>(
+    spec: &GpuSpec,
+    model: &CostModel,
+    cfg: LaunchConfig,
+    f: F,
+) -> Result<LaunchReport>
+where
+    F: Fn(&LaneCtx<'_>) + Sync,
+{
+    launch_with_model(spec, model, cfg, &|block: &mut BlockCtx<'_>| {
+        block.for_each_thread(|lane| f(lane));
+    })
+}
+
+/// Launch a cooperative kernel partitioned into groups of `group_size`
+/// threads: `f` runs once per group.
+pub fn launch_groups<F>(
+    spec: &GpuSpec,
+    cfg: LaunchConfig,
+    group_size: u32,
+    f: F,
+) -> Result<LaunchReport>
+where
+    F: Fn(&mut GroupCtx<'_>) + Sync,
+{
+    launch_groups_with_model(spec, &CostModel::standard(), cfg, group_size, f)
+}
+
+/// [`launch_groups`] with an explicit cost model.
+pub fn launch_groups_with_model<F>(
+    spec: &GpuSpec,
+    model: &CostModel,
+    cfg: LaunchConfig,
+    group_size: u32,
+    f: F,
+) -> Result<LaunchReport>
+where
+    F: Fn(&mut GroupCtx<'_>) + Sync,
+{
+    launch_with_model(spec, model, cfg, &|block: &mut BlockCtx<'_>| {
+        block.for_each_group(group_size, |g| f(g));
+    })
+}
+
+/// Execute all blocks, in parallel when the grid is large enough.
+fn run_blocks<K: BlockKernel>(
+    spec: &GpuSpec,
+    model: &CostModel,
+    cfg: &LaunchConfig,
+    kernel: &K,
+) -> Result<Vec<BlockCost>> {
+    let n = cfg.grid_dim;
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n as usize)
+        .max(1);
+    if workers == 1 || n < 4 {
+        let mut out = Vec::with_capacity(n as usize);
+        for b in 0..n {
+            let mut ctx = BlockCtx::new(b, cfg.block_dim, n, cfg.shared_bytes, spec, model);
+            kernel.run(&mut ctx);
+            out.push(ctx.finish()?);
+        }
+        return Ok(out);
+    }
+    let next = AtomicU32::new(0);
+    let results = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move |_| {
+                    let mut local: Vec<(u32, std::result::Result<BlockCost, LaunchError>)> =
+                        Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n {
+                            break;
+                        }
+                        let mut ctx =
+                            BlockCtx::new(b, cfg.block_dim, n, cfg.shared_bytes, spec, model);
+                        kernel.run(&mut ctx);
+                        local.push((b, ctx.finish()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("block worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("executor scope panicked");
+
+    let mut out: Vec<Option<BlockCost>> = vec![None; n as usize];
+    for (b, res) in results {
+        out[b as usize] = Some(res?);
+    }
+    Ok(out
+        .into_iter()
+        .map(|c| c.expect("every block index executed exactly once"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::GlobalMem;
+
+    #[test]
+    fn over_threads_rounds_grid_up() {
+        let c = LaunchConfig::over_threads(1000, 256);
+        assert_eq!(c.grid_dim, 4);
+        assert_eq!(c.grid_size(), 1024);
+        let c = LaunchConfig::over_threads(1024, 256);
+        assert_eq!(c.grid_dim, 4);
+    }
+
+    #[test]
+    fn empty_launch_is_rejected() {
+        let spec = GpuSpec::test_tiny();
+        let r = launch_threads(&spec, LaunchConfig::new(0, 32), |_| {});
+        assert!(matches!(r, Err(LaunchError::EmptyLaunch)));
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once() {
+        let spec = GpuSpec::test_tiny();
+        let n = 10_000usize;
+        let mut hits = vec![0u32; n];
+        {
+            let g = GlobalMem::new(&mut hits);
+            launch_threads(&spec, LaunchConfig::over_threads(n as u64, 64), |t| {
+                let gid = t.global_thread_id() as usize;
+                if gid < g.len() {
+                    g.fetch_add(gid, 1);
+                }
+            })
+            .unwrap();
+        }
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn grid_stride_loop_covers_large_domain() {
+        let spec = GpuSpec::test_tiny();
+        let n = 100_000usize;
+        let mut out = vec![0u64; n];
+        {
+            let g = GlobalMem::new(&mut out);
+            launch_threads(&spec, LaunchConfig::new(8, 64), |t| {
+                let mut i = t.global_thread_id();
+                while (i as usize) < g.len() {
+                    g.store(i as usize, i * 2);
+                    i += t.grid_size();
+                }
+            })
+            .unwrap();
+        }
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    fn group_launch_runs_each_group() {
+        let spec = GpuSpec::test_tiny();
+        let mut out = vec![0u64; 8]; // 2 blocks * 4 groups? (32/8=4 groups/block)
+        {
+            let g = GlobalMem::new(&mut out);
+            launch_groups(&spec, LaunchConfig::new(2, 32), 8, |grp| {
+                let id = grp.global_group_id() as usize;
+                let ones = grp.phase(|_| 1u64);
+                let total = grp.reduce_sum_u64(&ones);
+                g.store(id, total);
+            })
+            .unwrap();
+        }
+        assert_eq!(out, vec![8; 8]);
+    }
+
+    #[test]
+    fn divergent_kernel_costs_more_than_uniform_for_same_total_work() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(80, 256);
+        // Uniform: every thread charges 100.
+        let uniform = launch_threads(&spec, cfg, |t| t.charge(100.0)).unwrap();
+        // Divergent: one lane per warp charges 3200, the rest 0 (same
+        // total work per warp).
+        let divergent = launch_threads(&spec, cfg, |t| {
+            if t.lane_id() == 0 {
+                t.charge(3200.0);
+            }
+        })
+        .unwrap();
+        assert!(
+            divergent.timing.compute_ms > uniform.timing.compute_ms * 5.0,
+            "divergent {} vs uniform {}",
+            divergent.timing.compute_ms,
+            uniform.timing.compute_ms
+        );
+    }
+
+    #[test]
+    fn report_reflects_memory_traffic() {
+        let spec = GpuSpec::v100();
+        let r = launch_threads(&spec, LaunchConfig::new(1, 32), |t| {
+            t.read_bytes(1000);
+        })
+        .unwrap();
+        assert_eq!(r.mem.read_bytes, 32_000);
+    }
+
+    #[test]
+    fn shared_overflow_propagates_from_parallel_executor() {
+        let spec = GpuSpec::test_tiny();
+        let cfg = LaunchConfig::new(8, 8).with_shared(16);
+        let r = launch(&spec, cfg, &|b: &mut BlockCtx<'_>| {
+            let _ = b.alloc_shared::<u64>(100);
+        });
+        assert!(matches!(r, Err(LaunchError::SharedMemOverflow { .. })));
+    }
+
+    #[test]
+    fn launch_overhead_is_included() {
+        let spec = GpuSpec::v100();
+        let r = launch_threads(&spec, LaunchConfig::new(1, 32), |_| {}).unwrap();
+        assert!(r.elapsed_ms() >= spec.launch_overhead_us * 1e-3);
+    }
+
+    #[test]
+    fn single_thread_launch_works() {
+        let spec = GpuSpec::test_tiny();
+        let mut out = vec![0u32; 1];
+        {
+            let g = GlobalMem::new(&mut out);
+            let r = launch_threads(&spec, LaunchConfig::new(1, 1), |t| {
+                assert_eq!(t.global_thread_id(), 0);
+                assert_eq!(t.grid_size(), 1);
+                g.store(0, 7);
+            })
+            .unwrap();
+            assert_eq!(r.occupancy.resident_warps, spec.max_blocks_per_sm);
+        }
+        assert_eq!(out[0], 7);
+    }
+
+    #[test]
+    fn block_too_large_is_rejected_before_execution() {
+        let spec = GpuSpec::test_tiny(); // max 256 threads/block
+        let r = launch_threads(&spec, LaunchConfig::new(1, 512), |_| {
+            panic!("must not execute")
+        });
+        assert!(matches!(r, Err(LaunchError::BlockTooLarge { .. })));
+    }
+
+    #[test]
+    fn declared_shared_beyond_block_limit_is_rejected() {
+        let spec = GpuSpec::test_tiny(); // 8 KiB per block
+        let r = launch(
+            &spec,
+            LaunchConfig::new(1, 8).with_shared(16 * 1024),
+            &|_: &mut BlockCtx<'_>| {},
+        );
+        assert!(matches!(r, Err(LaunchError::SharedMemTooLarge { .. })));
+    }
+
+    #[test]
+    fn bad_group_size_surfaces_from_group_launch() {
+        let spec = GpuSpec::test_tiny();
+        let r = launch_groups(&spec, LaunchConfig::new(1, 16), 5, |_| {});
+        assert!(matches!(r, Err(LaunchError::BadGroupSize { .. })));
+    }
+
+    #[test]
+    fn large_grid_executes_every_block_once() {
+        let spec = GpuSpec::test_tiny();
+        let n_blocks = 10_000u32;
+        let mut hits = vec![0u32; n_blocks as usize];
+        {
+            let g = GlobalMem::new(&mut hits);
+            launch(&spec, LaunchConfig::new(n_blocks, 8), &|b: &mut BlockCtx<'_>| {
+                let idx = b.block_idx() as usize;
+                b.for_each_thread(|t| {
+                    if t.thread_idx() == 0 {
+                        g.fetch_add(idx, 1);
+                    }
+                });
+            })
+            .unwrap();
+        }
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn report_timing_fields_are_consistent() {
+        let spec = GpuSpec::v100();
+        let r = launch_threads(&spec, LaunchConfig::new(100, 256), |t| {
+            t.charge(50.0);
+            t.read_bytes(64);
+        })
+        .unwrap();
+        let t = &r.timing;
+        assert!(t.elapsed_ms >= t.compute_ms.max(t.memory_ms));
+        assert!((t.elapsed_ms - (t.compute_ms.max(t.memory_ms) + t.overhead_ms)).abs() < 1e-12);
+        assert!(t.sm_utilization > 0.0 && t.sm_utilization <= 1.0 + 1e-9);
+        assert!(t.total_units > 0.0);
+        assert_eq!(r.mem.read_bytes, 100 * 256 * 64);
+    }
+}

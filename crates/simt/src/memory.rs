@@ -1,0 +1,396 @@
+//! Simulated global (device) memory.
+//!
+//! Kernels from many blocks run concurrently on host threads, so shared
+//! mutable output buffers must be race-safe. [`GlobalMem`] wraps a borrowed
+//! slice in per-element atomic cells (relaxed ordering): plain
+//! `load`/`store` model ordinary global loads and stores, and
+//! `fetch_add`/`fetch_min`/`fetch_max`/`cas` model CUDA's `atomicAdd` /
+//! `atomicMin` / `atomicMax` / `atomicCAS` — including the floating-point
+//! variants, implemented with compare-exchange loops over the bit pattern
+//! exactly as one would on pre-Pascal hardware.
+//!
+//! A racy kernel therefore produces an unspecified *value*, never undefined
+//! behaviour — matching CUDA's semantics for conflicting non-atomic global
+//! writes closely enough for a simulator.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i32 {}
+    impl Sealed for i64 {}
+}
+
+/// Scalar element types storable in [`GlobalMem`].
+///
+/// Each scalar maps to an atomic cell of identical size and alignment; the
+/// trait is sealed because the soundness of [`GlobalMem::new`] depends on
+/// that layout guarantee (documented on `std::sync::atomic`).
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + sealed::Sealed {
+    /// The atomic cell type backing this scalar.
+    type Atomic: Sync;
+    /// Load with relaxed ordering.
+    fn atomic_load(cell: &Self::Atomic) -> Self;
+    /// Store with relaxed ordering.
+    fn atomic_store(cell: &Self::Atomic, v: Self);
+    /// `fetch_add` returning the previous value.
+    fn atomic_add(cell: &Self::Atomic, v: Self) -> Self;
+    /// `fetch_min` returning the previous value.
+    fn atomic_min(cell: &Self::Atomic, v: Self) -> Self;
+    /// `fetch_max` returning the previous value.
+    fn atomic_max(cell: &Self::Atomic, v: Self) -> Self;
+    /// Compare-and-swap: if the current value equals `expect`, store `new`;
+    /// returns the value observed before the operation.
+    fn atomic_cas(cell: &Self::Atomic, expect: Self, new: Self) -> Self;
+}
+
+macro_rules! int_scalar {
+    ($t:ty, $a:ty) => {
+        impl Scalar for $t {
+            type Atomic = $a;
+            #[inline]
+            fn atomic_load(cell: &Self::Atomic) -> Self {
+                cell.load(Ordering::Relaxed) as $t
+            }
+            #[inline]
+            fn atomic_store(cell: &Self::Atomic, v: Self) {
+                cell.store(v as _, Ordering::Relaxed)
+            }
+            #[inline]
+            fn atomic_add(cell: &Self::Atomic, v: Self) -> Self {
+                cell.fetch_add(v as _, Ordering::Relaxed) as $t
+            }
+            #[inline]
+            fn atomic_min(cell: &Self::Atomic, v: Self) -> Self {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let cur_t = cur as $t;
+                    if v >= cur_t {
+                        return cur_t;
+                    }
+                    match cell.compare_exchange_weak(
+                        cur,
+                        v as _,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(prev) => return prev as $t,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            #[inline]
+            fn atomic_max(cell: &Self::Atomic, v: Self) -> Self {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let cur_t = cur as $t;
+                    if v <= cur_t {
+                        return cur_t;
+                    }
+                    match cell.compare_exchange_weak(
+                        cur,
+                        v as _,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(prev) => return prev as $t,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            #[inline]
+            fn atomic_cas(cell: &Self::Atomic, expect: Self, new: Self) -> Self {
+                match cell.compare_exchange(
+                    expect as _,
+                    new as _,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(prev) | Err(prev) => prev as $t,
+                }
+            }
+        }
+    };
+}
+
+int_scalar!(u32, AtomicU32);
+int_scalar!(u64, AtomicU64);
+int_scalar!(i32, AtomicU32);
+int_scalar!(i64, AtomicU64);
+
+macro_rules! float_scalar {
+    ($t:ty, $a:ty, $bits:ty) => {
+        impl Scalar for $t {
+            type Atomic = $a;
+            #[inline]
+            fn atomic_load(cell: &Self::Atomic) -> Self {
+                <$t>::from_bits(cell.load(Ordering::Relaxed))
+            }
+            #[inline]
+            fn atomic_store(cell: &Self::Atomic, v: Self) {
+                cell.store(v.to_bits(), Ordering::Relaxed)
+            }
+            #[inline]
+            fn atomic_add(cell: &Self::Atomic, v: Self) -> Self {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let old = <$t>::from_bits(cur);
+                    let new = (old + v).to_bits();
+                    match cell.compare_exchange_weak(
+                        cur,
+                        new,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            #[inline]
+            fn atomic_min(cell: &Self::Atomic, v: Self) -> Self {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let old = <$t>::from_bits(cur);
+                    if !(v < old) {
+                        return old;
+                    }
+                    match cell.compare_exchange_weak(
+                        cur,
+                        v.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            #[inline]
+            fn atomic_max(cell: &Self::Atomic, v: Self) -> Self {
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let old = <$t>::from_bits(cur);
+                    if !(v > old) {
+                        return old;
+                    }
+                    match cell.compare_exchange_weak(
+                        cur,
+                        v.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return old,
+                        Err(now) => cur = now,
+                    }
+                }
+            }
+            #[inline]
+            fn atomic_cas(cell: &Self::Atomic, expect: Self, new: Self) -> Self {
+                match cell.compare_exchange(
+                    expect.to_bits(),
+                    new.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(prev) | Err(prev) => <$t>::from_bits(prev),
+                }
+            }
+        }
+    };
+}
+
+float_scalar!(f32, AtomicU32, u32);
+float_scalar!(f64, AtomicU64, u64);
+
+/// A view of a host buffer as simulated device global memory.
+///
+/// Created from an exclusive borrow, so for the lifetime of the view the
+/// simulator is the only writer; every access goes through atomic cells.
+pub struct GlobalMem<'a, T: Scalar> {
+    cells: &'a [T::Atomic],
+}
+
+// Manual impls: the derive would demand `T::Atomic: Clone`, but the view is
+// just a shared slice reference and is always copyable.
+impl<T: Scalar> Clone for GlobalMem<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Scalar> Copy for GlobalMem<'_, T> {}
+
+impl<'a, T: Scalar> GlobalMem<'a, T> {
+    /// Wrap `data` as device-visible memory.
+    ///
+    /// The exclusive borrow is converted to a shared slice of atomic cells.
+    /// This is sound because (a) the borrow guarantees no other references
+    /// exist for `'a`, and (b) `T` and `T::Atomic` have identical size and
+    /// alignment (guaranteed by the std atomics documentation and enforced
+    /// by the sealed [`Scalar`] impls).
+    pub fn new(data: &'a mut [T]) -> Self {
+        debug_assert_eq!(
+            std::mem::size_of::<T>(),
+            std::mem::size_of::<T::Atomic>(),
+            "Scalar/Atomic layout mismatch"
+        );
+        // SAFETY: exclusive borrow, identical layout, atomics allow any
+        // aliasing pattern afterwards.
+        let cells =
+            unsafe { std::slice::from_raw_parts(data.as_ptr() as *const T::Atomic, data.len()) };
+        Self { cells }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Ordinary global load.
+    #[inline]
+    pub fn load(&self, i: usize) -> T {
+        T::atomic_load(&self.cells[i])
+    }
+
+    /// Ordinary global store.
+    #[inline]
+    pub fn store(&self, i: usize, v: T) {
+        T::atomic_store(&self.cells[i], v)
+    }
+
+    /// `atomicAdd`: add `v` to element `i`, returning the previous value.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, v: T) -> T {
+        T::atomic_add(&self.cells[i], v)
+    }
+
+    /// `atomicMin`: lower element `i` to `v` if smaller, returning the
+    /// previous value.
+    #[inline]
+    pub fn fetch_min(&self, i: usize, v: T) -> T {
+        T::atomic_min(&self.cells[i], v)
+    }
+
+    /// `atomicMax`: raise element `i` to `v` if larger, returning the
+    /// previous value.
+    #[inline]
+    pub fn fetch_max(&self, i: usize, v: T) -> T {
+        T::atomic_max(&self.cells[i], v)
+    }
+
+    /// `atomicCAS` on element `i`.
+    #[inline]
+    pub fn cas(&self, i: usize, expect: T, new: T) -> T {
+        T::atomic_cas(&self.cells[i], expect, new)
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for GlobalMem<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GlobalMem<{}>[len={}]", std::any::type_name::<T>(), self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let mut buf = vec![0.0f32; 8];
+        let g = GlobalMem::new(&mut buf);
+        g.store(3, 1.5);
+        assert_eq!(g.load(3), 1.5);
+        let _ = g;
+        assert_eq!(buf[3], 1.5);
+    }
+
+    #[test]
+    fn float_fetch_add_accumulates() {
+        let mut buf = vec![0.0f64; 1];
+        let g = GlobalMem::new(&mut buf);
+        for _ in 0..100 {
+            g.fetch_add(0, 0.5);
+        }
+        assert_eq!(g.load(0), 50.0);
+    }
+
+    #[test]
+    fn float_fetch_min_mirrors_atomic_min_semantics() {
+        let mut buf = vec![f32::INFINITY; 1];
+        let g = GlobalMem::new(&mut buf);
+        assert_eq!(g.fetch_min(0, 3.0), f32::INFINITY);
+        assert_eq!(g.fetch_min(0, 5.0), 3.0); // not lowered
+        assert_eq!(g.load(0), 3.0);
+        assert_eq!(g.fetch_min(0, 1.0), 3.0);
+        assert_eq!(g.load(0), 1.0);
+    }
+
+    #[test]
+    fn int_min_max_work() {
+        let mut buf = vec![10u32; 1];
+        let g = GlobalMem::new(&mut buf);
+        assert_eq!(g.fetch_min(0, 7), 10);
+        assert_eq!(g.fetch_max(0, 9), 7);
+        assert_eq!(g.load(0), 9);
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_expected_value() {
+        let mut buf = vec![5i32; 1];
+        let g = GlobalMem::new(&mut buf);
+        assert_eq!(g.cas(0, 4, 9), 5); // mismatch: unchanged
+        assert_eq!(g.load(0), 5);
+        assert_eq!(g.cas(0, 5, 9), 5); // match: swapped
+        assert_eq!(g.load(0), 9);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_exact() {
+        let mut buf = vec![0.0f32; 1];
+        let g = GlobalMem::new(&mut buf);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        g.fetch_add(0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.load(0), 8000.0);
+    }
+
+    #[test]
+    fn concurrent_fetch_min_finds_global_minimum() {
+        let mut buf = vec![u32::MAX; 1];
+        let g = GlobalMem::new(&mut buf);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        g.fetch_min(0, 10_000 + t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.load(0), 10_000);
+    }
+
+    #[test]
+    fn negative_float_min() {
+        let mut buf = vec![0.0f64; 1];
+        let g = GlobalMem::new(&mut buf);
+        g.fetch_min(0, -2.5);
+        assert_eq!(g.load(0), -2.5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Multi-device simulation — the paper's §8 future work ("expanding our
+//! model to a multi-GPU environment, and implementing load-balancing
+//! schedules that span across the GPU boundary").
+//!
+//! A [`MultiGpuSpec`] is `n` identical devices joined by an interconnect
+//! (NVLink-class bandwidth and latency). Kernels launch per device;
+//! [`combine`] folds the per-device reports into a node-level makespan:
+//! devices run concurrently (max over devices) and the host-visible time
+//! adds the interconnect transfers the algorithm needed (operand
+//! broadcast, result gather). Exactly the same max/sum structure as the
+//! intra-device model, one level up — which is why the paper's
+//! load-balancing vocabulary transfers: *devices are just very large
+//! processing elements, and the partition across them is a schedule.*
+
+use crate::report::LaunchReport;
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous multi-GPU node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiGpuSpec {
+    /// Per-device architecture.
+    pub device: GpuSpec,
+    /// Number of devices.
+    pub num_devices: u32,
+    /// Interconnect bandwidth per direction, GB/s (NVLink2 ≈ 150).
+    pub link_bw_gbs: f64,
+    /// Per-transfer interconnect latency, microseconds.
+    pub link_latency_us: f64,
+}
+
+impl MultiGpuSpec {
+    /// A DGX-1V-style node: `n` V100s over NVLink.
+    pub fn dgx_v100(n: u32) -> Self {
+        assert!(n >= 1, "need at least one device");
+        Self {
+            device: GpuSpec::v100(),
+            num_devices: n,
+            link_bw_gbs: 150.0,
+            link_latency_us: 2.0,
+        }
+    }
+
+    /// A test-sized node of tiny devices.
+    pub fn test_tiny(n: u32) -> Self {
+        Self {
+            device: GpuSpec::test_tiny(),
+            num_devices: n,
+            link_bw_gbs: 10.0,
+            link_latency_us: 1.0,
+        }
+    }
+
+    /// Time in milliseconds to move `bytes` over the interconnect once.
+    pub fn transfer_ms(&self, bytes: u64) -> f64 {
+        self.link_latency_us * 1e-3 + bytes as f64 / (self.link_bw_gbs * 1e9) * 1e3
+    }
+}
+
+/// Result of a multi-device launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLaunchReport {
+    /// Per-device launch reports, in device order.
+    pub per_device: Vec<LaunchReport>,
+    /// Interconnect time (broadcast + gather), milliseconds.
+    pub comm_ms: f64,
+    /// Node-level elapsed: slowest device plus communication.
+    pub elapsed_ms: f64,
+}
+
+impl MultiLaunchReport {
+    /// The slowest device's elapsed time.
+    pub fn critical_device_ms(&self) -> f64 {
+        self.per_device
+            .iter()
+            .map(|r| r.elapsed_ms())
+            .fold(0.0, f64::max)
+    }
+
+    /// Ratio of slowest to mean device time (1.0 = perfectly balanced
+    /// across devices) — the cross-device analogue of SM utilization.
+    pub fn device_imbalance(&self) -> f64 {
+        if self.per_device.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<f64> = self.per_device.iter().map(|r| r.elapsed_ms()).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.critical_device_ms() / mean
+        }
+    }
+}
+
+/// Fold per-device reports plus the algorithm's interconnect traffic into
+/// a node-level report. Devices run concurrently; transfers serialize
+/// before/after (the conservative bulk-synchronous pattern).
+pub fn combine(per_device: Vec<LaunchReport>, comm_bytes: u64, spec: &MultiGpuSpec) -> MultiLaunchReport {
+    let comm_ms = if comm_bytes == 0 || spec.num_devices <= 1 {
+        0.0
+    } else {
+        spec.transfer_ms(comm_bytes)
+    };
+    let critical = per_device
+        .iter()
+        .map(|r| r.elapsed_ms())
+        .fold(0.0, f64::max);
+    MultiLaunchReport {
+        per_device,
+        comm_ms,
+        elapsed_ms: critical + comm_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::{launch_threads, LaunchConfig};
+
+    fn dummy_report(spec: &GpuSpec, work: f64) -> LaunchReport {
+        launch_threads(spec, LaunchConfig::new(4, 32), |t| t.charge(work)).unwrap()
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let m = MultiGpuSpec::dgx_v100(4);
+        let t = m.transfer_ms(150_000_000); // 1 ms at 150 GB/s
+        assert!((t - (1.0 + 0.002)).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn combine_takes_max_over_devices_plus_comm() {
+        let m = MultiGpuSpec::test_tiny(2);
+        let fast = dummy_report(&m.device, 10.0);
+        let slow = dummy_report(&m.device, 100_000.0);
+        let slow_ms = slow.elapsed_ms();
+        let r = combine(vec![fast, slow], 10_000_000, &m);
+        assert!((r.critical_device_ms() - slow_ms).abs() < 1e-12);
+        assert!(r.comm_ms > 0.0);
+        assert!((r.elapsed_ms - (slow_ms + r.comm_ms)).abs() < 1e-12);
+        assert!(r.device_imbalance() > 1.5, "imbalance = {}", r.device_imbalance());
+    }
+
+    #[test]
+    fn single_device_pays_no_comm() {
+        let m = MultiGpuSpec::test_tiny(1);
+        let r = combine(vec![dummy_report(&m.device, 5.0)], 123_456, &m);
+        assert_eq!(r.comm_ms, 0.0);
+        assert!((r.device_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        let _ = MultiGpuSpec::dgx_v100(0);
+    }
+}

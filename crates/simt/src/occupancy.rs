@@ -1,0 +1,145 @@
+//! Occupancy calculation: how many blocks of a given shape fit on one SM.
+//!
+//! Mirrors the CUDA occupancy calculator for the three limits that matter
+//! to the paper's kernels: resident-warp count, resident-block count, and
+//! shared memory. (Register pressure is not modeled; the paper's kernels
+//! are memory-bound and never register-limited on V100.)
+
+use crate::error::{LaunchError, Result};
+use crate::spec::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// What capped the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimit {
+    /// Limited by `max_warps_per_sm`.
+    Warps,
+    /// Limited by `max_blocks_per_sm`.
+    Blocks,
+    /// Limited by shared memory per SM.
+    SharedMem,
+}
+
+/// Result of the occupancy calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Blocks of this shape resident on one SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident on one SM (`blocks_per_sm * warps_per_block`).
+    pub resident_warps: u32,
+    /// Fraction of the SM's maximum warp residency achieved.
+    pub occupancy_frac: f64,
+    /// The binding constraint.
+    pub limited_by: OccupancyLimit,
+}
+
+impl Occupancy {
+    /// Compute occupancy for a block of `block_dim` threads declaring
+    /// `shared_bytes` of shared memory, on `spec`.
+    pub fn compute(spec: &GpuSpec, block_dim: u32, shared_bytes: u32) -> Result<Self> {
+        if block_dim == 0 {
+            return Err(LaunchError::EmptyLaunch);
+        }
+        if block_dim > spec.max_threads_per_block {
+            return Err(LaunchError::BlockTooLarge {
+                requested: block_dim,
+                limit: spec.max_threads_per_block,
+            });
+        }
+        if shared_bytes > spec.shared_mem_per_block {
+            return Err(LaunchError::SharedMemTooLarge {
+                requested: shared_bytes,
+                limit: spec.shared_mem_per_block,
+            });
+        }
+        let warps_per_block = spec.warps_for(block_dim);
+        let by_warps = spec.max_warps_per_sm / warps_per_block;
+        let by_blocks = spec.max_blocks_per_sm;
+        let by_shared = if shared_bytes == 0 {
+            u32::MAX
+        } else {
+            spec.shared_mem_per_sm / shared_bytes
+        };
+        let (blocks_per_sm, limited_by) = [
+            (by_warps, OccupancyLimit::Warps),
+            (by_blocks, OccupancyLimit::Blocks),
+            (by_shared, OccupancyLimit::SharedMem),
+        ]
+        .into_iter()
+        .min_by_key(|&(n, _)| n)
+        .expect("non-empty candidate list");
+        // A launchable block always fits at least once (block_dim and
+        // shared_bytes were validated against per-block limits above).
+        let blocks_per_sm = blocks_per_sm.max(1);
+        let resident_warps = blocks_per_sm * warps_per_block;
+        Ok(Self {
+            blocks_per_sm,
+            resident_warps,
+            occupancy_frac: f64::from(resident_warps) / f64::from(spec.max_warps_per_sm),
+            limited_by,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_occupancy_for_256_thread_blocks_on_v100() {
+        let o = Occupancy::compute(&GpuSpec::v100(), 256, 0).unwrap();
+        // 256 threads = 8 warps; 64/8 = 8 blocks; 8*8 = 64 warps = 100%.
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.resident_warps, 64);
+        assert!((o.occupancy_frac - 1.0).abs() < 1e-12);
+        assert_eq!(o.limited_by, OccupancyLimit::Warps);
+    }
+
+    #[test]
+    fn tiny_blocks_hit_the_block_limit() {
+        // 32-thread blocks: warp limit would allow 64, block limit is 32.
+        let o = Occupancy::compute(&GpuSpec::v100(), 32, 0).unwrap();
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.limited_by, OccupancyLimit::Blocks);
+        assert!((o.occupancy_frac - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        // 40 KiB per block on V100 (96 KiB/SM): only 2 blocks fit.
+        let o = Occupancy::compute(&GpuSpec::v100(), 256, 40 * 1024).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limited_by, OccupancyLimit::SharedMem);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        assert!(matches!(
+            Occupancy::compute(&GpuSpec::v100(), 2048, 0),
+            Err(LaunchError::BlockTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_shared_rejected() {
+        assert!(matches!(
+            Occupancy::compute(&GpuSpec::v100(), 256, 64 * 1024),
+            Err(LaunchError::SharedMemTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_block_rejected() {
+        assert!(matches!(
+            Occupancy::compute(&GpuSpec::v100(), 0, 0),
+            Err(LaunchError::EmptyLaunch)
+        ));
+    }
+
+    #[test]
+    fn non_multiple_of_warp_rounds_up() {
+        // 100 threads = 4 warps on V100.
+        let o = Occupancy::compute(&GpuSpec::v100(), 100, 0).unwrap();
+        assert_eq!(o.resident_warps % 4, 0);
+    }
+}

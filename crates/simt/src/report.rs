@@ -1,0 +1,131 @@
+//! Launch results: simulated timing breakdown plus traffic statistics.
+
+use crate::cost::MemSummary;
+use crate::occupancy::Occupancy;
+use serde::{Deserialize, Serialize};
+
+/// Whether the launch was limited by issue throughput or memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Boundedness {
+    /// Compute (issue-slot) bound.
+    Compute,
+    /// Memory-bandwidth bound.
+    Memory,
+}
+
+/// Simulated timing decomposition of one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// SM makespan converted to milliseconds.
+    pub compute_ms: f64,
+    /// Roofline memory time in milliseconds.
+    pub memory_ms: f64,
+    /// Fixed launch overhead in milliseconds.
+    pub overhead_ms: f64,
+    /// `max(compute, memory) + overhead`.
+    pub elapsed_ms: f64,
+    /// Which roofline term dominated.
+    pub bound: Boundedness,
+    /// Mean SM busy fraction relative to the makespan (1.0 = perfectly
+    /// balanced device; small values mean one SM was the long pole).
+    pub sm_utilization: f64,
+    /// Total work units charged by all warps.
+    pub total_units: f64,
+    /// Issue width after the low-occupancy penalty.
+    pub effective_issue_width: f64,
+    /// Per-SM busy time in milliseconds (index = SM id) — the device-level
+    /// load-balance profile behind `sm_utilization`.
+    pub sm_times_ms: Vec<f64>,
+}
+
+/// Result of a completed kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchReport {
+    /// Grid dimension launched.
+    pub grid_dim: u32,
+    /// Block dimension launched.
+    pub block_dim: u32,
+    /// Declared dynamic shared memory per block.
+    pub shared_bytes: u32,
+    /// Occupancy achieved by this shape.
+    pub occupancy: Occupancy,
+    /// Timing decomposition.
+    pub timing: TimingBreakdown,
+    /// Aggregate memory traffic.
+    pub mem: MemSummary,
+    /// Wall-clock milliseconds the *host* spent simulating (diagnostic
+    /// only; never used in experiment outputs).
+    pub host_wall_ms: f64,
+}
+
+impl LaunchReport {
+    /// Simulated elapsed time in milliseconds — the number every
+    /// experiment reports.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.timing.elapsed_ms
+    }
+
+    /// Sum another launch into a cumulative timing (for multi-kernel
+    /// algorithms such as SpGEMM's count+fill or iterative SSSP): elapsed
+    /// times add, traffic adds, the rest keeps the later launch's values.
+    pub fn accumulate(&mut self, other: &LaunchReport) {
+        self.timing.elapsed_ms += other.timing.elapsed_ms;
+        self.timing.compute_ms += other.timing.compute_ms;
+        self.timing.memory_ms += other.timing.memory_ms;
+        self.timing.overhead_ms += other.timing.overhead_ms;
+        self.timing.total_units += other.timing.total_units;
+        self.mem = self.mem.merged(other.mem);
+        self.host_wall_ms += other.host_wall_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::OccupancyLimit;
+
+    fn report(ms: f64) -> LaunchReport {
+        LaunchReport {
+            grid_dim: 1,
+            block_dim: 32,
+            shared_bytes: 0,
+            occupancy: Occupancy {
+                blocks_per_sm: 1,
+                resident_warps: 1,
+                occupancy_frac: 0.1,
+                limited_by: OccupancyLimit::Warps,
+            },
+            timing: TimingBreakdown {
+                compute_ms: ms,
+                memory_ms: 0.0,
+                overhead_ms: 0.01,
+                elapsed_ms: ms + 0.01,
+                bound: Boundedness::Compute,
+                sm_utilization: 1.0,
+                total_units: 100.0,
+                effective_issue_width: 4.0,
+                sm_times_ms: vec![ms; 4],
+            },
+            mem: MemSummary {
+                read_bytes: 10,
+                ..Default::default()
+            },
+            host_wall_ms: 0.5,
+        }
+    }
+
+    #[test]
+    fn elapsed_ms_reads_timing() {
+        assert!((report(2.0).elapsed_ms() - 2.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_adds_times_and_traffic() {
+        let mut a = report(1.0);
+        let b = report(2.0);
+        a.accumulate(&b);
+        assert!((a.elapsed_ms() - (1.01 + 2.01)).abs() < 1e-12);
+        assert_eq!(a.mem.read_bytes, 20);
+        assert!((a.timing.total_units - 200.0).abs() < 1e-12);
+    }
+}

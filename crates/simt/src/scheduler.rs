@@ -1,0 +1,241 @@
+//! Device-level timing: dispatching blocks onto SMs and computing the
+//! launch makespan.
+//!
+//! The GPU's gigathread engine dispatches blocks to SMs as residency slots
+//! free up — effectively a greedy least-loaded assignment. We model each SM
+//! as a server with issue throughput `issue_width_per_sm` (scaled down when
+//! occupancy is too low to hide latency), and charge each SM
+//! `max(throughput load, longest single warp)`: a stream of balanced blocks
+//! is throughput-bound, while one monstrous warp (the hub row of a
+//! power-law matrix under a thread-mapped schedule) becomes the critical
+//! path no amount of oversubscription can hide. The device compute time is
+//! the slowest SM; the launch time is the max of compute and the memory
+//! roofline, plus fixed launch overhead.
+
+use crate::block::BlockCost;
+use crate::cost::{CostModel, MemSummary};
+use crate::occupancy::Occupancy;
+use crate::report::{Boundedness, TimingBreakdown};
+use crate::spec::GpuSpec;
+
+/// Compute the timing breakdown for a set of executed blocks.
+pub fn device_time(
+    spec: &GpuSpec,
+    model: &CostModel,
+    blocks: &[BlockCost],
+    occ: &Occupancy,
+) -> TimingBreakdown {
+    let hide = (f64::from(occ.resident_warps) / model.latency_hiding_warps).min(1.0);
+    let eff_issue = (f64::from(spec.issue_width_per_sm) * hide).max(1e-9);
+
+    let num_sms = spec.num_sms as usize;
+    let mut load = vec![0.0f64; num_sms]; // cycles of queued throughput work
+    let mut critical = vec![0.0f64; num_sms]; // longest single warp seen
+    let mut mem = MemSummary::default();
+    let mut total_units = 0.0;
+
+    for b in blocks {
+        // Greedy: dispatch to the SM that currently finishes earliest.
+        let (sm, _) = load
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::INFINITY), |(bi, bv), (i, &v)| {
+                if v < bv {
+                    (i, v)
+                } else {
+                    (bi, bv)
+                }
+            });
+        let units = b.total_units();
+        total_units += units;
+        load[sm] += units / eff_issue;
+        critical[sm] = critical[sm].max(b.critical_warp());
+        mem = mem.merged(b.mem);
+    }
+
+    // An SM's time: its throughput load, plus any critical-path excess —
+    // a warp that outlives all co-resident work runs alone, latency
+    // exposed, and pays `latency_stall`× for the uncovered portion.
+    let sm_cycles: Vec<f64> = load
+        .iter()
+        .zip(&critical)
+        .map(|(&l, &c)| l + (c - l).max(0.0) * model.latency_stall)
+        .collect();
+    let compute_cycles = sm_cycles.iter().copied().fold(0.0, f64::max);
+    let cycles_to_ms = 1.0 / (spec.clock_ghz * 1e9) * 1e3;
+    let compute_ms = compute_cycles * cycles_to_ms;
+    let overhead_ms = spec.launch_overhead_us * 1e-3;
+    let busy: f64 = sm_cycles.iter().sum();
+    let utilization = if compute_cycles > 0.0 {
+        busy / (compute_cycles * num_sms as f64)
+    } else {
+        0.0
+    };
+    // Idle SMs issue no loads, so an imbalanced launch cannot saturate the
+    // memory system: achieved bandwidth scales with SM busyness. A quarter
+    // of the SMs streaming flat-out can still reach peak (memory-level
+    // parallelism), and even one busy SM draws ~5% of peak — hence the
+    // clamp. This coupling is what makes load imbalance hurt *memory-bound*
+    // kernels, the central phenomenon of the paper's evaluation.
+    let bw_frac = if mem.total_bytes() == 0 {
+        1.0
+    } else {
+        (utilization * 4.0).clamp(0.05, 1.0)
+    };
+    let memory_ms = mem.total_bytes() as f64 / (spec.mem_bw_gbs * 1e9 * bw_frac) * 1e3;
+    TimingBreakdown {
+        compute_ms,
+        memory_ms,
+        overhead_ms,
+        elapsed_ms: compute_ms.max(memory_ms) + overhead_ms,
+        bound: if compute_ms >= memory_ms {
+            Boundedness::Compute
+        } else {
+            Boundedness::Memory
+        },
+        sm_utilization: utilization,
+        total_units,
+        effective_issue_width: eff_issue,
+        sm_times_ms: sm_cycles.iter().map(|&c| c * cycles_to_ms).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(spec: &GpuSpec) -> Occupancy {
+        Occupancy::compute(spec, 256, 0).unwrap()
+    }
+
+    fn block_of(warps: &[f64]) -> BlockCost {
+        BlockCost {
+            warp_costs: warps.to_vec(),
+            mem: MemSummary::default(),
+        }
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let spec = GpuSpec::v100();
+        let t = device_time(&spec, &CostModel::standard(), &[], &occ(&spec));
+        assert_eq!(t.compute_ms, 0.0);
+        assert!((t.elapsed_ms - spec.launch_overhead_us * 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_blocks_spread_across_sms() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        // 160 identical blocks on 80 SMs: each SM gets exactly 2.
+        let blocks: Vec<_> = (0..160).map(|_| block_of(&[100.0; 8])).collect();
+        let t = device_time(&spec, &model, &blocks, &occ(&spec));
+        let expected_cycles = 2.0 * (8.0 * 100.0) / 4.0; // 2 blocks, 8 warps, issue 4
+        let expected_ms = expected_cycles / (spec.clock_ghz * 1e9) * 1e3;
+        assert!((t.compute_ms - expected_ms).abs() / expected_ms < 1e-9);
+        assert!(t.sm_utilization > 0.99);
+    }
+
+    #[test]
+    fn one_monster_warp_is_the_critical_path() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let mut blocks: Vec<_> = (0..80).map(|_| block_of(&[10.0; 8])).collect();
+        blocks.push(block_of(&[1_000_000.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        let t = device_time(&spec, &model, &blocks, &occ(&spec));
+        let expected_ms = 1_000_000.0 / (spec.clock_ghz * 1e9) * 1e3;
+        assert!(t.compute_ms >= expected_ms);
+        // Utilization collapses: one SM is the long pole.
+        assert!(t.sm_utilization < 0.1);
+    }
+
+    #[test]
+    fn memory_roofline_dominates_when_traffic_is_heavy() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        // 160 balanced blocks → full utilization → peak bandwidth.
+        let blocks: Vec<_> = (0..160)
+            .map(|_| BlockCost {
+                warp_costs: vec![1.0; 8],
+                mem: MemSummary {
+                    read_bytes: 9_000_000_000 / 160, // 10 ms total at 900 GB/s
+                    ..Default::default()
+                },
+            })
+            .collect();
+        let t = device_time(&spec, &model, &blocks, &occ(&spec));
+        assert_eq!(t.bound, Boundedness::Memory);
+        assert!((t.memory_ms - 10.0).abs() < 0.1, "memory_ms = {}", t.memory_ms);
+        assert!(t.elapsed_ms >= 10.0);
+    }
+
+    #[test]
+    fn imbalance_degrades_achieved_bandwidth() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let bytes_total = 9_000_000_000u64;
+        let balanced: Vec<_> = (0..160)
+            .map(|_| BlockCost {
+                warp_costs: vec![100.0; 8],
+                mem: MemSummary {
+                    read_bytes: bytes_total / 160,
+                    ..Default::default()
+                },
+            })
+            .collect();
+        // Same traffic, but one block does all the compute work → SMs idle.
+        let mut skewed = vec![BlockCost {
+            warp_costs: vec![1_000_000.0; 8],
+            mem: MemSummary {
+                read_bytes: bytes_total,
+                ..Default::default()
+            },
+        }];
+        skewed.extend((0..159).map(|_| BlockCost {
+            warp_costs: vec![0.001; 8],
+            mem: MemSummary::default(),
+        }));
+        let t_bal = device_time(&spec, &model, &balanced, &occ(&spec));
+        let t_skew = device_time(&spec, &model, &skewed, &occ(&spec));
+        assert!(
+            t_skew.memory_ms > 5.0 * t_bal.memory_ms,
+            "skewed {} vs balanced {}",
+            t_skew.memory_ms,
+            t_bal.memory_ms
+        );
+    }
+
+    #[test]
+    fn low_occupancy_degrades_issue_width() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        // One warp per block, block limit 32 → 32 resident warps ≥ 16: full.
+        let full = Occupancy::compute(&spec, 32, 0).unwrap();
+        // Shared-mem-hungry: 1 block of 1 warp resident → 1 warp < 16.
+        let starved = Occupancy {
+            blocks_per_sm: 1,
+            resident_warps: 1,
+            occupancy_frac: 1.0 / 64.0,
+            limited_by: crate::occupancy::OccupancyLimit::SharedMem,
+        };
+        let blocks: Vec<_> = (0..320).map(|_| block_of(&[64.0])).collect();
+        let t_full = device_time(&spec, &model, &blocks, &full);
+        let t_starved = device_time(&spec, &model, &blocks, &starved);
+        assert!(t_starved.compute_ms > t_full.compute_ms * 2.0);
+    }
+
+    #[test]
+    fn oversubscription_beats_single_block_per_sm_shapes() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let o = occ(&spec);
+        // Same total work: 80 uneven blocks vs 800 smaller even blocks.
+        let uneven: Vec<_> = (0..80)
+            .map(|i| block_of(&[if i == 0 { 8000.0 } else { 80.0 }; 8]))
+            .collect();
+        let even: Vec<_> = (0..800).map(|_| block_of(&[17.9; 8])).collect();
+        let t_uneven = device_time(&spec, &model, &uneven, &o);
+        let t_even = device_time(&spec, &model, &even, &o);
+        assert!(t_even.compute_ms < t_uneven.compute_ms);
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulated shared memory (CUDA "scratchpad") buffers.
+//!
+//! A block allocates [`SharedBuf`]s through
+//! [`crate::BlockCtx::alloc_shared`] (or the group-level equivalent).
+//! Allocations are *static for the lifetime of the block*, like CUDA shared
+//! memory: bytes are debited from the block's declared budget and never
+//! returned. Exceeding the declared budget fails the launch
+//! deterministically instead of faulting.
+//!
+//! Because a block executes on a single host thread (phases are sequential;
+//! parallelism in the simulator is *across* blocks), the buffer is a plain
+//! `Vec` with no synchronization. Cost accounting for shared accesses is
+//! explicit: schedules charge
+//! [`crate::LaneCtx::charge_shared`] when they touch scratchpad.
+
+use std::ops::{Deref, DerefMut};
+
+/// A typed shared-memory buffer, zero-initialized.
+#[derive(Debug)]
+pub struct SharedBuf<T> {
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> SharedBuf<T> {
+    pub(crate) fn new(len: usize) -> Self {
+        Self {
+            data: vec![T::default(); len],
+        }
+    }
+}
+
+impl<T> SharedBuf<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl<T> Deref for SharedBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> DerefMut for SharedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+/// Tracks a block's shared-memory budget.
+#[derive(Debug)]
+pub(crate) struct SharedTracker {
+    declared: u32,
+    used: std::cell::Cell<u32>,
+    overflowed: std::cell::Cell<bool>,
+}
+
+impl SharedTracker {
+    pub(crate) fn new(declared: u32) -> Self {
+        Self {
+            declared,
+            used: std::cell::Cell::new(0),
+            overflowed: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Debit `bytes`; returns `false` (and latches the overflow flag) if the
+    /// declared budget is exceeded.
+    pub(crate) fn debit(&self, bytes: u32) -> bool {
+        let next = self.used.get().saturating_add(bytes);
+        self.used.set(next);
+        if next > self.declared {
+            self.overflowed.set(true);
+            false
+        } else {
+            true
+        }
+    }
+
+    pub(crate) fn used(&self) -> u32 {
+        self.used.get()
+    }
+
+    pub(crate) fn declared(&self) -> u32 {
+        self.declared
+    }
+
+    pub(crate) fn overflowed(&self) -> bool {
+        self.overflowed.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_buf_zero_initialized_and_indexable() {
+        let mut b = SharedBuf::<u32>::new(16);
+        assert_eq!(b.len(), 16);
+        assert!(b.iter().all(|&x| x == 0));
+        b[3] = 7;
+        assert_eq!(b[3], 7);
+    }
+
+    #[test]
+    fn empty_buf() {
+        let b = SharedBuf::<f64>::new(0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn tracker_debits_and_latches_overflow() {
+        let t = SharedTracker::new(100);
+        assert!(t.debit(60));
+        assert!(!t.overflowed());
+        assert!(t.debit(40));
+        assert_eq!(t.used(), 100);
+        assert!(!t.debit(1));
+        assert!(t.overflowed());
+        assert_eq!(t.declared(), 100);
+    }
+}

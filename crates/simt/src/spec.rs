@@ -1,0 +1,204 @@
+//! Device specifications for the simulated GPU.
+//!
+//! A [`GpuSpec`] pins down the architectural parameters the timing model
+//! needs: SM count, warp width, occupancy limits, issue throughput, clock,
+//! and memory bandwidth. Presets are provided for the hardware classes the
+//! paper and its related work discuss: the paper's own testbed (Tesla V100),
+//! a newer NVIDIA part (A100), a consumer part (RTX 3090), and an AMD CDNA
+//! part with 64-wide wavefronts (MI100) — the paper explicitly calls out
+//! configurable group sizes as the portability story for 64-wide warps
+//! (§5.2.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural description of a simulated GPU.
+///
+/// All limits are per the vendor programming guides; the timing-model
+/// parameters (`issue_width_per_sm`, `clock_ghz`, `mem_bw_gbs`,
+/// `launch_overhead_us`) are calibrated so simulated SpMV magnitudes land in
+/// the same regime as the paper's published CSV samples (tens of
+/// microseconds for millions of nonzeros on a V100).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Threads per warp (32 on NVIDIA, 64 on AMD CDNA).
+    pub warp_size: u32,
+    /// Maximum threads in one block.
+    pub max_threads_per_block: u32,
+    /// Maximum warps resident on one SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum blocks resident on one SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory (scratchpad) available per SM, in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Shared memory limit for a single block, in bytes.
+    pub shared_mem_per_block: u32,
+    /// Warp instructions the SM can issue per cycle (number of warp
+    /// schedulers). This is the `C` in the block-cost formula
+    /// `max(critical_warp, total_warp_work / C)`.
+    pub issue_width_per_sm: u32,
+    /// Core clock in GHz; converts work units (issue cycles) to seconds.
+    pub clock_ghz: f64,
+    /// Device memory bandwidth in GB/s for the roofline term.
+    pub mem_bw_gbs: f64,
+    /// Fixed host-side kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA Tesla V100 (SXM2 16 GB) — the paper's evaluation platform.
+    pub fn v100() -> Self {
+        Self {
+            name: "Tesla V100".into(),
+            num_sms: 80,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 96 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            issue_width_per_sm: 4,
+            clock_ghz: 1.38,
+            mem_bw_gbs: 900.0,
+            launch_overhead_us: 12.0,
+        }
+    }
+
+    /// NVIDIA A100 (SXM4 40 GB).
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".into(),
+            num_sms: 108,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 164 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            issue_width_per_sm: 4,
+            clock_ghz: 1.41,
+            mem_bw_gbs: 1555.0,
+            launch_overhead_us: 12.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090 (consumer Ampere).
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "RTX 3090".into(),
+            num_sms: 82,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 100 * 1024,
+            shared_mem_per_block: 48 * 1024,
+            issue_width_per_sm: 4,
+            clock_ghz: 1.70,
+            mem_bw_gbs: 936.0,
+            launch_overhead_us: 10.0,
+        }
+    }
+
+    /// AMD Instinct MI100 — 64-wide wavefronts, exercising the paper's
+    /// claim (§5.2.3) that group-level scheduling ports to non-32 warps by
+    /// changing one constant.
+    pub fn mi100() -> Self {
+        Self {
+            name: "MI100".into(),
+            num_sms: 120,
+            warp_size: 64,
+            max_threads_per_block: 1024,
+            max_warps_per_sm: 40,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 64 * 1024,
+            shared_mem_per_block: 64 * 1024,
+            issue_width_per_sm: 4,
+            clock_ghz: 1.50,
+            mem_bw_gbs: 1228.0,
+            launch_overhead_us: 14.0,
+        }
+    }
+
+    /// A deliberately tiny device for tests: 4 SMs, 8-wide warps. Keeps
+    /// unit tests fast while still exercising multi-SM dispatch, multi-warp
+    /// blocks, and divergence accounting.
+    pub fn test_tiny() -> Self {
+        Self {
+            name: "TestTiny".into(),
+            num_sms: 4,
+            warp_size: 8,
+            max_threads_per_block: 256,
+            max_warps_per_sm: 16,
+            max_blocks_per_sm: 8,
+            shared_mem_per_sm: 16 * 1024,
+            shared_mem_per_block: 8 * 1024,
+            issue_width_per_sm: 2,
+            clock_ghz: 1.0,
+            mem_bw_gbs: 100.0,
+            launch_overhead_us: 1.0,
+        }
+    }
+
+    /// Peak issue throughput in work units per second
+    /// (`num_sms * issue_width * clock`).
+    pub fn peak_units_per_sec(&self) -> f64 {
+        f64::from(self.num_sms) * f64::from(self.issue_width_per_sm) * self.clock_ghz * 1e9
+    }
+
+    /// Warps needed to hold `threads` threads (rounded up).
+    pub fn warps_for(&self, threads: u32) -> u32 {
+        threads.div_ceil(self.warp_size)
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_published_architecture() {
+        let v = GpuSpec::v100();
+        assert_eq!(v.num_sms, 80);
+        assert_eq!(v.warp_size, 32);
+        assert_eq!(v.max_warps_per_sm * v.warp_size, 2048); // 2048 threads/SM
+    }
+
+    #[test]
+    fn warps_for_rounds_up() {
+        let v = GpuSpec::v100();
+        assert_eq!(v.warps_for(1), 1);
+        assert_eq!(v.warps_for(32), 1);
+        assert_eq!(v.warps_for(33), 2);
+        assert_eq!(v.warps_for(256), 8);
+        let amd = GpuSpec::mi100();
+        assert_eq!(amd.warps_for(64), 1);
+        assert_eq!(amd.warps_for(65), 2);
+    }
+
+    #[test]
+    fn peak_throughput_is_positive_and_scales_with_sms() {
+        let v = GpuSpec::v100();
+        let a = GpuSpec::a100();
+        assert!(a.peak_units_per_sec() > v.peak_units_per_sec());
+    }
+
+    #[test]
+    fn default_is_v100() {
+        assert_eq!(GpuSpec::default(), GpuSpec::v100());
+    }
+
+    #[test]
+    fn mi100_has_wide_wavefronts() {
+        assert_eq!(GpuSpec::mi100().warp_size, 64);
+    }
+}

@@ -1,0 +1,519 @@
+//! The SuiteSparse surrogate corpus.
+//!
+//! The paper evaluates on (approximately) the entire SuiteSparse Matrix
+//! Collection — ~2,800 matrices, 886 GB on disk. That collection is not
+//! available offline, so every experiment in this reproduction runs over
+//! this deterministic synthetic surrogate instead: ~250 seeded matrices
+//! spanning the same two axes the evaluation plots — total work (nnz,
+//! roughly 300 to 4 M) and row-length imbalance (CV ~0 regular PDE
+//! matrices up to Gini ≳ 0.9 hub-dominated graphs). A handful of entries
+//! are shaped after specific matrices the paper's artifact names
+//! (`chesapeake`, `08blocks`, `1138_bus`, `144`).
+//!
+//! Specs are cheap descriptions; [`CorpusSpec::build`] materializes the
+//! matrix on demand so harnesses can stream the corpus without holding it
+//! all in memory.
+
+use crate::csr::Csr;
+use crate::gen;
+use serde::{Deserialize, Serialize};
+
+/// Structural family of a corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Erdős–Rényi uniform random.
+    Uniform,
+    /// Power-law row-degree distribution.
+    PowerLaw,
+    /// RMAT (Graph500) adjacency.
+    Rmat,
+    /// Banded / tridiagonal-like.
+    Banded,
+    /// 5- or 9-point grid stencils.
+    Stencil,
+    /// Pure diagonal.
+    Diagonal,
+    /// Dense block-diagonal.
+    BlockDiag,
+    /// Single-column sparse vector.
+    SingleColumn,
+    /// Few monster rows among tiny rows (adversarial).
+    HubRows,
+    /// Small named lookalikes of artifact matrices.
+    Tiny,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Kind {
+    Uniform { rows: usize, cols: usize, nnz: usize },
+    PowerLaw { rows: usize, cols: usize, nnz: usize, alpha: f64 },
+    Rmat { scale: u32, ef: usize },
+    Banded { n: usize, bw: usize },
+    Stencil5 { nx: usize, ny: usize },
+    Stencil9 { nx: usize, ny: usize },
+    Diagonal { n: usize },
+    BlockDiag { blocks: usize, bsize: usize },
+    SingleColumn { rows: usize, nnz: usize },
+    HubRows { rows: usize, cols: usize, hubs: usize, hub_len: usize, base_len: usize },
+}
+
+/// A recipe for one corpus matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// Unique dataset name (plays the role of SuiteSparse's matrix name in
+    /// every CSV the harness emits).
+    pub name: String,
+    /// Structural family.
+    pub family: Family,
+    /// Generator seed.
+    pub seed: u64,
+    kind: Kind,
+}
+
+impl CorpusSpec {
+    /// Materialize the matrix.
+    pub fn build(&self) -> Csr<f32> {
+        match self.kind {
+            Kind::Uniform { rows, cols, nnz } => gen::uniform(rows, cols, nnz, self.seed),
+            Kind::PowerLaw { rows, cols, nnz, alpha } => {
+                gen::powerlaw(rows, cols, nnz, alpha, self.seed)
+            }
+            Kind::Rmat { scale, ef } => gen::rmat(scale, ef, (0.57, 0.19, 0.19), self.seed),
+            Kind::Banded { n, bw } => gen::banded(n, bw, self.seed),
+            Kind::Stencil5 { nx, ny } => gen::stencil5(nx, ny, self.seed),
+            Kind::Stencil9 { nx, ny } => gen::stencil9(nx, ny, self.seed),
+            Kind::Diagonal { n } => gen::diagonal(n, self.seed),
+            Kind::BlockDiag { blocks, bsize } => gen::block_diag(blocks, bsize, self.seed),
+            Kind::SingleColumn { rows, nnz } => gen::single_column(rows, nnz, self.seed),
+            Kind::HubRows { rows, cols, hubs, hub_len, base_len } => {
+                gen::hub_rows(rows, cols, hubs, hub_len, base_len, self.seed)
+            }
+        }
+    }
+
+    /// Rough nnz of the built matrix, without building it (exact for the
+    /// structured families, a target for the random ones).
+    pub fn approx_nnz(&self) -> usize {
+        match self.kind {
+            Kind::Uniform { nnz, .. } | Kind::PowerLaw { nnz, .. } => nnz,
+            Kind::Rmat { scale, ef } => ef << scale,
+            Kind::Banded { n, bw } => n * (2 * bw + 1),
+            Kind::Stencil5 { nx, ny } => 5 * nx * ny,
+            Kind::Stencil9 { nx, ny } => 9 * nx * ny,
+            Kind::Diagonal { n } => n,
+            Kind::BlockDiag { blocks, bsize } => blocks * bsize * bsize,
+            Kind::SingleColumn { nnz, .. } => nnz,
+            Kind::HubRows { rows, hubs, hub_len, base_len, .. } => {
+                hubs * hub_len + (rows - hubs) * base_len
+            }
+        }
+    }
+}
+
+fn spec(name: String, family: Family, seed: u64, kind: Kind) -> CorpusSpec {
+    CorpusSpec {
+        name,
+        family,
+        seed,
+        kind,
+    }
+}
+
+/// Build the full surrogate corpus (~250 matrices, ~70 M total nonzeros).
+pub fn suite_sparse_surrogate() -> Vec<CorpusSpec> {
+    let mut out = Vec::new();
+    let mut seed = 1000u64;
+    let mut next_seed = || {
+        seed += 1;
+        seed
+    };
+
+    // --- Erdős–Rényi: regular-ish, spanning 4 decades of nnz -------------
+    for &rows in &[1_000usize, 4_000, 16_000, 65_000, 260_000] {
+        for &mean in &[4usize, 16, 64] {
+            for rep in 0..3u64 {
+                let nnz = rows * mean;
+                if nnz > 4_200_000 {
+                    continue;
+                }
+                out.push(spec(
+                    format!("er_{rows}r_d{mean}_{rep}"),
+                    Family::Uniform,
+                    next_seed(),
+                    Kind::Uniform {
+                        rows,
+                        cols: rows,
+                        nnz,
+                    },
+                ));
+            }
+        }
+    }
+
+    // --- Rectangular (tall/wide) uniform matrices -------------------------
+    for &(rows, cols) in &[
+        (2_000usize, 200_000usize),
+        (200_000, 2_000),
+        (500, 50_000),
+        (50_000, 500),
+        (1_000_000, 64),
+        (64, 1_000_000),
+    ] {
+        out.push(spec(
+            format!("rect_{rows}x{cols}"),
+            Family::Uniform,
+            next_seed(),
+            Kind::Uniform {
+                rows,
+                cols,
+                nnz: (rows.max(cols) * 8).min(2_000_000),
+            },
+        ));
+    }
+
+    // --- Power-law: the imbalanced heart of the corpus -------------------
+    for &rows in &[4_000usize, 16_000, 65_000, 260_000] {
+        for &mean in &[8usize, 16, 32] {
+            for &alpha in &[1.7f64, 2.0, 2.5] {
+                let nnz = rows * mean;
+                if nnz > 4_200_000 {
+                    continue;
+                }
+                out.push(spec(
+                    format!("pl_{rows}r_d{mean}_a{}", (alpha * 10.0) as u32),
+                    Family::PowerLaw,
+                    next_seed(),
+                    Kind::PowerLaw {
+                        rows,
+                        cols: rows,
+                        nnz,
+                        alpha,
+                    },
+                ));
+            }
+        }
+    }
+
+    // --- RMAT graphs ------------------------------------------------------
+    for &scale in &[8u32, 10, 11, 12, 13, 14, 15, 16] {
+        for &ef in &[8usize, 16] {
+            if (ef << scale) > 4_200_000 {
+                continue;
+            }
+            out.push(spec(
+                format!("rmat_s{scale}_e{ef}"),
+                Family::Rmat,
+                next_seed(),
+                Kind::Rmat { scale, ef },
+            ));
+        }
+    }
+
+    // --- Structured / PDE --------------------------------------------------
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        for &bw in &[1usize, 2, 4, 8, 16] {
+            if n * (2 * bw + 1) > 4_200_000 {
+                continue;
+            }
+            out.push(spec(
+                format!("band_{n}n_bw{bw}"),
+                Family::Banded,
+                next_seed(),
+                Kind::Banded { n, bw },
+            ));
+        }
+    }
+    for &side in &[32usize, 64, 100, 178, 316, 562, 700] {
+        out.push(spec(
+            format!("grid5_{side}x{side}"),
+            Family::Stencil,
+            next_seed(),
+            Kind::Stencil5 { nx: side, ny: side },
+        ));
+        out.push(spec(
+            format!("grid9_{side}x{side}"),
+            Family::Stencil,
+            next_seed(),
+            Kind::Stencil9 { nx: side, ny: side },
+        ));
+    }
+    for &n in &[100usize, 10_000, 100_000, 1_000_000] {
+        out.push(spec(
+            format!("diag_{n}"),
+            Family::Diagonal,
+            next_seed(),
+            Kind::Diagonal { n },
+        ));
+    }
+    for &(blocks, bsize) in &[
+        (64usize, 16usize),
+        (256, 32),
+        (1024, 8),
+        (32, 128),
+        (4096, 4),
+        (128, 64),
+    ] {
+        out.push(spec(
+            format!("blkdiag_{blocks}x{bsize}"),
+            Family::BlockDiag,
+            next_seed(),
+            Kind::BlockDiag { blocks, bsize },
+        ));
+    }
+
+    // --- Single-column sparse vectors (the CUB heuristic case) -----------
+    for &rows in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        for &fill in &[10usize, 30, 70, 95] {
+            out.push(spec(
+                format!("spvec_{rows}r_f{fill}"),
+                Family::SingleColumn,
+                next_seed(),
+                Kind::SingleColumn {
+                    rows,
+                    nnz: rows * fill / 100,
+                },
+            ));
+        }
+    }
+
+    // --- Hub-row adversaries ----------------------------------------------
+    for &rows in &[10_000usize, 100_000] {
+        for &hubs in &[1usize, 4, 8, 64] {
+            let hub_len = (rows / 10).min(50_000);
+            out.push(spec(
+                format!("hub_{rows}r_h{hubs}"),
+                Family::HubRows,
+                next_seed(),
+                Kind::HubRows {
+                    rows,
+                    cols: rows,
+                    hubs,
+                    hub_len,
+                    base_len: 3,
+                },
+            ));
+        }
+    }
+
+    // --- Star rows: one (near-)dense row, the adversarial extreme --------
+    // Real SuiteSparse has these (circuit matrices, constraint rows); they
+    // are where warp-per-row baselines collapse hardest.
+    for &(rows, hub_len) in &[
+        (200_000usize, 200_000usize),
+        (500_000, 500_000),
+        (2_000_000, 2_000_000),
+    ] {
+        out.push(spec(
+            format!("star_{rows}"),
+            Family::HubRows,
+            next_seed(),
+            Kind::HubRows {
+                rows,
+                cols: rows,
+                hubs: 1,
+                hub_len,
+                base_len: 1,
+            },
+        ));
+    }
+    // Wide stars: a handful of rows, one of them near-dense — the shape
+    // where a warp-per-row baseline's critical path dwarfs all other work.
+    for &(rows, cols) in &[(1_000usize, 2_000_000usize), (5_000, 500_000), (200, 100_000)] {
+        out.push(spec(
+            format!("widestar_{rows}x{cols}"),
+            Family::HubRows,
+            next_seed(),
+            Kind::HubRows {
+                rows,
+                cols,
+                hubs: 1,
+                hub_len: cols,
+                base_len: 1,
+            },
+        ));
+    }
+
+    // --- Tiny / named lookalikes -------------------------------------------
+    out.push(spec(
+        "chesapeake".into(),
+        Family::Tiny,
+        77,
+        Kind::Uniform {
+            rows: 39,
+            cols: 39,
+            nnz: 340,
+        },
+    ));
+    out.push(spec(
+        "08blocks".into(),
+        Family::Tiny,
+        78,
+        Kind::Uniform {
+            rows: 300,
+            cols: 300,
+            nnz: 592,
+        },
+    ));
+    out.push(spec(
+        "1138_bus".into(),
+        Family::Tiny,
+        79,
+        Kind::Banded {
+            n: 1138,
+            bw: 2,
+        },
+    ));
+    out.push(spec(
+        "144".into(),
+        Family::Tiny,
+        80,
+        Kind::Uniform {
+            rows: 144_649,
+            cols: 144_649,
+            nnz: 2_148_786,
+        },
+    ));
+    for &n in &[16usize, 25, 50, 80, 128, 200, 333, 500, 800] {
+        out.push(spec(
+            format!("tiny_er_{n}"),
+            Family::Tiny,
+            next_seed(),
+            Kind::Uniform {
+                rows: n,
+                cols: n,
+                nnz: n * 6,
+            },
+        ));
+        out.push(spec(
+            format!("tiny_pl_{n}"),
+            Family::Tiny,
+            next_seed(),
+            Kind::PowerLaw {
+                rows: n,
+                cols: n,
+                nnz: n * 6,
+                alpha: 1.8,
+            },
+        ));
+    }
+
+    out
+}
+
+/// A deterministic small subset for fast experiments and tests: `n`
+/// entries spread evenly across the full corpus ordering.
+pub fn corpus_subset(n: usize) -> Vec<CorpusSpec> {
+    let all = suite_sparse_surrogate();
+    if n >= all.len() {
+        return all;
+    }
+    let stride = all.len() as f64 / n as f64;
+    (0..n)
+        .map(|i| all[(i as f64 * stride) as usize].clone())
+        .collect()
+}
+
+/// The artifact's sanity-check matrix: a chesapeake-like 39×39 graph with
+/// 340 nonzeros.
+pub fn chesapeake() -> Csr<f32> {
+    suite_sparse_surrogate()
+        .into_iter()
+        .find(|s| s.name == "chesapeake")
+        .expect("corpus always contains chesapeake")
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+    use std::collections::HashSet;
+
+    #[test]
+    fn corpus_is_large_and_uniquely_named() {
+        let c = suite_sparse_surrogate();
+        assert!(c.len() >= 170, "corpus has {} entries", c.len());
+        let names: HashSet<_> = c.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), c.len(), "names must be unique");
+    }
+
+    #[test]
+    fn corpus_total_work_is_bounded() {
+        let total: usize = suite_sparse_surrogate()
+            .iter()
+            .map(|s| s.approx_nnz())
+            .sum();
+        assert!(total < 200_000_000, "total approx nnz = {total}");
+        assert!(total > 40_000_000, "total approx nnz = {total}");
+    }
+
+    #[test]
+    fn corpus_spans_the_imbalance_axis() {
+        // Build a few representatives and check CV coverage.
+        let c = suite_sparse_surrogate();
+        let find = |prefix: &str| {
+            c.iter()
+                .find(|s| s.name.starts_with(prefix))
+                .unwrap_or_else(|| panic!("no {prefix} entry"))
+                .build()
+        };
+        let regular = RowStats::of(&find("band_1000n"));
+        let skewed = RowStats::of(&find("pl_16000r_d16_a17"));
+        let adversarial = RowStats::of(&find("hub_10000r_h1"));
+        assert!(regular.cv < 0.2);
+        assert!(skewed.cv > 1.0);
+        assert!(adversarial.max_over_mean > 50.0);
+    }
+
+    #[test]
+    fn chesapeake_matches_the_artifact_shape() {
+        let m = chesapeake();
+        assert_eq!(m.rows(), 39);
+        assert_eq!(m.cols(), 39);
+        assert!((300..=380).contains(&m.nnz()), "nnz = {}", m.nnz());
+    }
+
+    #[test]
+    fn corpus_includes_single_column_matrices() {
+        let c = suite_sparse_surrogate();
+        let sv = c
+            .iter()
+            .find(|s| s.family == Family::SingleColumn)
+            .unwrap()
+            .build();
+        assert_eq!(sv.cols(), 1);
+    }
+
+    #[test]
+    fn subset_is_deterministic_and_bounded() {
+        let a = corpus_subset(10);
+        let b = corpus_subset(10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let all = corpus_subset(10_000);
+        assert_eq!(all.len(), suite_sparse_surrogate().len());
+    }
+
+    #[test]
+    fn specs_build_and_match_declared_family_sizes() {
+        // Spot-check one per family (kept small).
+        for s in corpus_subset(24) {
+            if s.approx_nnz() > 300_000 {
+                continue;
+            }
+            let m = s.build();
+            assert!(m.rows() > 0);
+            let approx = s.approx_nnz() as f64;
+            if approx > 0.0 {
+                let ratio = m.nnz() as f64 / approx;
+                assert!(
+                    (0.5..=1.5).contains(&ratio),
+                    "{}: nnz {} vs approx {}",
+                    s.name,
+                    m.nnz(),
+                    approx
+                );
+            }
+        }
+    }
+}

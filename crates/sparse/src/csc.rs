@@ -1,0 +1,155 @@
+//! Compressed Sparse Column storage.
+//!
+//! Included because the paper lists CSC among the formats its iterator
+//! mapping supports (§3.1/§4.1); under the abstraction a CSC matrix's
+//! *tiles* are columns and its *atoms* are nonzeros.
+
+use crate::error::{Error, Result};
+
+/// A CSC sparse matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<V = f32> {
+    rows: usize,
+    cols: usize,
+    col_offsets: Vec<usize>,
+    row_indices: Vec<u32>,
+    values: Vec<V>,
+}
+
+impl<V: Copy> Csc<V> {
+    /// Build from raw parts, validating the CSC invariants.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        col_offsets: Vec<usize>,
+        row_indices: Vec<u32>,
+        values: Vec<V>,
+    ) -> Result<Self> {
+        if col_offsets.len() != cols + 1 {
+            return Err(Error::Invalid(format!(
+                "col_offsets has {} entries, expected cols+1 = {}",
+                col_offsets.len(),
+                cols + 1
+            )));
+        }
+        if col_offsets.first() != Some(&0) || col_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Error::Invalid(
+                "col_offsets must start at 0 and be non-decreasing".into(),
+            ));
+        }
+        let nnz = *col_offsets.last().expect("len >= 1");
+        if row_indices.len() != nnz || values.len() != nnz {
+            return Err(Error::Invalid("nnz mismatch".into()));
+        }
+        if row_indices.iter().any(|&r| r as usize >= rows) {
+            return Err(Error::Invalid("row index out of bounds".into()));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            col_offsets,
+            row_indices,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (work tiles under the abstraction).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column offsets (`cols + 1` entries).
+    pub fn col_offsets(&self) -> &[usize] {
+        &self.col_offsets
+    }
+
+    /// Row indices (`nnz` entries).
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// Values (`nnz` entries).
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Nonzero count of column `c`.
+    pub fn col_len(&self, c: usize) -> usize {
+        self.col_offsets[c + 1] - self.col_offsets[c]
+    }
+
+    /// Row indices and values of column `c`.
+    pub fn col(&self, c: usize) -> (&[u32], &[V]) {
+        let range = self.col_offsets[c]..self.col_offsets[c + 1];
+        (&self.row_indices[range.clone()], &self.values[range])
+    }
+}
+
+impl Csc<f32> {
+    /// Reference sequential SpMV via column scatter: `y = A·x`.
+    pub fn spmv_ref(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0f32; self.rows];
+        for c in 0..self.cols {
+            let xc = x[c];
+            let (rows, vals) = self.col(c);
+            for (&r, &v) in rows.iter().zip(vals) {
+                y[r as usize] += v * xc;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert;
+    use crate::csr::Csr;
+
+    fn sample_csr() -> Csr<f32> {
+        Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 5],
+            vec![0, 2, 0, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_structure() {
+        assert!(Csc::<f32>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(Csc::<f32>::from_parts(2, 1, vec![0, 1], vec![7], vec![1.0]).is_err());
+        assert!(Csc::<f32>::from_parts(2, 1, vec![1, 1], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn column_access() {
+        let csc = convert::csr_to_csc(&sample_csr());
+        assert_eq!(csc.col_len(0), 2);
+        let (rows, vals) = csc.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+        assert_eq!(csc.col_len(2), 1);
+    }
+
+    #[test]
+    fn csc_spmv_matches_csr_spmv() {
+        let csr = sample_csr();
+        let csc = convert::csr_to_csc(&csr);
+        let x = [1.0, -2.0, 0.5, 3.0];
+        assert_eq!(csr.spmv_ref(&x), csc.spmv_ref(&x));
+    }
+}

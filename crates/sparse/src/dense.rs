@@ -1,0 +1,125 @@
+//! Dense vector/matrix helpers for the SpMV/SpMM kernels.
+
+/// A row-major dense matrix (the `B` and `C` operands of SpMM, Listing 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<V = f32> {
+    rows: usize,
+    cols: usize,
+    data: Vec<V>,
+}
+
+impl<V: Copy + Default> DenseMatrix<V> {
+    /// A zeroed `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![V::default(); rows * cols],
+        }
+    }
+
+    /// Build from a row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<V>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Fill from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> V) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat row-major index of `(r, c)`.
+    #[inline]
+    pub fn idx(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> V {
+        self.data[self.idx(r, c)]
+    }
+
+    /// Set element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: V) {
+        let i = self.idx(r, c);
+        self.data[i] = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[V] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[V] {
+        &self.data
+    }
+
+    /// Mutable flat buffer (for `simt::GlobalMem` views).
+    pub fn as_mut_slice(&mut self) -> &mut [V] {
+        &mut self.data
+    }
+}
+
+/// Deterministic dense test vector: `x[i] = sin(i) * 0.5 + 1.0` — nonzero,
+/// sign-varying, bounded, reproducible across platforms.
+pub fn test_vector(n: usize) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32).sin() * 0.5) + 1.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = DenseMatrix::<f32>::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(2, 3), 0.0);
+        m.set(2, 3, 7.5);
+        assert_eq!(m.get(2, 3), 7.5);
+        assert_eq!(m.row(2), &[0.0, 0.0, 0.0, 7.5]);
+    }
+
+    #[test]
+    fn from_fn_is_row_major() {
+        let m = DenseMatrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_vec_checks_length() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![1.0f32; 3]);
+    }
+
+    #[test]
+    fn test_vector_is_deterministic_and_nonzero() {
+        let a = test_vector(100);
+        let b = test_vector(100);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| v != 0.0 && v.abs() <= 1.5));
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type shared by the sparse crate.
+
+use std::fmt;
+
+/// Errors raised while constructing, converting, or parsing matrices.
+#[derive(Debug)]
+pub enum Error {
+    /// Structural invariant violated (message describes it).
+    Invalid(String),
+    /// MatrixMarket parse failure with 1-based line number.
+    Parse {
+        /// Line where the failure occurred (1-based, 0 = header missing).
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Invalid(m) => write!(f, "invalid matrix: {m}"),
+            Self::Parse { line, msg } => write!(f, "MatrixMarket parse error at line {line}: {msg}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Invalid("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = Error::Parse {
+            line: 3,
+            msg: "oops".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

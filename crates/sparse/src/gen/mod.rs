@@ -1,0 +1,159 @@
+//! Deterministic synthetic sparse matrix generators.
+//!
+//! These stand in for the SuiteSparse Matrix Collection (886 GB, offline
+//! unavailable — see DESIGN.md). Each generator is seeded and reproducible
+//! and targets one structural family that drives the collection's
+//! diversity of row-length (atoms-per-tile) distributions:
+//!
+//! | generator | family | imbalance character |
+//! |---|---|---|
+//! | [`uniform`] | Erdős–Rényi random | low CV, Poisson-ish rows |
+//! | [`powerlaw`] | scale-free / web / social | heavy tail, hub rows |
+//! | [`rmat`] | Graph500-style RMAT | power-law with locality |
+//! | [`banded`], [`stencil5`], [`stencil9`], [`diagonal`] | PDE / structured | perfectly regular |
+//! | [`block_diag`] | multibody / FEM blocks | regular, dense blocks |
+//! | [`single_column`] | sparse vector (SpVV) | the CUB heuristic's case |
+//! | [`hub_rows`] | adversarial | few monster rows among tiny ones |
+
+mod powerlaw;
+mod rmat;
+mod special;
+mod structured;
+mod uniform;
+
+pub use powerlaw::powerlaw;
+pub use rmat::rmat;
+pub use special::{hub_rows, single_column};
+pub use structured::{banded, block_diag, diagonal, stencil5, stencil9};
+pub use uniform::uniform;
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG shared by all generators.
+pub(crate) fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draw a nonzero value in `[-1, -0.1] ∪ [0.1, 1]` (bounded away from zero
+/// so cancellation never hides kernel bugs in tests).
+pub(crate) fn draw_value(rng: &mut StdRng) -> f32 {
+    let mag = rng.gen_range(0.1f32..1.0);
+    if rng.gen_bool(0.5) {
+        mag
+    } else {
+        -mag
+    }
+}
+
+/// Build a CSR matrix with the given per-row lengths: each row gets
+/// `lengths[r].min(cols)` distinct random columns (sorted) with random
+/// values.
+pub(crate) fn from_row_lengths(
+    rows: usize,
+    cols: usize,
+    lengths: &[usize],
+    rng: &mut StdRng,
+) -> Csr<f32> {
+    assert_eq!(lengths.len(), rows);
+    let mut row_offsets = Vec::with_capacity(rows + 1);
+    row_offsets.push(0usize);
+    let total: usize = lengths.iter().map(|&l| l.min(cols)).sum();
+    let mut col_indices = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    let mut scratch: Vec<u32> = Vec::new();
+    for &want in lengths {
+        let len = want.min(cols);
+        sample_distinct_sorted(cols, len, rng, &mut scratch);
+        for &c in &scratch {
+            col_indices.push(c);
+            values.push(draw_value(rng));
+        }
+        row_offsets.push(col_indices.len());
+    }
+    Csr::from_parts(rows, cols, row_offsets, col_indices, values)
+        .expect("generator output satisfies CSR invariants")
+}
+
+/// Sample `len` distinct column indices in `[0, cols)`, sorted ascending,
+/// into `out`. Uses Floyd's algorithm for sparse draws and a dense
+/// reservoir when `len` is a large fraction of `cols`.
+pub(crate) fn sample_distinct_sorted(
+    cols: usize,
+    len: usize,
+    rng: &mut StdRng,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    debug_assert!(len <= cols);
+    if len == 0 {
+        return;
+    }
+    if len * 3 >= cols {
+        // Dense case: Bernoulli-style selection via partial shuffle.
+        let mut all: Vec<u32> = (0..cols as u32).collect();
+        for i in 0..len {
+            let j = rng.gen_range(i..cols);
+            all.swap(i, j);
+        }
+        out.extend_from_slice(&all[..len]);
+    } else {
+        // Floyd's algorithm: O(len) expected.
+        let mut set = std::collections::HashSet::with_capacity(len * 2);
+        for j in (cols - len)..cols {
+            let t = rng.gen_range(0..=j as u32);
+            if !set.insert(t) {
+                set.insert(j as u32);
+                out.push(j as u32);
+            } else {
+                out.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    debug_assert_eq!(out.len(), len, "distinct sample must hit target length");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_distinct_hits_exact_length_and_bounds() {
+        let mut rng = rng_for(1);
+        let mut out = Vec::new();
+        for &(cols, len) in &[(10usize, 10usize), (1000, 3), (100, 60), (7, 0), (1, 1)] {
+            sample_distinct_sorted(cols, len, &mut rng, &mut out);
+            assert_eq!(out.len(), len, "cols={cols} len={len}");
+            assert!(out.windows(2).all(|w| w[0] < w[1]));
+            assert!(out.iter().all(|&c| (c as usize) < cols));
+        }
+    }
+
+    #[test]
+    fn from_row_lengths_builds_requested_structure() {
+        let mut rng = rng_for(2);
+        let m = from_row_lengths(4, 16, &[3, 0, 16, 100], &mut rng);
+        assert_eq!(m.row_lengths(), vec![3, 0, 16, 16]); // capped at cols
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let a = uniform(100, 100, 1000, 42);
+        let b = uniform(100, 100, 1000, 42);
+        let c = uniform(100, 100, 1000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_bounded_away_from_zero() {
+        let m = uniform(50, 50, 500, 3);
+        assert!(m
+            .values()
+            .iter()
+            .all(|&v| (0.1..=1.0).contains(&v.abs())));
+    }
+}

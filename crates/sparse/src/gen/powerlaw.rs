@@ -1,0 +1,79 @@
+//! Power-law (scale-free) matrices — the paper's load-imbalance villains.
+
+use super::{from_row_lengths, rng_for};
+use crate::csr::Csr;
+use rand::Rng;
+
+/// A matrix whose row lengths follow a (discretized, truncated) power law
+/// with exponent `alpha`: `P(len = k) ∝ k^-alpha`. Smaller `alpha` →
+/// heavier tail → more brutal hub rows. Lengths are scaled so total nnz
+/// approximates `nnz_target`.
+///
+/// Web graphs, social networks, and citation matrices — the datasets on
+/// which thread-mapped SpMV collapses and merge-path shines (§6.2) — all
+/// live in this family.
+pub fn powerlaw(rows: usize, cols: usize, nnz_target: usize, alpha: f64, seed: u64) -> Csr<f32> {
+    assert!(alpha > 1.0, "power-law exponent must exceed 1");
+    let mut rng = rng_for(seed);
+    if rows == 0 || cols == 0 || nnz_target == 0 {
+        return Csr::empty(rows, cols);
+    }
+    // Inverse-transform sampling of a Pareto tail, truncated at `cols`.
+    let max_len = cols as f64;
+    let mut raw: Vec<f64> = (0..rows)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Pareto with x_min = 1: x = (1 - u)^(-1/(alpha-1))
+            (1.0 - u).powf(-1.0 / (alpha - 1.0)).min(max_len)
+        })
+        .collect();
+    let raw_total: f64 = raw.iter().sum();
+    let scale = nnz_target as f64 / raw_total;
+    let lengths: Vec<usize> = raw
+        .iter_mut()
+        .map(|r| ((*r * scale).round() as usize).min(cols))
+        .collect();
+    from_row_lengths(rows, cols, &lengths, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn heavy_tail_produces_high_imbalance() {
+        let m = powerlaw(5000, 5000, 100_000, 1.8, 21);
+        let s = RowStats::of(&m);
+        assert!(s.cv > 1.0, "cv = {}", s.cv);
+        assert!(s.max_over_mean > 10.0, "max/mean = {}", s.max_over_mean);
+    }
+
+    #[test]
+    fn nnz_lands_near_target() {
+        let m = powerlaw(5000, 5000, 100_000, 2.2, 22);
+        let nnz = m.nnz() as f64;
+        assert!(
+            (nnz - 100_000.0).abs() / 100_000.0 < 0.25,
+            "nnz = {nnz} (target 100k)"
+        );
+    }
+
+    #[test]
+    fn steeper_exponent_is_tamer() {
+        let wild = RowStats::of(&powerlaw(4000, 4000, 80_000, 1.6, 23));
+        let tame = RowStats::of(&powerlaw(4000, 4000, 80_000, 3.5, 23));
+        assert!(wild.gini > tame.gini, "{} vs {}", wild.gini, tame.gini);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn alpha_must_exceed_one() {
+        let _ = powerlaw(10, 10, 10, 1.0, 0);
+    }
+
+    #[test]
+    fn empty_target_is_empty() {
+        assert_eq!(powerlaw(10, 10, 0, 2.0, 0).nnz(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Special-case matrices the evaluation depends on.
+
+use super::{from_row_lengths, rng_for};
+use crate::csr::Csr;
+use rand::Rng;
+
+/// A single-column matrix (`cols = 1`) — a sparse vector. This is the
+/// exact shape for which CUB short-circuits merge-path into a specialized
+/// thread-mapped kernel, the one regime where CUB beats the framework in
+/// Figure 2.
+pub fn single_column(rows: usize, nnz: usize, seed: u64) -> Csr<f32> {
+    let mut rng = rng_for(seed);
+    let nnz = nnz.min(rows);
+    // Choose which rows hold the single entry.
+    let mut chosen = vec![false; rows];
+    let mut placed = 0usize;
+    while placed < nnz {
+        let r = rng.gen_range(0..rows);
+        if !chosen[r] {
+            chosen[r] = true;
+            placed += 1;
+        }
+    }
+    let lengths: Vec<usize> = chosen.iter().map(|&c| usize::from(c)).collect();
+    from_row_lengths(rows, 1, &lengths, &mut rng)
+}
+
+/// An adversarial matrix: `hubs` monster rows of `hub_len` nonzeros among
+/// otherwise `base_len`-entry rows. The worst case for tile-per-thread
+/// scheduling — one warp drags the whole device (§1's motivating
+/// imbalance).
+pub fn hub_rows(
+    rows: usize,
+    cols: usize,
+    hubs: usize,
+    hub_len: usize,
+    base_len: usize,
+    seed: u64,
+) -> Csr<f32> {
+    let mut rng = rng_for(seed);
+    let hubs = hubs.min(rows);
+    let mut lengths = vec![base_len.min(cols); rows];
+    // Spread hubs deterministically across the row space.
+    let stride = (rows / hubs.max(1)).max(1);
+    for h in 0..hubs {
+        lengths[h * stride % rows.max(1)] = hub_len.min(cols);
+    }
+    from_row_lengths(rows, cols, &lengths, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn single_column_has_one_column_and_short_rows() {
+        let m = single_column(1000, 400, 7);
+        assert_eq!(m.cols(), 1);
+        assert_eq!(m.nnz(), 400);
+        assert!(m.row_lengths().iter().all(|&l| l <= 1));
+        assert!(m.col_indices().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn single_column_caps_nnz_at_rows() {
+        let m = single_column(10, 50, 8);
+        assert_eq!(m.nnz(), 10);
+    }
+
+    #[test]
+    fn hub_rows_creates_the_advertised_imbalance() {
+        let m = hub_rows(10_000, 10_000, 4, 5_000, 3, 9);
+        let s = RowStats::of(&m);
+        assert_eq!(s.max, 5_000);
+        assert!(s.max_over_mean > 100.0, "max/mean = {}", s.max_over_mean);
+        // All but the hubs are tiny.
+        let long_rows = m.row_lengths().iter().filter(|&&l| l > 100).count();
+        assert_eq!(long_rows, 4);
+    }
+
+    #[test]
+    fn hub_rows_with_more_hubs_than_rows_saturates() {
+        let m = hub_rows(4, 16, 100, 8, 1, 10);
+        assert!(m.row_lengths().iter().any(|&l| l == 8));
+    }
+}

@@ -1,0 +1,161 @@
+//! Perfectly regular matrices: bands, stencils, diagonals, dense blocks.
+//!
+//! These are the PDE/FEM half of SuiteSparse — the regime where
+//! thread-mapped scheduling is already optimal and any load-balancing
+//! setup cost is pure overhead (the left side of Figure 3's landscape).
+
+use super::{draw_value, rng_for};
+use crate::csr::Csr;
+
+/// Banded matrix: row `r` holds entries in columns `[r-bw, r+bw]` clipped
+/// to the matrix. `n × n`, fully regular.
+pub fn banded(n: usize, bw: usize, seed: u64) -> Csr<f32> {
+    let mut rng = rng_for(seed);
+    let mut row_offsets = Vec::with_capacity(n + 1);
+    row_offsets.push(0usize);
+    let mut col_indices = Vec::new();
+    let mut values = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(bw);
+        let hi = (r + bw).min(n.saturating_sub(1));
+        for c in lo..=hi {
+            col_indices.push(c as u32);
+            values.push(draw_value(&mut rng));
+        }
+        row_offsets.push(col_indices.len());
+    }
+    Csr::from_parts(n, n, row_offsets, col_indices, values)
+        .expect("band construction preserves invariants")
+}
+
+/// Identity-pattern diagonal matrix with random values.
+pub fn diagonal(n: usize, seed: u64) -> Csr<f32> {
+    banded(n, 0, seed)
+}
+
+/// 5-point stencil (2-D Laplacian pattern) on an `nx × ny` grid:
+/// `n = nx*ny` rows, ≤ 5 entries per row.
+pub fn stencil5(nx: usize, ny: usize, seed: u64) -> Csr<f32> {
+    stencil(nx, ny, &[(0i64, 0i64), (-1, 0), (1, 0), (0, -1), (0, 1)], seed)
+}
+
+/// 9-point stencil on an `nx × ny` grid.
+pub fn stencil9(nx: usize, ny: usize, seed: u64) -> Csr<f32> {
+    let offs: Vec<(i64, i64)> = (-1..=1)
+        .flat_map(|dy| (-1..=1).map(move |dx| (dx, dy)))
+        .collect();
+    stencil(nx, ny, &offs, seed)
+}
+
+fn stencil(nx: usize, ny: usize, offsets: &[(i64, i64)], seed: u64) -> Csr<f32> {
+    let n = nx * ny;
+    let mut rng = rng_for(seed);
+    let mut row_offsets = Vec::with_capacity(n + 1);
+    row_offsets.push(0usize);
+    let mut col_indices = Vec::new();
+    let mut values = Vec::new();
+    for y in 0..ny as i64 {
+        for x in 0..nx as i64 {
+            let mut cols: Vec<u32> = offsets
+                .iter()
+                .filter_map(|&(dx, dy)| {
+                    let (cx, cy) = (x + dx, y + dy);
+                    (cx >= 0 && cy >= 0 && cx < nx as i64 && cy < ny as i64)
+                        .then(|| (cy * nx as i64 + cx) as u32)
+                })
+                .collect();
+            cols.sort_unstable();
+            for c in cols {
+                col_indices.push(c);
+                values.push(draw_value(&mut rng));
+            }
+            row_offsets.push(col_indices.len());
+        }
+    }
+    Csr::from_parts(n, n, row_offsets, col_indices, values)
+        .expect("stencil construction preserves invariants")
+}
+
+/// Block-diagonal matrix: `blocks` dense blocks of `block_size²` entries.
+pub fn block_diag(blocks: usize, block_size: usize, seed: u64) -> Csr<f32> {
+    let n = blocks * block_size;
+    let mut rng = rng_for(seed);
+    let mut row_offsets = Vec::with_capacity(n + 1);
+    row_offsets.push(0usize);
+    let mut col_indices = Vec::new();
+    let mut values = Vec::new();
+    for b in 0..blocks {
+        let base = b * block_size;
+        for _r in 0..block_size {
+            for c in 0..block_size {
+                col_indices.push((base + c) as u32);
+                values.push(draw_value(&mut rng));
+            }
+            row_offsets.push(col_indices.len());
+        }
+    }
+    Csr::from_parts(n, n, row_offsets, col_indices, values)
+        .expect("block construction preserves invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn banded_has_expected_widths() {
+        let m = banded(10, 2, 1);
+        assert_eq!(m.row_len(0), 3); // cols 0..=2
+        assert_eq!(m.row_len(5), 5); // cols 3..=7
+        assert_eq!(m.row_len(9), 3);
+        assert_eq!(m.rows(), 10);
+    }
+
+    #[test]
+    fn diagonal_is_one_per_row() {
+        let m = diagonal(32, 2);
+        assert_eq!(m.nnz(), 32);
+        for r in 0..32 {
+            assert_eq!(m.row(r).0, &[r as u32]);
+        }
+    }
+
+    #[test]
+    fn stencil5_interior_rows_have_five_entries() {
+        let m = stencil5(10, 10, 3);
+        assert_eq!(m.rows(), 100);
+        // interior point (5,5) = row 55
+        assert_eq!(m.row_len(55), 5);
+        // corner (0,0) = row 0: self + right + up = 3
+        assert_eq!(m.row_len(0), 3);
+        let s = RowStats::of(&m);
+        assert!(s.cv < 0.2, "stencils are regular, cv = {}", s.cv);
+    }
+
+    #[test]
+    fn stencil9_interior_rows_have_nine_entries() {
+        let m = stencil9(8, 8, 4);
+        assert_eq!(m.row_len(9 + 8 * 2), 9); // an interior row
+        assert_eq!(m.row_len(0), 4); // corner: 2x2 neighborhood
+    }
+
+    #[test]
+    fn block_diag_rows_are_block_size_long() {
+        let m = block_diag(4, 8, 5);
+        assert_eq!(m.rows(), 32);
+        assert_eq!(m.nnz(), 4 * 64);
+        assert!(m.row_lengths().iter().all(|&l| l == 8));
+        // Entry (9, c) lives in block 1: columns 8..16.
+        assert!(m.row(9).0.iter().all(|&c| (8..16).contains(&c)));
+    }
+
+    #[test]
+    fn stencil_columns_sorted_in_every_row() {
+        let m = stencil9(6, 7, 8);
+        for r in 0..m.rows() {
+            let (cols, _) = m.row(r);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

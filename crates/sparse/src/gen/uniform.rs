@@ -1,0 +1,73 @@
+//! Erdős–Rényi-style uniform random matrices.
+
+use super::{from_row_lengths, rng_for};
+use crate::csr::Csr;
+use rand::Rng;
+
+/// A `rows × cols` matrix with approximately `nnz` entries placed
+/// uniformly: each row's length is drawn from a narrow distribution around
+/// `nnz / rows` (Poisson-like), columns uniform. Low imbalance — the
+/// regime where simple schedules already work well.
+pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr<f32> {
+    let mut rng = rng_for(seed);
+    if rows == 0 || cols == 0 {
+        return Csr::empty(rows, cols);
+    }
+    let mean = nnz as f64 / rows as f64;
+    let lengths: Vec<usize> = (0..rows)
+        .map(|_| {
+            // Binomial-ish jitter: mean ± sqrt(mean).
+            let jitter = if mean >= 1.0 {
+                rng.gen_range(-mean.sqrt()..=mean.sqrt())
+            } else {
+                0.0
+            };
+            let l = (mean + jitter).round();
+            if l <= 0.0 {
+                // Small means: Bernoulli on the fractional part.
+                usize::from(rng.gen_bool(mean.clamp(0.0, 1.0)))
+            } else {
+                l as usize
+            }
+        })
+        .map(|l| l.min(cols))
+        .collect();
+    from_row_lengths(rows, cols, &lengths, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RowStats;
+
+    #[test]
+    fn nnz_lands_near_target() {
+        let m = uniform(1000, 1000, 20_000, 9);
+        let nnz = m.nnz() as f64;
+        assert!((nnz - 20_000.0).abs() < 2_000.0, "nnz = {nnz}");
+    }
+
+    #[test]
+    fn imbalance_is_low() {
+        let m = uniform(2000, 2000, 40_000, 10);
+        let s = RowStats::of(&m);
+        assert!(s.cv < 0.5, "cv = {}", s.cv);
+        assert!(s.max_over_mean < 3.0, "max/mean = {}", s.max_over_mean);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(uniform(0, 10, 100, 1).nnz(), 0);
+        assert_eq!(uniform(10, 0, 100, 1).nnz(), 0);
+        let tiny = uniform(10, 10, 0, 1);
+        assert!(tiny.nnz() <= 10);
+    }
+
+    #[test]
+    fn very_sparse_mean_below_one() {
+        let m = uniform(1000, 1000, 100, 11);
+        // Bernoulli regime: some rows empty, none longer than 1.
+        assert!(m.row_lengths().iter().all(|&l| l <= 1));
+        assert!(m.nnz() > 20 && m.nnz() < 400, "nnz = {}", m.nnz());
+    }
+}

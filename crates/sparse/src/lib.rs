@@ -1,0 +1,41 @@
+//! # sparse — sparse matrix formats, generators, and the evaluation corpus
+//!
+//! Substrate crate for the PPoPP '23 load-balancing reproduction. Provides:
+//!
+//! * the storage formats the paper's framework ingests — [`Csr`], [`Csc`],
+//!   [`Coo`] — plus dense vectors/matrices and conversions between them
+//!   (§3.1 / §4.1 of the paper);
+//! * MatrixMarket (`.mtx`) reading and writing, so real SuiteSparse files
+//!   can be used when present ([`mm`]);
+//! * deterministic synthetic matrix generators spanning the structural
+//!   families that drive SuiteSparse's diversity ([`gen`]);
+//! * row-distribution statistics quantifying load imbalance ([`stats`]);
+//! * the **SuiteSparse surrogate corpus** used by every experiment
+//!   ([`corpus`]): ~300 seeded matrices covering the nnz and imbalance
+//!   ranges of the real collection (the real collection is 886 GB and not
+//!   available offline — see DESIGN.md for the substitution argument).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod convert;
+pub mod coo;
+pub mod corpus;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod ell;
+pub mod error;
+pub mod gen;
+pub mod mm;
+pub mod reorder;
+pub mod stats;
+
+pub use coo::Coo;
+pub use corpus::{suite_sparse_surrogate, CorpusSpec, Family};
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dense::DenseMatrix;
+pub use ell::Ell;
+pub use error::{Error, Result};
+pub use stats::RowStats;

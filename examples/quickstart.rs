@@ -1,0 +1,44 @@
+//! Quickstart — the artifact's sanity check (paper Appendix A.3.1).
+//!
+//! ```text
+//! bin/loops.spmv.merge_path -m chesapeake.mtx --validate -v
+//! ```
+//!
+//! Builds the chesapeake-like 39×39 corpus matrix, runs the framework's
+//! merge-path SpMV on the simulated V100, validates against the CPU
+//! reference, and prints the artifact's output format.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+fn main() {
+    let spec = GpuSpec::v100();
+    let a = sparse::corpus::chesapeake();
+    let x = vec![1.0f32; a.cols()];
+
+    let run = kernels::spmv(&spec, &a, &x, ScheduleKind::MergePath).expect("launch failed");
+
+    // Validate against the sequential reference.
+    let want = a.spmv_ref(&x);
+    let errors = run
+        .y
+        .iter()
+        .zip(&want)
+        .filter(|(g, w)| (*g - *w).abs() > 1e-3 * w.abs().max(1.0))
+        .count();
+
+    // The artifact's expected output format:
+    println!("Elapsed (ms): {:.6}", run.report.elapsed_ms());
+    println!("Matrix: chesapeake.mtx");
+    println!("Dimensions: {} x {} ({})", a.rows(), a.cols(), a.nnz());
+    println!("Errors: {errors}");
+
+    assert_eq!(errors, 0, "validation must pass");
+    println!();
+    println!(
+        "(simulated {}: {} SMs, warp {}, {:.0} GB/s; schedule: {})",
+        spec.name, spec.num_sms, spec.warp_size, spec.mem_bw_gbs, run.schedule
+    );
+}

@@ -1,0 +1,75 @@
+//! Switching load-balancing schedules with one identifier (paper §6.2).
+//!
+//! Runs the same SpMV computation under all five framework schedules plus
+//! both baselines on two matrices with opposite personalities — a regular
+//! banded matrix and a power-law matrix with hub rows — and prints the
+//! landscape. Watch thread-mapped flip from competitive to catastrophic.
+//!
+//! Run with: `cargo run --release --example spmv_schedules`
+
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+fn main() {
+    let spec = GpuSpec::v100();
+    let cases = [
+        ("banded (regular)", sparse::gen::banded(200_000, 4, 1)),
+        (
+            "power-law (hub rows)",
+            sparse::gen::powerlaw(200_000, 200_000, 1_800_000, 1.7, 2),
+        ),
+    ];
+    let schedules = [
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::WarpMapped,
+        ScheduleKind::BlockMapped,
+        ScheduleKind::GroupMapped(64),
+        ScheduleKind::MergePath,
+    ];
+
+    for (name, a) in &cases {
+        let x = sparse::dense::test_vector(a.cols());
+        let want = a.spmv_ref(&x);
+        let stats = sparse::RowStats::of(a);
+        println!(
+            "\n=== {name}: {}x{}, {} nnz, row-length CV {:.2}, max/mean {:.1} ===",
+            a.rows(),
+            a.cols(),
+            a.nnz(),
+            stats.cv,
+            stats.max_over_mean
+        );
+        println!(
+            "{:<22} {:>12} {:>12} {:>10} {:>8}",
+            "schedule", "elapsed (ms)", "compute (ms)", "SM util", "check"
+        );
+        for kind in schedules {
+            // The entire schedule switch is this one enum value.
+            let run = kernels::spmv(&spec, a, &x, kind).expect("launch");
+            let err = kernels::spmv::max_rel_error(&run.y, &want);
+            println!(
+                "{:<22} {:>12.4} {:>12.4} {:>9.0}% {:>8}",
+                kind.to_string(),
+                run.report.elapsed_ms(),
+                run.report.timing.compute_ms,
+                run.report.timing.sm_utilization * 100.0,
+                if err < 2e-3 { "ok" } else { "FAIL" }
+            );
+        }
+        for (label, run) in [
+            ("cub-like (fused)", baselines::cub_spmv(&spec, a, &x).unwrap()),
+            ("cusparse-like", baselines::cusparse_spmv(&spec, a, &x).unwrap()),
+        ] {
+            println!(
+                "{:<22} {:>12.4} {:>12.4} {:>9.0}% {:>8}",
+                label,
+                run.report.elapsed_ms(),
+                run.report.timing.compute_ms,
+                run.report.timing.sm_utilization * 100.0,
+                "ok"
+            );
+        }
+        let pick = loops::Heuristic::paper().select(a.rows(), a.cols(), a.nnz());
+        println!("heuristic would pick: {pick}");
+    }
+}

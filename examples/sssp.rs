@@ -1,0 +1,61 @@
+//! Single-Source Shortest Path (paper §5.3, Listing 5).
+//!
+//! The point of this example: the *same* load-balancing schedules that
+//! power SpMV drive a data-centric graph traversal, untouched. Runs SSSP
+//! on an RMAT graph under three schedules, validates against Dijkstra, and
+//! shows per-schedule totals.
+//!
+//! Run with: `cargo run --release --example sssp`
+
+use kernels::{reference, Graph};
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+fn main() {
+    let spec = GpuSpec::v100();
+    // 2^14 vertices, ~16 edges each, Graph500 skew: hubby frontiers.
+    let g = Graph::from_generator(sparse::gen::rmat(14, 16, (0.57, 0.19, 0.19), 7));
+    let src = 0usize;
+    println!(
+        "RMAT graph: {} vertices, {} edges; source {src}",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let want = reference::sssp_ref(g.adjacency(), src);
+    let reachable = want.iter().filter(|d| d.is_finite()).count();
+    println!("Dijkstra reference: {reachable} reachable vertices\n");
+
+    println!(
+        "{:<18} {:>11} {:>13} {:>10}",
+        "schedule", "iterations", "elapsed (ms)", "errors"
+    );
+    for kind in [
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::WarpMapped,
+        ScheduleKind::MergePath,
+    ] {
+        let run = kernels::sssp::sssp(&spec, &g, src, kind).expect("launch");
+        let errors = run
+            .dist
+            .iter()
+            .zip(&want)
+            .filter(|(g, w)| {
+                if w.is_infinite() {
+                    g.is_finite()
+                } else {
+                    (*g - *w).abs() > 1e-3 * w.max(1.0)
+                }
+            })
+            .count();
+        println!(
+            "{:<18} {:>11} {:>13.4} {:>10}",
+            kind.to_string(),
+            run.iterations,
+            run.report.elapsed_ms(),
+            errors
+        );
+        assert_eq!(errors, 0);
+    }
+    println!("\nAll schedules agree with Dijkstra — scheduling is fully decoupled from the algorithm.");
+}

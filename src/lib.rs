@@ -1,0 +1,24 @@
+//! # gpu-loops — facade crate
+//!
+//! Rust reproduction of *"A Programming Model for GPU Load Balancing"*
+//! (Osama, Porumbescu, Owens; PPoPP '23). This crate re-exports the whole
+//! workspace under one roof:
+//!
+//! * [`simt`] — the SIMT GPU simulator substrate (grid/block/warp/group
+//!   execution, cost model, timing).
+//! * [`sparse`] — CSR/CSC/COO formats, MatrixMarket IO, generators, and
+//!   the SuiteSparse surrogate corpus.
+//! * [`loops`] — the paper's contribution: work atoms/tiles/tile sets,
+//!   composable device ranges, and pluggable load-balancing schedules.
+//! * [`kernels`] — applications built on the abstraction: SpMV, SpMM,
+//!   SpGEMM, BFS, SSSP.
+//! * [`baselines`] — CUB-like and cuSparse-like comparators.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the substitution
+//! rationale (no physical GPU is used; everything runs on the simulator).
+
+pub use baselines;
+pub use kernels;
+pub use loops;
+pub use simt;
+pub use sparse;

@@ -1,0 +1,94 @@
+//! Integration: BFS and SSSP across schedules, graph families, and
+//! sources, validated against sequential references.
+
+use kernels::{reference, Graph};
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+const SCHEDULES: [ScheduleKind; 4] = [
+    ScheduleKind::ThreadMapped,
+    ScheduleKind::MergePath,
+    ScheduleKind::WarpMapped,
+    ScheduleKind::GroupMapped(16),
+];
+
+fn graphs() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("rmat", Graph::from_generator(sparse::gen::rmat(10, 8, (0.57, 0.19, 0.19), 31))),
+        ("uniform", Graph::from_generator(sparse::gen::uniform(700, 700, 5_600, 32))),
+        ("band", Graph::from_generator(sparse::gen::banded(400, 2, 33))),
+        ("hub", Graph::from_generator(sparse::gen::hub_rows(600, 600, 2, 300, 2, 34))),
+    ]
+}
+
+#[test]
+fn bfs_matches_reference_everywhere() {
+    let spec = GpuSpec::v100();
+    for (name, g) in graphs() {
+        let srcs = [0usize, g.num_vertices() / 2];
+        for src in srcs {
+            let want = reference::bfs_ref(g.adjacency(), src);
+            for kind in SCHEDULES {
+                let run = kernels::bfs::bfs(&spec, &g, src, kind).unwrap();
+                assert_eq!(run.depth, want, "{name} src={src} {kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sssp_matches_dijkstra_everywhere() {
+    let spec = GpuSpec::v100();
+    for (name, g) in graphs() {
+        let src = 1usize.min(g.num_vertices() - 1);
+        let want = reference::sssp_ref(g.adjacency(), src);
+        for kind in SCHEDULES {
+            let run = kernels::sssp::sssp(&spec, &g, src, kind).unwrap();
+            for v in 0..g.num_vertices() {
+                let (got, expect) = (run.dist[v], want[v]);
+                if expect.is_infinite() {
+                    assert!(got.is_infinite(), "{name} {kind}: v{v} should be unreachable");
+                } else {
+                    assert!(
+                        (got - expect).abs() < 1e-3 * expect.max(1.0),
+                        "{name} {kind}: dist[{v}] = {got}, want {expect}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traversal_work_scales_with_frontier_not_graph() {
+    // An isolated source on a big graph must finish in one cheap level.
+    let mut triplets = vec![(0u32, 1u32, 1.0f32)];
+    triplets.extend((2..5_000u32).map(|v| (v, v - 1, 1.0)));
+    let adj = sparse::Csr::from_triplets(5_000, 5_000, triplets).unwrap();
+    let g = Graph::new(adj);
+    let spec = GpuSpec::v100();
+    let run = kernels::bfs::bfs(&spec, &g, 0, ScheduleKind::MergePath).unwrap();
+    assert_eq!(run.depth[1], 1);
+    assert_eq!(run.iterations, 2); // expand {0}, then {1} (no out-edges)
+}
+
+#[test]
+fn sssp_distances_dominate_bfs_times_min_weight() {
+    let g = Graph::from_generator(sparse::gen::rmat(9, 8, (0.57, 0.19, 0.19), 35));
+    // RMAT merges duplicate edges by summing, so derive the actual weight
+    // bounds from the graph instead of assuming the generator's range.
+    let (mut w_min, mut w_max) = (f32::INFINITY, 0.0f32);
+    for e in 0..g.num_edges() {
+        w_min = w_min.min(g.edge_weight(e));
+        w_max = w_max.max(g.edge_weight(e));
+    }
+    let spec = GpuSpec::v100();
+    let b = kernels::bfs::bfs(&spec, &g, 0, ScheduleKind::WarpMapped).unwrap();
+    let s = kernels::sssp::sssp(&spec, &g, 0, ScheduleKind::WarpMapped).unwrap();
+    for v in 0..g.num_vertices() {
+        if b.depth[v] != u32::MAX {
+            assert!(s.dist[v] <= w_max * b.depth[v] as f32 + 1e-3);
+            assert!(s.dist[v] >= w_min * b.depth[v] as f32 - 1e-3);
+        }
+    }
+}

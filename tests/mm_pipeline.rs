@@ -1,0 +1,64 @@
+//! Integration: the artifact's file pipeline — write a matrix as
+//! MatrixMarket, read it back, and run the full load-balanced SpMV on it,
+//! exactly as `run.sh` does per `.mtx` file.
+
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+#[test]
+fn mtx_roundtrip_then_spmv() {
+    let a = sparse::gen::powerlaw(500, 400, 6_000, 2.0, 90);
+    let mut buf = Vec::new();
+    sparse::mm::write_csr(&mut buf, &a).unwrap();
+    let back = sparse::mm::read_csr(buf.as_slice()).unwrap();
+    assert_eq!(a.rows(), back.rows());
+    assert_eq!(a.cols(), back.cols());
+    assert_eq!(a.nnz(), back.nnz());
+    assert_eq!(a.row_offsets(), back.row_offsets());
+    assert_eq!(a.col_indices(), back.col_indices());
+    // Values go through decimal text; compare with tolerance.
+    for (u, v) in a.values().iter().zip(back.values()) {
+        assert!((u - v).abs() < 1e-5);
+    }
+
+    let x = sparse::dense::test_vector(back.cols());
+    let run = kernels::spmv(&GpuSpec::v100(), &back, &x, ScheduleKind::MergePath).unwrap();
+    let err = kernels::spmv::max_rel_error(&run.y, &back.spmv_ref(&x));
+    assert!(err < 2e-3);
+}
+
+#[test]
+fn mtx_file_on_disk_like_run_sh() {
+    let dir = std::env::temp_dir().join("loops_mtx_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("test_matrix.mtx");
+    let a = sparse::gen::uniform(200, 200, 2_000, 91);
+    {
+        let f = std::fs::File::create(&path).unwrap();
+        sparse::mm::write_csr(std::io::BufWriter::new(f), &a).unwrap();
+    }
+    let back = sparse::mm::read_csr_path(&path).unwrap();
+    assert_eq!(back.nnz(), a.nnz());
+    // "Some runs are expected to fail as they are not in proper
+    // MatrixMarket format" — and must fail *cleanly*, not panic.
+    std::fs::write(dir.join("broken.mtx"), "this is not a matrix\n").unwrap();
+    let err = sparse::mm::read_csr_path(dir.join("broken.mtx"));
+    assert!(matches!(err, Err(sparse::Error::Parse { .. })));
+    let gone = sparse::mm::read_csr_path(dir.join("missing.mtx"));
+    assert!(matches!(gone, Err(sparse::Error::Io(_))));
+}
+
+#[test]
+fn symmetric_mtx_expands_before_scheduling() {
+    let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+        4 4 4\n\
+        1 1 2.0\n\
+        2 1 1.0\n\
+        3 2 1.0\n\
+        4 3 1.0\n";
+    let a = sparse::mm::read_csr(src.as_bytes()).unwrap();
+    assert_eq!(a.nnz(), 7); // 3 off-diagonal pairs + 1 diagonal
+    let x = vec![1.0f32; 4];
+    let run = kernels::spmv(&GpuSpec::test_tiny(), &a, &x, ScheduleKind::WarpMapped).unwrap();
+    assert_eq!(run.y, a.spmv_ref(&x));
+}

@@ -1,0 +1,130 @@
+//! Integration: the paper's headline claims, checked as *shape*
+//! assertions on a fast corpus slice. EXPERIMENTS.md records the
+//! full-corpus numbers; these tests pin the qualitative results so a
+//! regression in any crate breaks the reproduction visibly.
+
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Figure 2: the framework's merge-path stays within a few percent of the
+/// hand-fused CUB-like implementation.
+#[test]
+fn fig2_abstraction_overhead_is_small() {
+    let spec = GpuSpec::v100();
+    let mut ratios = Vec::new();
+    for entry in sparse::corpus::corpus_subset(20) {
+        if entry.approx_nnz() > 500_000 {
+            continue;
+        }
+        let a = entry.build();
+        let x = sparse::dense::test_vector(a.cols());
+        let ours = kernels::spmv(&spec, &a, &x, ScheduleKind::MergePath).unwrap();
+        let cub = baselines::cub_spmv(&spec, &a, &x).unwrap();
+        ratios.push(ours.report.elapsed_ms() / cub.report.elapsed_ms());
+    }
+    let g = geomean(&ratios);
+    assert!(
+        g < 1.10,
+        "geomean slowdown vs CUB should be a few percent, got {:.1}%",
+        (g - 1.0) * 100.0
+    );
+    assert!(g > 0.95, "framework should not mysteriously beat fused CUB: {g}");
+}
+
+/// §6.1: CUB's single-column heuristic beats running merge-path on a
+/// sparse vector (in schedule work, the regime the paper plots).
+#[test]
+fn fig2_cub_single_column_heuristic_wins() {
+    let spec = GpuSpec::v100();
+    let a = sparse::gen::single_column(300_000, 200_000, 1);
+    let x = vec![1.5f32];
+    let fast = baselines::cub_spmv(&spec, &a, &x).unwrap();
+    assert_eq!(fast.path, "cub-thread-mapped-spvv");
+    let merge = baselines::cub_like::cub_merge_path_only(&spec, &a, &x).unwrap();
+    assert!(fast.report.timing.compute_ms < merge.report.timing.compute_ms);
+}
+
+/// Figures 3/4: merge-path decisively beats the cuSparse-like baseline on
+/// skewed matrices — the load-imbalance story.
+#[test]
+fn fig34_merge_path_wins_on_imbalance() {
+    let spec = GpuSpec::v100();
+    for (name, a, min_speedup) in [
+        ("widestar", sparse::gen::hub_rows(1_000, 400_000, 1, 400_000, 1, 2), 5.0),
+        ("powerlaw", sparse::gen::powerlaw(100_000, 100_000, 1_600_000, 1.7, 3), 1.3),
+    ] {
+        let x = sparse::dense::test_vector(a.cols());
+        let ours = kernels::spmv(&spec, &a, &x, ScheduleKind::MergePath).unwrap();
+        let base = baselines::cusparse_spmv(&spec, &a, &x).unwrap();
+        let speedup = base.report.elapsed_ms() / ours.report.elapsed_ms();
+        assert!(
+            speedup > min_speedup,
+            "{name}: speedup only {speedup:.2}x (need {min_speedup}x)"
+        );
+    }
+}
+
+/// Figure 3's other edge: thread-mapped *collapses* on imbalance (the
+/// motivation of §1) but is fine on regular matrices.
+#[test]
+fn fig3_thread_mapped_landscape() {
+    let spec = GpuSpec::v100();
+    let x200 = sparse::dense::test_vector(200_000);
+    let hub = sparse::gen::hub_rows(200_000, 200_000, 1, 200_000, 1, 4);
+    let tm = kernels::spmv(&spec, &hub, &x200, ScheduleKind::ThreadMapped).unwrap();
+    let mp = kernels::spmv(&spec, &hub, &x200, ScheduleKind::MergePath).unwrap();
+    assert!(
+        tm.report.elapsed_ms() > 10.0 * mp.report.elapsed_ms(),
+        "thread-mapped should collapse on a star matrix: {} vs {}",
+        tm.report.elapsed_ms(),
+        mp.report.elapsed_ms()
+    );
+    let band = sparse::gen::banded(200_000, 2, 5);
+    let tm = kernels::spmv(&spec, &band, &x200, ScheduleKind::ThreadMapped).unwrap();
+    let mp = kernels::spmv(&spec, &band, &x200, ScheduleKind::MergePath).unwrap();
+    assert!(
+        tm.report.elapsed_ms() < 1.2 * mp.report.elapsed_ms(),
+        "thread-mapped should be fine on a regular band: {} vs {}",
+        tm.report.elapsed_ms(),
+        mp.report.elapsed_ms()
+    );
+}
+
+/// Figure 4: the heuristic-combined SpMV achieves a clear geomean speedup
+/// over the cuSparse-like baseline on a corpus slice.
+#[test]
+fn fig4_heuristic_geomean_speedup() {
+    let spec = GpuSpec::v100();
+    let h = loops::Heuristic::paper();
+    let mut speedups = Vec::new();
+    for entry in sparse::corpus::corpus_subset(20) {
+        if entry.approx_nnz() > 500_000 {
+            continue;
+        }
+        let a = entry.build();
+        let x = sparse::dense::test_vector(a.cols());
+        let kind = h.select(a.rows(), a.cols(), a.nnz());
+        let ours = kernels::spmv(&spec, &a, &x, kind).unwrap();
+        let base = baselines::cusparse_spmv(&spec, &a, &x).unwrap();
+        speedups.push(base.report.elapsed_ms() / ours.report.elapsed_ms());
+    }
+    let g = geomean(&speedups);
+    assert!(g > 1.5, "heuristic geomean speedup should be >1.5x, got {g:.2}x");
+}
+
+/// Table 1: the framework expresses merge-path in an order of magnitude
+/// fewer kernel-contributing lines than CUB's published 503.
+#[test]
+fn table1_loc_ratio_holds() {
+    let merge = bench::loc::count_region_in_file(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/crates/core/src/schedule/merge_path.rs"),
+        "merge_path",
+    )
+    .expect("region present");
+    assert!(merge < 60, "framework merge-path region is {merge} LoC");
+    assert!(503 / merge >= 8, "paper's 14x ratio should hold within 2x: 503/{merge}");
+}

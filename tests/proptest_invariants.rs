@@ -1,0 +1,153 @@
+//! Property-based invariants across the workspace: schedule partitions
+//! are exact for *arbitrary* tile sets, format conversions round-trip,
+//! and every SpMV agrees with the reference on random matrices.
+
+use loops::schedule::{GroupMappedSchedule, MergePathSchedule, ScheduleKind};
+use loops::work::{CountedTiles, TileSet};
+use proptest::prelude::*;
+use simt::{GpuSpec, LaunchConfig};
+
+/// Collect the atoms each merge-path thread claims and check the exact
+/// partition property.
+fn merge_path_partitions_exactly(counts: Vec<usize>, ipt: usize) {
+    let w = CountedTiles::from_counts(counts);
+    let sched = MergePathSchedule::new(&w, ipt);
+    let spec = GpuSpec::test_tiny();
+    let cfg = sched.launch_config(8);
+    let mut seen = vec![0u32; w.num_atoms().max(1)];
+    {
+        let gs = simt::GlobalMem::new(&mut seen);
+        simt::launch_threads(&spec, cfg, |t| {
+            for span in sched.spans(t) {
+                let tile_range = w.tile_atoms(span.tile);
+                assert!(span.atoms.start >= tile_range.start);
+                assert!(span.atoms.end <= tile_range.end);
+                if span.complete {
+                    assert_eq!(span.atoms, tile_range);
+                }
+                for a in span.atoms.clone() {
+                    gs.fetch_add(a, 1);
+                }
+            }
+        })
+        .unwrap();
+    }
+    if w.num_atoms() > 0 {
+        assert!(seen.iter().all(|&c| c == 1), "every atom exactly once");
+    }
+}
+
+/// Group-mapped coverage with correct tile attribution.
+fn group_mapped_covers_exactly(counts: Vec<usize>, group_size: u32) {
+    let w = CountedTiles::from_counts(counts);
+    let sched = GroupMappedSchedule::new(&w, group_size);
+    let spec = GpuSpec::test_tiny();
+    let block = 16u32;
+    let cfg = LaunchConfig::new(2, block).with_shared(sched.shared_bytes(block));
+    let mut seen = vec![0u32; w.num_atoms().max(1)];
+    {
+        let gs = simt::GlobalMem::new(&mut seen);
+        simt::launch_groups(&spec, cfg, group_size, |g| {
+            sched.process(g, |_, tile, atom| {
+                assert!(w.tile_atoms(tile).contains(&atom), "atom in claimed tile");
+                gs.fetch_add(atom, 1);
+            });
+        })
+        .unwrap();
+    }
+    if w.num_atoms() > 0 {
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn merge_path_partition_property(
+        counts in prop::collection::vec(0usize..60, 0..80),
+        ipt in 1usize..20,
+    ) {
+        merge_path_partitions_exactly(counts, ipt);
+    }
+
+    #[test]
+    fn group_mapped_partition_property(
+        counts in prop::collection::vec(0usize..60, 0..80),
+        gs_pow in 0u32..5, // group sizes 1, 2, 4, 8, 16 — all divide block 16
+    ) {
+        group_mapped_covers_exactly(counts, 1 << gs_pow);
+    }
+
+    #[test]
+    fn csr_coo_csc_roundtrips(
+        triplets in prop::collection::vec((0u32..40, 0u32..30, -10i32..10), 0..200),
+    ) {
+        let entries: Vec<(u32, u32, f32)> = triplets
+            .into_iter()
+            .map(|(r, c, v)| (r, c, v as f32))
+            .collect();
+        let mut coo = sparse::Coo::empty(40, 30);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v).unwrap();
+        }
+        coo.canonicalize();
+        let csr = sparse::convert::coo_to_csr(&coo);
+        // CSR ↔ COO
+        let back = sparse::convert::coo_to_csr(&sparse::convert::csr_to_coo(&csr));
+        prop_assert_eq!(&csr, &back);
+        // transpose(transpose) = id
+        let tt = sparse::convert::transpose(&sparse::convert::transpose(&csr));
+        prop_assert_eq!(&csr, &tt);
+        // CSC SpMV equivalence
+        let x = sparse::dense::test_vector(30);
+        let csc = sparse::convert::csr_to_csc(&csr);
+        let (y1, y2) = (csr.spmv_ref(&x), csc.spmv_ref(&x));
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-3 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn spmv_schedules_agree_on_random_matrices(
+        rows in 1usize..120,
+        cols in 1usize..120,
+        density_pct in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let nnz = rows * cols * density_pct / 100;
+        let a = sparse::gen::uniform(rows, cols, nnz, seed);
+        let x = sparse::dense::test_vector(cols);
+        let want = a.spmv_ref(&x);
+        let spec = GpuSpec::test_tiny();
+        for kind in [ScheduleKind::ThreadMapped, ScheduleKind::MergePath, ScheduleKind::WarpMapped] {
+            let run = kernels::spmv(&spec, &a, &x, kind).unwrap();
+            let err = kernels::spmv::max_rel_error(&run.y, &want);
+            prop_assert!(err < 2e-3, "{} err {}", kind, err);
+        }
+    }
+
+    #[test]
+    fn row_stats_invariants(lengths in prop::collection::vec(0usize..500, 1..200)) {
+        let s = sparse::RowStats::from_lengths(&lengths);
+        prop_assert!(s.min <= s.max);
+        prop_assert!((0.0..=1.0).contains(&s.gini));
+        prop_assert!((0.0..=1.0).contains(&s.empty_frac));
+        prop_assert!(s.mean >= 0.0);
+        if s.nnz > 0 {
+            prop_assert!(s.max_over_mean >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn counted_tiles_total_matches_sum(counts in prop::collection::vec(0usize..1000, 0..100)) {
+        let total: usize = counts.iter().sum();
+        let w = CountedTiles::from_counts(counts.clone());
+        prop_assert_eq!(w.num_atoms(), total);
+        prop_assert_eq!(w.num_tiles(), counts.len());
+        for (t, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(w.atoms_in_tile(t), c);
+        }
+        prop_assert!(w.validate());
+    }
+}

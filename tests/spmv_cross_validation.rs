@@ -1,0 +1,91 @@
+//! Integration: every SpMV implementation in the workspace — five
+//! framework schedules and two baselines — agrees with the CPU reference
+//! across a structurally diverse corpus slice and across device specs.
+
+use loops::schedule::ScheduleKind;
+use simt::GpuSpec;
+use sparse::Csr;
+
+const SCHEDULES: [ScheduleKind; 6] = [
+    ScheduleKind::ThreadMapped,
+    ScheduleKind::MergePath,
+    ScheduleKind::WarpMapped,
+    ScheduleKind::BlockMapped,
+    ScheduleKind::GroupMapped(16),
+    ScheduleKind::GroupMapped(128),
+];
+
+fn check_everything(a: &Csr<f32>, spec: &GpuSpec, label: &str) {
+    let x = sparse::dense::test_vector(a.cols());
+    let want = a.spmv_ref(&x);
+    for kind in SCHEDULES {
+        let run = kernels::spmv(spec, a, &x, kind).unwrap();
+        let err = kernels::spmv::max_rel_error(&run.y, &want);
+        assert!(err < 2e-3, "{label}/{kind} on {}: err {err}", spec.name);
+    }
+    let cub = baselines::cub_spmv(spec, a, &x).unwrap();
+    assert!(
+        kernels::spmv::max_rel_error(&cub.y, &want) < 2e-3,
+        "{label}/cub on {}",
+        spec.name
+    );
+    let cus = baselines::cusparse_spmv(spec, a, &x).unwrap();
+    assert!(
+        kernels::spmv::max_rel_error(&cus.y, &want) < 2e-3,
+        "{label}/cusparse on {}",
+        spec.name
+    );
+}
+
+#[test]
+fn corpus_slice_validates_on_v100() {
+    let spec = GpuSpec::v100();
+    for spec_entry in sparse::corpus::corpus_subset(24) {
+        if spec_entry.approx_nnz() > 250_000 {
+            continue; // keep the integration test fast
+        }
+        let a = spec_entry.build();
+        check_everything(&a, &spec, &spec_entry.name);
+    }
+}
+
+#[test]
+fn structural_extremes_validate() {
+    let spec = GpuSpec::v100();
+    for (label, a) in [
+        ("empty", Csr::<f32>::empty(17, 9)),
+        ("one_cell", Csr::from_triplets(1, 1, vec![(0u32, 0u32, 2.5f32)]).unwrap()),
+        ("all_empty_rows", Csr::<f32>::empty(5_000, 5_000)),
+        ("dense_single_row", sparse::gen::hub_rows(8, 50_000, 1, 50_000, 0, 3)),
+        ("single_col", sparse::gen::single_column(4_000, 2_000, 4)),
+        ("tall", sparse::gen::uniform(30_000, 40, 60_000, 5)),
+        ("wide", sparse::gen::uniform(40, 30_000, 60_000, 6)),
+    ] {
+        check_everything(&a, &spec, label);
+    }
+}
+
+#[test]
+fn alternative_devices_validate() {
+    let a = sparse::gen::powerlaw(2_000, 2_000, 30_000, 1.9, 7);
+    for spec in [GpuSpec::a100(), GpuSpec::rtx3090(), GpuSpec::mi100(), GpuSpec::test_tiny()] {
+        check_everything(&a, &spec, "powerlaw_2k");
+    }
+}
+
+#[test]
+fn heuristic_selection_always_validates() {
+    let spec = GpuSpec::v100();
+    let h = loops::Heuristic::paper();
+    for entry in sparse::corpus::corpus_subset(16) {
+        if entry.approx_nnz() > 250_000 {
+            continue;
+        }
+        let a = entry.build();
+        let x = sparse::dense::test_vector(a.cols());
+        let kind = h.select(a.rows(), a.cols(), a.nnz());
+        let run = kernels::spmv(&spec, &a, &x, kind).unwrap();
+        let err = kernels::spmv::max_rel_error(&run.y, &a.spmv_ref(&x));
+        assert!(err < 2e-3, "{} via {kind}: err {err}", entry.name);
+    }
+}
