@@ -156,9 +156,9 @@ fn thread_mapped_spvv(
             let mut row = t.global_thread_id() as usize;
             while row < rows {
                 let mut sum = 0.0f32;
-                for nz in offsets[row]..offsets[row + 1] {
+                for &v in &values[offsets[row]..offsets[row + 1]] {
                     t.charge_atom();
-                    sum += values[nz] * x[0];
+                    sum += v * x[0];
                 }
                 t.charge_tile();
                 gy.store(row, sum);

@@ -1,93 +1,67 @@
-//! Criterion micro-benchmarks of the framework's host-side components:
-//! merge-path diagonal partitioning, group prefix-sum/get_tile machinery,
-//! generators, and format conversion. These measure *host simulation*
-//! performance (useful for keeping the harness fast), not simulated GPU
-//! time — that is what the fig*/ablation_* binaries report.
+//! Micro-benchmarks of the framework's host-side components: merge-path
+//! diagonal partitioning, group prefix-sum/get_tile machinery, generators,
+//! and format conversion. These measure *host simulation* performance
+//! (useful for keeping the harness fast), not simulated GPU time — that is
+//! what the fig*/ablation_* binaries report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::bench;
 use loops::work::{CountedTiles, TileSet};
 use std::hint::black_box;
 
-fn bench_counted_tiles_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("counted_tiles_prefix_sum");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    for &rows in &[10_000usize, 300_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
-            b.iter(|| {
-                let t = CountedTiles::from_counts((0..rows).map(|i| i % 9));
-                black_box(t.num_atoms())
-            })
+fn bench_counted_tiles_build() {
+    for rows in [10_000usize, 300_000] {
+        bench(&format!("counted_tiles_prefix_sum/{rows}"), 10, || {
+            let t = CountedTiles::from_counts((0..rows).map(|i| i % 9));
+            black_box(t.num_atoms())
         });
     }
-    g.finish();
 }
 
-fn bench_tile_offset_lookups(c: &mut Criterion) {
+fn bench_tile_offset_lookups() {
     let w = CountedTiles::from_counts((0..100_000usize).map(|i| i % 17));
-    c.bench_function("tile_offset_lookup_x1024", |b| {
-        b.iter(|| {
-            let mut acc = 0usize;
-            for i in 0..1024usize {
-                acc = acc.wrapping_add(w.tile_offset((i * 97) % (w.num_tiles() + 1)));
-            }
-            black_box(acc)
-        })
+    bench("tile_offset_lookup_x1024", 50, || {
+        let mut acc = 0usize;
+        for i in 0..1024usize {
+            acc = acc.wrapping_add(w.tile_offset((i * 97) % (w.num_tiles() + 1)));
+        }
+        black_box(acc)
     });
 }
 
-fn bench_generators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generators");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("uniform_16k_x16", |b| {
-        b.iter(|| black_box(sparse::gen::uniform(16_000, 16_000, 16_000 * 16, 1)))
+fn bench_generators() {
+    bench("generators/uniform_16k_x16", 10, || {
+        black_box(sparse::gen::uniform(16_000, 16_000, 16_000 * 16, 1))
     });
-    g.bench_function("powerlaw_16k_x16", |b| {
-        b.iter(|| black_box(sparse::gen::powerlaw(16_000, 16_000, 16_000 * 16, 1.8, 1)))
+    bench("generators/powerlaw_16k_x16", 10, || {
+        black_box(sparse::gen::powerlaw(16_000, 16_000, 16_000 * 16, 1.8, 1))
     });
-    g.bench_function("rmat_s12_e8", |b| {
-        b.iter(|| black_box(sparse::gen::rmat(12, 8, (0.57, 0.19, 0.19), 1)))
+    bench("generators/rmat_s12_e8", 10, || {
+        black_box(sparse::gen::rmat(12, 8, (0.57, 0.19, 0.19), 1))
     });
-    g.finish();
 }
 
-fn bench_conversion(c: &mut Criterion) {
+fn bench_conversion() {
     let a = sparse::gen::uniform(50_000, 50_000, 800_000, 2);
     let coo = sparse::convert::csr_to_coo(&a);
-    let mut g = c.benchmark_group("conversion");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("coo_to_csr_800k", |b| {
-        b.iter(|| black_box(sparse::convert::coo_to_csr(&coo)))
+    bench("conversion/coo_to_csr_800k", 10, || {
+        black_box(sparse::convert::coo_to_csr(&coo))
     });
-    g.bench_function("csr_to_csc_800k", |b| {
-        b.iter(|| black_box(sparse::convert::csr_to_csc(&a)))
+    bench("conversion/csr_to_csc_800k", 10, || {
+        black_box(sparse::convert::csr_to_csc(&a))
     });
-    g.finish();
 }
 
-fn bench_stats(c: &mut Criterion) {
+fn bench_stats() {
     let a = sparse::gen::powerlaw(100_000, 100_000, 1_600_000, 1.8, 3);
-    let mut g = c.benchmark_group("stats");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("row_stats_100k_rows", |b| {
-        b.iter(|| black_box(sparse::RowStats::of(&a)))
+    bench("stats/row_stats_100k_rows", 10, || {
+        black_box(sparse::RowStats::of(&a))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_counted_tiles_build,
-    bench_tile_offset_lookups,
-    bench_generators,
-    bench_conversion,
-    bench_stats
-);
-criterion_main!(benches);
+fn main() {
+    bench_counted_tiles_build();
+    bench_tile_offset_lookups();
+    bench_generators();
+    bench_conversion();
+    bench_stats();
+}

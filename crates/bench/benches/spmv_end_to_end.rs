@@ -1,14 +1,14 @@
-//! Criterion end-to-end benchmarks: host wall time of fully simulated
-//! SpMV launches per schedule, on representative corpus shapes. Keeps the
-//! simulator fast enough that the full-corpus experiment binaries stay in
-//! the minutes range.
+//! End-to-end benchmarks: host wall time of fully simulated SpMV launches
+//! per schedule, on representative corpus shapes. Keeps the simulator fast
+//! enough that the full-corpus experiment binaries stay in the minutes
+//! range.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::microbench::bench;
 use loops::schedule::ScheduleKind;
 use simt::GpuSpec;
 use std::hint::black_box;
 
-fn bench_spmv_schedules(c: &mut Criterion) {
+fn bench_spmv_schedules() {
     let spec = GpuSpec::v100();
     let cases = [
         ("uniform_30k", sparse::gen::uniform(30_000, 30_000, 500_000, 1)),
@@ -21,37 +21,29 @@ fn bench_spmv_schedules(c: &mut Criterion) {
         ("warp", ScheduleKind::WarpMapped),
         ("group64", ScheduleKind::GroupMapped(64)),
     ];
-    let mut g = c.benchmark_group("simulated_spmv");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
     for (mat_name, a) in &cases {
         let x = sparse::dense::test_vector(a.cols());
         for (s_name, kind) in schedules {
-            g.bench_with_input(BenchmarkId::new(*mat_name, s_name), &kind, |b, &kind| {
-                b.iter(|| black_box(kernels::spmv(&spec, a, &x, kind).unwrap().report))
+            bench(&format!("simulated_spmv/{mat_name}/{s_name}"), 10, || {
+                black_box(kernels::spmv(&spec, a, &x, kind).unwrap().report)
             });
         }
     }
-    g.finish();
 }
 
-fn bench_baselines(c: &mut Criterion) {
+fn bench_baselines() {
     let spec = GpuSpec::v100();
     let a = sparse::gen::uniform(30_000, 30_000, 500_000, 4);
     let x = sparse::dense::test_vector(a.cols());
-    let mut g = c.benchmark_group("simulated_baselines");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(300));
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.bench_function("cub_merge_path", |b| {
-        b.iter(|| black_box(baselines::cub_spmv(&spec, &a, &x).unwrap().report))
+    bench("simulated_baselines/cub_merge_path", 10, || {
+        black_box(baselines::cub_spmv(&spec, &a, &x).unwrap().report)
     });
-    g.bench_function("cusparse", |b| {
-        b.iter(|| black_box(baselines::cusparse_spmv(&spec, &a, &x).unwrap().report))
+    bench("simulated_baselines/cusparse", 10, || {
+        black_box(baselines::cusparse_spmv(&spec, &a, &x).unwrap().report)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_spmv_schedules, bench_baselines);
-criterion_main!(benches);
+fn main() {
+    bench_spmv_schedules();
+    bench_baselines();
+}

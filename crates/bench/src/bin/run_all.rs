@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const BINS: [&str; 13] = [
+const BINS: [&str; 14] = [
     "fig2",
     "fig3",
     "fig4",
@@ -19,6 +19,7 @@ const BINS: [&str; 13] = [
     "locality_report",
     "timeline",
     "corpus_stats",
+    "serve_bench",
 ];
 
 fn main() {

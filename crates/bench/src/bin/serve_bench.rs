@@ -1,0 +1,113 @@
+//! Serving benchmark: an open-loop Zipf workload over the corpus, driven
+//! through the `runtime` crate's device pool, plan cache, and batcher.
+//!
+//! Sweeps pool size × backpressure policy on one fixed request stream and
+//! reports throughput scaling, plan-cache hit rate, and tail latency.
+//! Emits `results/serve_bench.csv`.
+
+use std::sync::Arc;
+
+use bench::{Cli, CsvWriter};
+use runtime::{zipf_workload, QueuePolicy, Runtime, RuntimeConfig, WorkloadSpec};
+use simt::GpuSpec;
+use sparse::Csr;
+
+const REQUESTS: usize = 800;
+const MAX_NNZ: usize = 250_000;
+
+fn main() {
+    let cli = Cli::parse();
+    let take = cli.limit.unwrap_or(10);
+    // Serving mix: a deterministic corpus slice, capped in size so the
+    // functional execution of hundreds of requests stays fast.
+    let matrices: Vec<Arc<Csr<f32>>> = sparse::corpus::corpus_subset(take * 2)
+        .iter()
+        .filter(|s| s.approx_nnz() <= MAX_NNZ)
+        .take(take)
+        .map(|s| Arc::new(s.build()))
+        .collect();
+    assert!(!matrices.is_empty(), "corpus filter left no matrices");
+    let workload = WorkloadSpec {
+        requests: REQUESTS,
+        zipf_s: 1.1,
+        mean_interarrival_ms: 0.001,
+        seed: 42,
+    };
+    let requests = zipf_workload(&matrices, &workload);
+    eprintln!(
+        "serve_bench: {} requests over {} matrices (zipf s={}, mean gap {} ms)",
+        requests.len(),
+        matrices.len(),
+        workload.zipf_s,
+        workload.mean_interarrival_ms
+    );
+
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "serve_bench.csv",
+        "devices,policy,served,rejected,batches,hit_rate,p50_ms,p99_ms,mean_ms,makespan_ms,throughput_rps,mean_occupancy",
+    )
+    .expect("create csv");
+
+    println!("== serve_bench: pool scaling on a fixed Zipf stream ==");
+    println!(
+        "{:<8} {:<7} {:>6} {:>8} {:>9} {:>9} {:>10} {:>12} {:>9}",
+        "devices", "policy", "served", "rej", "hit_rate", "p50 ms", "p99 ms", "req/s", "occup"
+    );
+    let mut base_throughput = None;
+    for &devices in &[1usize, 2, 4] {
+        for (policy, pname) in [(QueuePolicy::Block, "block"), (QueuePolicy::Reject, "reject")] {
+            let mut rt = Runtime::new(
+                GpuSpec::v100(),
+                RuntimeConfig {
+                    devices,
+                    policy,
+                    ..RuntimeConfig::default()
+                },
+            );
+            let out = rt.serve(&requests).expect("serve");
+            let r = &out.report;
+            let occ = r.devices.iter().map(|d| d.sm_occupancy).sum::<f64>()
+                / r.devices.len() as f64;
+            csv.row(&format!(
+                "{},{},{},{},{},{:.4},{:.5},{:.5},{:.5},{:.4},{:.1},{:.4}",
+                devices,
+                pname,
+                r.served,
+                r.rejected,
+                r.batches,
+                r.cache.hit_rate(),
+                r.latency_p50_ms,
+                r.latency_p99_ms,
+                r.latency_mean_ms,
+                r.makespan_ms,
+                r.throughput_rps(),
+                occ
+            ))
+            .unwrap();
+            println!(
+                "{:<8} {:<7} {:>6} {:>8} {:>8.1}% {:>9.4} {:>10.4} {:>12.0} {:>8.1}%",
+                devices,
+                pname,
+                r.served,
+                r.rejected,
+                r.cache.hit_rate() * 100.0,
+                r.latency_p50_ms,
+                r.latency_p99_ms,
+                r.throughput_rps(),
+                occ * 100.0
+            );
+            if policy == QueuePolicy::Block {
+                match base_throughput {
+                    None => base_throughput = Some(r.throughput_rps()),
+                    Some(base) => println!(
+                        "         → {devices}-device throughput scaling vs 1 device: {:.2}x",
+                        r.throughput_rps() / base
+                    ),
+                }
+            }
+        }
+    }
+    let path = csv.finish().unwrap();
+    eprintln!("wrote {}", path.display());
+}

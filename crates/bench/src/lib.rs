@@ -31,6 +31,7 @@
 pub mod cli;
 pub mod csv;
 pub mod loc;
+pub mod microbench;
 pub mod plot;
 pub mod runner;
 pub mod summary;

@@ -1,0 +1,30 @@
+//! Minimal micro-benchmark harness (std-only stand-in for criterion,
+//! which is unavailable offline). Each measurement runs a warm-up pass,
+//! then times `iters` batches and reports the median batch time. Intended
+//! for keeping the *host* simulation fast — simulated GPU times come from
+//! the experiment binaries, not from here.
+
+use std::time::Instant;
+
+/// Time `f` and print a `name: median ± spread` line.
+///
+/// Runs one warm-up call, then `samples` timed calls, reporting the median
+/// and the min..max spread in milliseconds.
+pub fn bench<R, F: FnMut() -> R>(name: &str, samples: usize, mut f: F) {
+    let samples = samples.max(1);
+    std::hint::black_box(f()); // warm-up
+    let mut times_ms: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times_ms.sort_by(|a, b| a.total_cmp(b));
+    let median = times_ms[times_ms.len() / 2];
+    println!(
+        "{name:<40} {median:>10.3} ms  (min {:.3}, max {:.3}, n={samples})",
+        times_ms[0],
+        times_ms[times_ms.len() - 1]
+    );
+}

@@ -12,10 +12,9 @@
 //! group-mapped at warp width.
 
 use crate::schedule::ScheduleKind;
-use serde::{Deserialize, Serialize};
 
 /// Threshold-based schedule selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Heuristic {
     /// Row/column threshold (paper: 500).
     pub alpha: usize,

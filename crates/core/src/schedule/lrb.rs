@@ -155,8 +155,8 @@ impl LrbSchedule {
         plan: &LrbPlan,
         f: impl Fn(&LaneCtx<'_>, usize, usize) + Sync,
     ) -> simt::Result<LaunchReport> {
-        let small_hi = bin_of(self.small_limit) as usize + 1;
-        let medium_hi = bin_of(self.medium_limit) as usize + 1;
+        let small_hi = bin_of(self.small_limit) + 1;
+        let medium_hi = bin_of(self.medium_limit) + 1;
         let mut total = plan.binning_report.clone();
         // Small tiles: one per thread (includes empty tiles — no atoms).
         let small = plan.class(0, small_hi);

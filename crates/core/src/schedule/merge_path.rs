@@ -80,6 +80,13 @@ impl<'w, W: TileSet> MergePathSchedule<'w, W> {
         // memory — see `CostModel::merge_setup`.
         let block_items = u64::from(lane.block_dim()) * self.items_per_thread as u64;
         lane.charge(lane.model().merge_setup(block_items));
+        // The shared-memory search needs the block's window of tile
+        // offsets staged from global memory first: one offset per tile
+        // boundary in the window, amortized to this thread's share of
+        // the merge path (at least one probe).
+        let tile_frac = self.work.num_tiles() as f64 / total.max(1) as f64;
+        let staged = (4.0 * self.items_per_thread as f64 * tile_frac).ceil() as u64;
+        lane.read_bytes(staged.max(4));
         let (t0, a0) = self.diagonal_search(d0);
         let (t1, a1) = self.diagonal_search(d1);
         MergeSpans {
@@ -124,6 +131,56 @@ impl<'w, W: TileSet> MergePathSchedule<'w, W> {
         (lo, d - lo)
     }
     // LOC-END(merge_path)
+
+    /// Precompute every thread's merge-path start coordinate host-side:
+    /// `num_threads() + 1` tile indices, the last one `num_tiles`. Only
+    /// the tile component needs storing — boundary `i` lies on diagonal
+    /// `d = i · items_per_thread`, so `atom = d − tile`. Thread `i`'s
+    /// share is `starts[i] .. starts[i + 1]` — exactly what
+    /// [`Self::spans`] finds with its two in-kernel diagonal searches. A
+    /// serving runtime caches this table per matrix so repeated launches
+    /// skip the search.
+    pub fn partition(&self) -> Vec<u32> {
+        let total = self.total_work();
+        let n = self.num_threads();
+        (0..=n)
+            .map(|i| {
+                let (t, _) = self.diagonal_search((i * self.items_per_thread).min(total));
+                t as u32
+            })
+            .collect()
+    }
+
+    /// [`Self::spans`] driven by a precomputed [`Self::partition`] table:
+    /// identical span coordinates (hence bitwise-identical kernel
+    /// results), but the per-thread diagonal searches are replaced by two
+    /// cached-table reads — the "skip setup on a plan-cache hit" path.
+    pub fn spans_prepartitioned<'l, 'm>(
+        &self,
+        lane: &'l LaneCtx<'m>,
+        starts: &[u32],
+    ) -> MergeSpans<'w, 'l, 'm, W> {
+        let total = self.total_work();
+        let last = starts.len() - 1;
+        let i0 = (lane.global_thread_id() as usize).min(last);
+        let i1 = (i0 + 1).min(last);
+        // The block loads its contiguous slice of the table once,
+        // coalesced — amortized one 4-byte entry per thread — instead of
+        // staging an offset window and binary-searching it.
+        lane.read_bytes(4);
+        let (t0, t1) = (starts[i0] as usize, starts[i1] as usize);
+        let a0 = (i0 * self.items_per_thread).min(total) - t0;
+        let a1 = (i1 * self.items_per_thread).min(total) - t1;
+        MergeSpans {
+            work: self.work,
+            lane,
+            tile: t0,
+            atom: a0,
+            end_tile: t1,
+            end_atom: a1,
+            started_at_tile_start: a0 == self.work.tile_offset(t0),
+        }
+    }
 
     /// The wrapped tile set.
     pub fn work(&self) -> &'w W {
@@ -303,6 +360,42 @@ mod tests {
         }
         let model = simt::CostModel::standard();
         assert!(overheads[0] >= 2.0 * model.search_step_cost);
+    }
+
+    #[test]
+    fn prepartitioned_spans_match_in_kernel_search() {
+        for counts in [
+            vec![2usize, 0, 3, 1, 4],
+            vec![0, 0, 0],
+            vec![1; 37],
+            vec![100, 0, 0, 1, 1, 1, 50],
+        ] {
+            let w = CountedTiles::from_counts(counts);
+            for ipt in [1usize, 3, 7] {
+                let sched = MergePathSchedule::new(&w, ipt);
+                let starts = sched.partition();
+                assert_eq!(starts.len(), sched.num_threads() + 1);
+                assert_eq!(*starts.last().unwrap(), w.num_tiles() as u32);
+                let spec = GpuSpec::test_tiny();
+                let cfg = sched.launch_config(8);
+                let collect = |pre: bool| {
+                    let got = std::sync::Mutex::new(Vec::new());
+                    simt::launch_threads(&spec, cfg, |t| {
+                        let spans: Vec<_> = if pre {
+                            sched.spans_prepartitioned(t, &starts).collect()
+                        } else {
+                            sched.spans(t).collect()
+                        };
+                        got.lock().unwrap().push((t.global_thread_id(), spans));
+                    })
+                    .unwrap();
+                    let mut v = got.into_inner().unwrap();
+                    v.sort_by_key(|(tid, _)| *tid);
+                    v
+                };
+                assert_eq!(collect(true), collect(false), "ipt={ipt}");
+            }
+        }
     }
 
     #[test]

@@ -25,11 +25,10 @@ pub use merge_path::{MergePathSchedule, MergeSpans, TileSpan};
 pub use thread_mapped::ThreadMappedSchedule;
 pub use work_queue::WorkQueueSchedule;
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier for selecting a schedule at run time — the paper's "single
 /// C++ enum" switch (§6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScheduleKind {
     /// One tile per thread, grid-strided.
     ThreadMapped,

@@ -33,6 +33,7 @@ pub mod bfs;
 pub mod cg;
 pub mod graph;
 pub mod pagerank;
+pub mod plan;
 pub mod reduce;
 pub mod reference;
 pub mod spgemm;
@@ -44,4 +45,5 @@ pub mod triangle;
 pub mod traversal;
 
 pub use graph::{Frontier, Graph};
+pub use plan::SpmvPlan;
 pub use spmv::{spmv, SpmvRun};

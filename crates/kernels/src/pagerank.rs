@@ -108,13 +108,13 @@ pub fn pagerank_ref(g: &Graph, tol: f64, max_iters: usize) -> Vec<f32> {
     for _ in 0..max_iters {
         let mut next = vec![0.0f64; n];
         let mut dangling_mass = 0.0f64;
-        for u in 0..n {
+        for (u, &ru) in rank.iter().enumerate() {
             let deg = g.degree(u);
             if deg == 0 {
-                dangling_mass += rank[u];
+                dangling_mass += ru;
                 continue;
             }
-            let share = rank[u] / deg as f64;
+            let share = ru / deg as f64;
             let (nbrs, _) = g.adjacency().row(u);
             for &v in nbrs {
                 next[v as usize] += share;

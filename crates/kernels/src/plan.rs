@@ -1,0 +1,214 @@
+//! Prepared SpMV plans — the unit a serving runtime caches per matrix.
+//!
+//! A *plan* freezes everything about an SpMV launch that depends only on
+//! the matrix's sparsity pattern, not on the input vector: the schedule
+//! choice (from the paper's §6.2 heuristic or pinned by the caller), the
+//! block size, and any precomputed setup artifacts —
+//!
+//! * **merge-path**: the per-thread partition table that the cold kernel
+//!   otherwise derives with two in-kernel diagonal searches per thread;
+//! * **LRB**: the log₂-binning of rows ([`LrbPlan`]), which the cold path
+//!   pays two extra launches to build.
+//!
+//! [`spmv::spmv_with_plan`] replays a plan against any `x`. Results are
+//! **bitwise identical** to the cold path for the same schedule: artifacts
+//! only change where work is *found*, never the order in which a row's
+//! products are accumulated.
+
+use loops::adapters::CsrTiles;
+use loops::heuristic::Heuristic;
+use loops::schedule::{LrbPlan, LrbSchedule, MergePathSchedule, ScheduleKind};
+use simt::{CostModel, GpuSpec};
+use sparse::Csr;
+
+use crate::spmv::{self, SpmvRun, DEFAULT_BLOCK, MERGE_ITEMS_PER_THREAD};
+
+/// A prepared, matrix-specific SpMV execution plan.
+#[derive(Debug, Clone)]
+pub struct SpmvPlan {
+    /// Schedule the plan was prepared for.
+    pub schedule: ScheduleKind,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Merge-path partition table (`num_threads + 1` boundary tile
+    /// indices; the atom coordinate is derivable from the diagonal),
+    /// present iff `schedule == MergePath`.
+    pub merge_starts: Option<Vec<u32>>,
+    /// LRB binning artifacts, present iff `schedule == Lrb`.
+    pub lrb: Option<LrbPlan>,
+    /// Simulated one-time cost of building the *separable* artifacts (the
+    /// LRB binning launches). Merge-path setup is charged inside the cold
+    /// kernel itself, so on a cache hit its saving shows up as lower
+    /// kernel elapsed rather than in this field.
+    pub setup_ms: f64,
+}
+
+impl SpmvPlan {
+    /// Approximate device memory the cached artifacts would occupy.
+    pub fn artifact_bytes(&self) -> usize {
+        let merge = self.merge_starts.as_ref().map_or(0, |s| s.len() * 4);
+        let lrb = self.lrb.as_ref().map_or(0, |p| {
+            p.order.len() * 4 + p.bin_offsets.len() * std::mem::size_of::<usize>()
+        });
+        merge + lrb
+    }
+}
+
+/// Prepare a plan for a fixed schedule.
+pub fn prepare(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    kind: ScheduleKind,
+    block_dim: u32,
+) -> simt::Result<SpmvPlan> {
+    let block_dim = block_dim.min(spec.max_threads_per_block);
+    let mut plan = SpmvPlan {
+        schedule: kind,
+        block_dim,
+        merge_starts: None,
+        lrb: None,
+        setup_ms: 0.0,
+    };
+    match kind {
+        ScheduleKind::MergePath => {
+            let work = CsrTiles::new(a);
+            let sched = MergePathSchedule::new(&work, MERGE_ITEMS_PER_THREAD);
+            plan.merge_starts = Some(sched.partition());
+        }
+        ScheduleKind::Lrb => {
+            let work = CsrTiles::new(a);
+            let sched = LrbSchedule {
+                block_dim,
+                ..LrbSchedule::default()
+            };
+            let lrb = sched.bin_tiles(spec, model, &work)?;
+            plan.setup_ms = lrb.binning_report.elapsed_ms();
+            plan.lrb = Some(lrb);
+        }
+        // The remaining schedules have no pattern-dependent setup to
+        // cache; the plan still pins the schedule + block size decision.
+        _ => {}
+    }
+    Ok(plan)
+}
+
+/// Prepare a plan with the schedule chosen by the paper's heuristic.
+pub fn prepare_auto(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    heuristic: &Heuristic,
+) -> simt::Result<SpmvPlan> {
+    let kind = heuristic.select(a.rows(), a.cols(), a.nnz());
+    prepare(spec, model, a, kind, DEFAULT_BLOCK)
+}
+
+/// Convenience: run a prepared plan (see [`spmv::spmv_with_plan`]).
+pub fn run(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    plan: &SpmvPlan,
+) -> simt::Result<SpmvRun> {
+    spmv::spmv_with_plan(spec, model, a, x, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmv::spmv_with_model;
+
+    fn bits(y: &[f32]) -> Vec<u32> {
+        y.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn planned_results_are_bitwise_identical_across_all_schedules() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        for a in [
+            sparse::gen::uniform(300, 250, 4_000, 21),
+            sparse::gen::powerlaw(600, 600, 12_000, 1.8, 22),
+            Csr::<f32>::empty(4, 4),
+        ] {
+            let x = sparse::dense::test_vector(a.cols());
+            for kind in [
+                ScheduleKind::ThreadMapped,
+                ScheduleKind::MergePath,
+                ScheduleKind::WarpMapped,
+                ScheduleKind::BlockMapped,
+                ScheduleKind::GroupMapped(16),
+                ScheduleKind::WorkQueue(8),
+                ScheduleKind::Lrb,
+            ] {
+                let cold = spmv_with_model(&spec, &model, &a, &x, kind, DEFAULT_BLOCK).unwrap();
+                let plan = prepare(&spec, &model, &a, kind, DEFAULT_BLOCK).unwrap();
+                let warm = run(&spec, &model, &a, &x, &plan).unwrap();
+                assert_eq!(
+                    bits(&cold.y),
+                    bits(&warm.y),
+                    "{kind}: planned result differs from cold path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_merge_path_plan_skips_search_cost() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let a = sparse::gen::powerlaw(5_000, 5_000, 120_000, 1.9, 23);
+        let x = sparse::dense::test_vector(a.cols());
+        let cold =
+            spmv_with_model(&spec, &model, &a, &x, ScheduleKind::MergePath, DEFAULT_BLOCK).unwrap();
+        let plan = prepare(&spec, &model, &a, ScheduleKind::MergePath, DEFAULT_BLOCK).unwrap();
+        let warm = run(&spec, &model, &a, &x, &plan).unwrap();
+        assert!(
+            warm.report.timing.total_units < cold.report.timing.total_units,
+            "prepartitioned launch should issue less work: warm {} vs cold {}",
+            warm.report.timing.total_units,
+            cold.report.timing.total_units
+        );
+        assert!(warm.report.elapsed_ms() <= cold.report.elapsed_ms());
+    }
+
+    #[test]
+    fn cached_lrb_plan_skips_binning_launches() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let a = sparse::gen::powerlaw(3_000, 3_000, 60_000, 1.8, 24);
+        let x = sparse::dense::test_vector(a.cols());
+        let cold = spmv_with_model(&spec, &model, &a, &x, ScheduleKind::Lrb, DEFAULT_BLOCK).unwrap();
+        let plan = prepare(&spec, &model, &a, ScheduleKind::Lrb, DEFAULT_BLOCK).unwrap();
+        assert!(plan.setup_ms > 0.0);
+        let warm = run(&spec, &model, &a, &x, &plan).unwrap();
+        assert_eq!(bits(&cold.y), bits(&warm.y));
+        // Cold pays the binning inside its report; warm paid it once at
+        // prepare time.
+        assert!(
+            warm.report.elapsed_ms() < cold.report.elapsed_ms(),
+            "warm {} vs cold {}",
+            warm.report.elapsed_ms(),
+            cold.report.elapsed_ms()
+        );
+        assert!(cold.report.elapsed_ms() >= warm.report.elapsed_ms() + 0.5 * plan.setup_ms);
+    }
+
+    #[test]
+    fn auto_prepare_follows_heuristic() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let h = Heuristic::paper();
+        let small = sparse::gen::uniform(100, 100, 800, 25);
+        let plan = prepare_auto(&spec, &model, &small, &h).unwrap();
+        assert_eq!(plan.schedule, ScheduleKind::GroupMapped(32));
+        assert!(plan.merge_starts.is_none() && plan.lrb.is_none());
+        let big = sparse::gen::uniform(2_000, 2_000, 40_000, 26);
+        let plan = prepare_auto(&spec, &model, &big, &h).unwrap();
+        assert_eq!(plan.schedule, ScheduleKind::MergePath);
+        assert!(plan.merge_starts.is_some());
+        assert!(plan.artifact_bytes() > 0);
+    }
+}

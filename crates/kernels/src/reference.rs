@@ -149,8 +149,8 @@ mod tests {
         for j in 0..5 {
             let xj: Vec<f32> = (0..30).map(|r| b.get(r, j)).collect();
             let yj = a.spmv_ref(&xj);
-            for r in 0..40 {
-                assert!((c.get(r, j) - yj[r]).abs() < 1e-4);
+            for (r, &yr) in yj.iter().enumerate() {
+                assert!((c.get(r, j) - yr).abs() < 1e-4);
             }
         }
     }

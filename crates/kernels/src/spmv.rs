@@ -53,12 +53,36 @@ pub fn spmv_with_model(
     let block_dim = block_dim.min(spec.max_threads_per_block);
     match kind {
         ScheduleKind::ThreadMapped => thread_mapped(spec, model, a, x, block_dim),
-        ScheduleKind::MergePath => merge_path(spec, model, a, x, block_dim),
+        ScheduleKind::MergePath => merge_path(spec, model, a, x, block_dim, None),
         ScheduleKind::WarpMapped => group_mapped(spec, model, a, x, spec.warp_size, block_dim),
         ScheduleKind::BlockMapped => group_mapped(spec, model, a, x, block_dim, block_dim),
         ScheduleKind::GroupMapped(g) => group_mapped(spec, model, a, x, g, block_dim),
         ScheduleKind::WorkQueue(chunk) => work_queue(spec, model, a, x, chunk.max(1), block_dim),
-        ScheduleKind::Lrb => lrb(spec, model, a, x, block_dim),
+        ScheduleKind::Lrb => lrb(spec, model, a, x, block_dim, None),
+    }
+}
+
+/// Run SpMV with a prepared [`plan`](crate::plan::SpmvPlan): the schedule
+/// choice and any setup artifacts (merge-path partition table, LRB bins)
+/// come from the plan, so a cached plan skips the setup work a cold launch
+/// pays. Results are bitwise identical to the cold path for the same
+/// schedule — the plan changes *when* work is found, never *what order*
+/// each row's products accumulate in.
+pub fn spmv_with_plan(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    x: &[f32],
+    plan: &crate::plan::SpmvPlan,
+) -> simt::Result<SpmvRun> {
+    assert_eq!(x.len(), a.cols(), "x must have one entry per column");
+    let block_dim = plan.block_dim.min(spec.max_threads_per_block);
+    match plan.schedule {
+        ScheduleKind::MergePath => {
+            merge_path(spec, model, a, x, block_dim, plan.merge_starts.as_deref())
+        }
+        ScheduleKind::Lrb => lrb(spec, model, a, x, block_dim, plan.lrb.as_ref()),
+        kind => spmv_with_model(spec, model, a, x, kind, block_dim),
     }
 }
 
@@ -72,6 +96,7 @@ fn lrb(
     a: &Csr<f32>,
     x: &[f32],
     block_dim: u32,
+    cached: Option<&loops::schedule::LrbPlan>,
 ) -> simt::Result<SpmvRun> {
     use loops::schedule::{bin_of, GroupMappedSchedule, LrbSchedule};
     use loops::work::SubsetTiles;
@@ -80,10 +105,20 @@ fn lrb(
         block_dim,
         ..LrbSchedule::default()
     };
-    let plan = cfg_sched.bin_tiles(spec, model, &work)?;
+    // A cached plan skips the binning launches entirely (the bins only
+    // depend on the sparsity pattern, not on `x`); its cost was paid once
+    // at prepare time.
+    let owned;
+    let (plan, mut report) = match cached {
+        Some(p) => (p, None),
+        None => {
+            owned = cfg_sched.bin_tiles(spec, model, &work)?;
+            let r = owned.binning_report.clone();
+            (&owned, Some(r))
+        }
+    };
     let mut y = vec![0.0f32; a.rows()];
     let (values, col_indices) = (a.values(), a.col_indices());
-    let mut report = plan.binning_report.clone();
 
     let small_hi = bin_of(cfg_sched.small_limit) + 1;
     let medium_hi = bin_of(cfg_sched.medium_limit) + 1;
@@ -109,7 +144,10 @@ fn lrb(
                 }
             },
         )?;
-        report.accumulate(&r);
+        match report {
+            Some(ref mut rep) => rep.accumulate(&r),
+            None => report = Some(r),
+        }
     }
     // Medium/large rows: group-mapped batches with per-tile reduction.
     for (lo, hi, group) in [
@@ -134,8 +172,22 @@ fn lrb(
                 },
             );
         })?;
-        report.accumulate(&r);
+        match report {
+            Some(ref mut rep) => rep.accumulate(&r),
+            None => report = Some(r),
+        }
     }
+    let report = match report {
+        Some(r) => r,
+        // Fully empty matrix on the cached path: synthesize a minimal
+        // launch so the run still carries a valid report.
+        None => simt::launch_threads_with_model(
+            spec,
+            model,
+            LaunchConfig::over_threads(1, block_dim),
+            |_t| {},
+        )?,
+    };
     Ok(SpmvRun {
         y,
         report,
@@ -222,16 +274,30 @@ fn merge_path(
     a: &Csr<f32>,
     x: &[f32],
     block_dim: u32,
+    starts: Option<&[u32]>,
 ) -> simt::Result<SpmvRun> {
     let work = CsrTiles::new(a);
     let sched = MergePathSchedule::new(&work, MERGE_ITEMS_PER_THREAD);
+    if let Some(s) = starts {
+        assert_eq!(
+            s.len(),
+            sched.num_threads() + 1,
+            "merge-path partition table does not match this matrix"
+        );
+    }
     let mut y = vec![0.0f32; a.rows()];
     let (values, col_indices) = (a.values(), a.col_indices());
     let cfg = sched.launch_config(block_dim);
     let report = {
         let gy = GlobalMem::new(&mut y);
         simt::launch_threads_with_model(spec, model, cfg, |t| {
-            for span in sched.spans(t) {
+            // With a precomputed partition table each thread loads its
+            // span bounds instead of running two diagonal searches.
+            let spans = match starts {
+                Some(s) => sched.spans_prepartitioned(t, s),
+                None => sched.spans(t),
+            };
+            for span in spans {
                 let mut sum = 0.0f32;
                 for nz in sched.atoms(&span, t) {
                     sum += values[nz] * x[col_indices[nz] as usize];
@@ -337,7 +403,7 @@ pub fn spmv_ell(
 /// Largest divisor of `n` that is ≤ `k` (≥ 1). Keeps arbitrary group sizes
 /// legal for any block size.
 pub(crate) fn largest_divisor_leq(n: u32, k: u32) -> u32 {
-    (1..=k.min(n)).rev().find(|d| n % d == 0).unwrap_or(1)
+    (1..=k.min(n)).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
 }
 
 /// SpMV over COO: one thread per stored entry, scattering into `y` with

@@ -169,8 +169,6 @@ mod tests {
             *c = 100;
         }
         let a = {
-            use rand::SeedableRng;
-            let mut rng = rand::rngs::StdRng::seed_from_u64(84);
             let mut triplets = Vec::new();
             for (r, &len) in counts.iter().enumerate() {
                 for k in 0..len {
@@ -178,7 +176,6 @@ mod tests {
                     triplets.push((r as u32, col as u32, 0.5f32));
                 }
             }
-            let _ = &mut rng;
             Csr::from_triplets(40_000, 40_000, triplets).unwrap()
         };
         let x = sparse::dense::test_vector(a.cols());

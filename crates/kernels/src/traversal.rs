@@ -172,7 +172,7 @@ mod tests {
         let g = Graph::from_generator(sparse::gen::uniform(50, 50, 200, 9));
         let spec = GpuSpec::test_tiny();
         let model = CostModel::standard();
-        let frontier = Frontier::from_flags(&vec![0u32; 50]);
+        let frontier = Frontier::from_flags(&[0u32; 50]);
         let r = expand(
             &spec,
             &model,

@@ -1,0 +1,94 @@
+//! Small-request batching: coalesce tiny SpMVs into one block-diagonal
+//! launch.
+//!
+//! Launch overhead is a fixed ~10 µs; a 500-row SpMV finishes in less
+//! simulated time than it costs to launch. A serving runtime therefore
+//! holds tiny requests briefly and fuses the accumulated batch into one
+//! matrix: `diag(A₁ … Aₖ)` acting on `[x₁; …; xₖ]` computes every
+//! member's product in a single launch, paying the overhead once. The
+//! block-diagonal structure keeps results exact — row blocks are
+//! independent, so member `i`'s slice of `y` is bitwise what a solo
+//! launch would have produced under the same schedule shape.
+
+use sparse::Csr;
+
+/// Block-diagonal concatenation `diag(parts[0], …, parts[k-1])`.
+///
+/// Rows and columns are the sums of the members'; member `i`'s rows map
+/// to the output rows `row_start(i) .. row_start(i+1)`.
+pub fn block_diag(parts: &[&Csr<f32>]) -> Csr<f32> {
+    let rows: usize = parts.iter().map(|a| a.rows()).sum();
+    let cols: usize = parts.iter().map(|a| a.cols()).sum();
+    let nnz: usize = parts.iter().map(|a| a.nnz()).sum();
+    assert!(cols <= u32::MAX as usize, "combined width exceeds u32 column indices");
+    let mut row_offsets = Vec::with_capacity(rows + 1);
+    let mut col_indices = Vec::with_capacity(nnz);
+    let mut values = Vec::with_capacity(nnz);
+    row_offsets.push(0usize);
+    let (mut nnz_base, mut col_base) = (0usize, 0u32);
+    for a in parts {
+        row_offsets.extend(a.row_offsets()[1..].iter().map(|&o| o + nnz_base));
+        col_indices.extend(a.col_indices().iter().map(|&c| c + col_base));
+        values.extend_from_slice(a.values());
+        nnz_base += a.nnz();
+        col_base += a.cols() as u32;
+    }
+    Csr::from_parts(rows, cols, row_offsets, col_indices, values)
+        .expect("block-diagonal of valid CSRs is valid")
+}
+
+/// Concatenate the members' input vectors in the same order.
+pub fn concat_x(xs: &[&[f32]]) -> Vec<f32> {
+    let mut out = Vec::with_capacity(xs.iter().map(|x| x.len()).sum());
+    for x in xs {
+        out.extend_from_slice(x);
+    }
+    out
+}
+
+/// Split a fused result back into per-member vectors of the given row
+/// counts.
+pub fn split_y(y: &[f32], row_counts: &[usize]) -> Vec<Vec<f32>> {
+    assert_eq!(y.len(), row_counts.iter().sum::<usize>());
+    let mut out = Vec::with_capacity(row_counts.len());
+    let mut at = 0;
+    for &n in row_counts {
+        out.push(y[at..at + n].to_vec());
+        at += n;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_diag_matches_solo_reference_products() {
+        let a = sparse::gen::uniform(40, 30, 300, 7);
+        let b = sparse::gen::powerlaw(25, 50, 200, 1.6, 8);
+        let c = Csr::<f32>::empty(5, 5);
+        let xs: Vec<Vec<f32>> = [&a, &b, &c]
+            .iter()
+            .map(|m| sparse::dense::test_vector(m.cols()))
+            .collect();
+        let fused = block_diag(&[&a, &b, &c]);
+        assert_eq!(fused.rows(), 70);
+        assert_eq!(fused.cols(), 85);
+        assert_eq!(fused.nnz(), a.nnz() + b.nnz());
+        let x = concat_x(&[&xs[0], &xs[1], &xs[2]]);
+        let y = fused.spmv_ref(&x);
+        let parts = split_y(&y, &[40, 25, 5]);
+        for (part, (m, x)) in parts.iter().zip([(&a, &xs[0]), (&b, &xs[1]), (&c, &xs[2])]) {
+            assert_eq!(part, &m.spmv_ref(x));
+        }
+    }
+
+    #[test]
+    fn single_member_roundtrips() {
+        let a = sparse::gen::uniform(10, 10, 50, 9);
+        let fused = block_diag(&[&a]);
+        assert_eq!(fused.row_offsets(), a.row_offsets());
+        assert_eq!(fused.col_indices(), a.col_indices());
+    }
+}

@@ -1,0 +1,171 @@
+//! The plan cache: fingerprint → prepared [`SpmvPlan`], LRU-bounded.
+//!
+//! Preparing a plan costs real (simulated) time — LRB's binning launches,
+//! merge-path's partition build — and serving workloads are heavily
+//! skewed: a few popular matrices receive most requests. Memoizing the
+//! prepared plan per [`Fingerprint`] turns that skew into wins: a cache
+//! hit skips schedule selection *and* setup, and the launch runs the
+//! cheaper prepartitioned path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kernels::plan::SpmvPlan;
+
+use crate::fingerprint::Fingerprint;
+
+/// Hit/miss/eviction counters for a serving run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: usize,
+    /// Lookups that missed (and inserted after preparing).
+    pub misses: usize,
+    /// Entries dropped to stay within capacity.
+    pub evictions: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (0 if none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// LRU cache of prepared plans keyed by matrix fingerprint.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<Fingerprint, (Arc<SpmvPlan>, u64)>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (capacity 0 disables
+    /// caching: every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a plan, counting the hit or miss.
+    pub fn get(&mut self, key: &Fingerprint) -> Option<Arc<SpmvPlan>> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some((plan, used)) => {
+                *used = self.clock;
+                self.stats.hits += 1;
+                Some(Arc::clone(plan))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly prepared plan, evicting the least-recently-used
+    /// entry if over capacity.
+    pub fn insert(&mut self, key: Fingerprint, plan: Arc<SpmvPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.entries.insert(key, (plan, self.clock));
+        while self.entries.len() > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+                .expect("non-empty");
+            self.entries.remove(&lru);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loops::schedule::ScheduleKind;
+
+    fn plan() -> Arc<SpmvPlan> {
+        Arc::new(SpmvPlan {
+            schedule: ScheduleKind::ThreadMapped,
+            block_dim: 256,
+            merge_starts: None,
+            lrb: None,
+            setup_ms: 0.0,
+        })
+    }
+
+    fn key(n: usize) -> Fingerprint {
+        Fingerprint {
+            rows: n,
+            cols: n,
+            nnz: n,
+            max_row: 1,
+            cv_milli: 0,
+            pattern: n as u64,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_and_stats() {
+        let mut c = PlanCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), plan());
+        assert!(c.get(&key(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), plan());
+        c.insert(key(2), plan());
+        let _ = c.get(&key(1)); // 2 is now LRU
+        c.insert(key(3), plan());
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert(key(1), plan());
+        assert!(c.get(&key(1)).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,815 @@
+//! # runtime — a multi-tenant kernel-serving runtime on the simulator
+//!
+//! The paper's framework answers "how do I balance *one* kernel?". This
+//! crate asks the serving question on top of it: many SpMV requests,
+//! against a skewed mix of matrices, arriving on an open-loop clock,
+//! sharing a pool of simulated GPUs. It composes four pieces:
+//!
+//! * **Device pool** — N [`DeviceSim`]s, each with several streams;
+//!   requests dispatch to the earliest-available stream (least-loaded
+//!   device on ties), so kernels overlap across streams and devices
+//!   exactly as the stream model allows.
+//! * **Plan cache** ([`PlanCache`]) — prepared [`SpmvPlan`]s memoized by
+//!   matrix [`Fingerprint`]: a hit skips schedule selection and setup
+//!   (LRB binning, merge-path partition search) and launches the cheaper
+//!   prepartitioned kernel. Results stay bitwise identical to the cold
+//!   path.
+//! * **Small-request batcher** ([`batch`]) — tiny SpMVs wait up to a
+//!   short window and fuse into one block-diagonal launch, paying the
+//!   launch overhead once.
+//! * **Admission queue** — a bounded in-flight window with a
+//!   [`QueuePolicy`]: `Reject` drops excess requests, `Block` delays
+//!   submission until a slot frees (the delay shows up as queueing
+//!   latency).
+//!
+//! [`Runtime::serve`] drives a request stream through all of this
+//! deterministically and returns per-request [`Completion`]s plus a
+//! [`RuntimeReport`] (cache hit rate, p50/p99 latency, per-device
+//! occupancy, throughput).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batch;
+pub mod cache;
+pub mod fingerprint;
+pub mod workload;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use kernels::plan::{self, SpmvPlan};
+use kernels::spmv::{spmv_with_model, spmv_with_plan, SpmvRun, DEFAULT_BLOCK};
+use loops::heuristic::Heuristic;
+use loops::schedule::ScheduleKind;
+use simt::{CostModel, DeviceSim, GpuSpec, StreamId};
+use sparse::Csr;
+
+pub use cache::{CacheStats, PlanCache};
+pub use fingerprint::Fingerprint;
+pub use workload::{zipf_workload, WorkloadSpec};
+
+/// What to do when the in-flight window is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Delay submission until a slot frees; the wait becomes latency.
+    Block,
+    /// Drop the request (counted in [`RuntimeReport::rejected`]).
+    Reject,
+}
+
+/// Pool-, queue-, batch-, and cache-sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Simulated devices in the pool.
+    pub devices: usize,
+    /// Streams (FIFO lanes) per device.
+    pub streams_per_device: usize,
+    /// Maximum jobs in flight before backpressure engages.
+    pub queue_depth: usize,
+    /// Backpressure policy.
+    pub policy: QueuePolicy,
+    /// How long a tiny request may wait for batch-mates (simulated ms).
+    pub batch_window_ms: f64,
+    /// Maximum tiny requests fused into one launch (≤ 1 disables
+    /// batching).
+    pub batch_max: usize,
+    /// Requests on matrices with at most this many nonzeros are "tiny"
+    /// and eligible for batching.
+    pub tiny_nnz: usize,
+    /// Plan-cache capacity in entries (0 disables caching).
+    pub plan_cache_capacity: usize,
+    /// Keep each request's result vector in its [`Completion`] (memory
+    /// for verification; benches turn this off).
+    pub keep_results: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            devices: 1,
+            streams_per_device: 4,
+            queue_depth: 64,
+            policy: QueuePolicy::Block,
+            batch_window_ms: 0.05,
+            batch_max: 8,
+            tiny_nnz: 4_096,
+            plan_cache_capacity: 128,
+            keep_results: false,
+        }
+    }
+}
+
+/// One SpMV request: `y = matrix · x`, arriving at `arrival_ms` on the
+/// open-loop clock.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the [`Completion`].
+    pub id: u64,
+    /// The (shared) matrix.
+    pub matrix: Arc<Csr<f32>>,
+    /// The (shared) input vector; must have `matrix.cols()` entries.
+    pub x: Arc<[f32]>,
+    /// Arrival time in simulated milliseconds.
+    pub arrival_ms: f64,
+}
+
+/// Outcome of one served request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Its arrival time.
+    pub arrival_ms: f64,
+    /// When its job started on a device stream.
+    pub start_ms: f64,
+    /// When its job completed.
+    pub end_ms: f64,
+    /// Pool index of the device that ran it.
+    pub device: usize,
+    /// True if the request was served inside a fused batch launch.
+    pub batched: bool,
+    /// Plan-cache outcome (`None` for batched launches, which bypass the
+    /// cache — fused shapes are one-off).
+    pub cache_hit: Option<bool>,
+    /// Schedule the job ran under.
+    pub schedule: ScheduleKind,
+    /// The result vector, if [`RuntimeConfig::keep_results`] was set.
+    pub y: Option<Vec<f32>>,
+}
+
+impl Completion {
+    /// End-to-end latency: queueing + batching wait + execution.
+    pub fn latency_ms(&self) -> f64 {
+        self.end_ms - self.arrival_ms
+    }
+}
+
+/// Per-device serving totals.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceReport {
+    /// Pool index.
+    pub device: usize,
+    /// Kernels this device completed.
+    pub jobs: usize,
+    /// Mean SM busy fraction over the device's makespan.
+    pub sm_occupancy: f64,
+    /// The device's completion time.
+    pub makespan_ms: f64,
+}
+
+/// Aggregated metrics of one [`Runtime::serve`] call.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Requests in the input stream.
+    pub submitted: usize,
+    /// Requests that completed.
+    pub served: usize,
+    /// Requests dropped by [`QueuePolicy::Reject`].
+    pub rejected: usize,
+    /// Fused launches issued by the batcher.
+    pub batches: usize,
+    /// Requests served inside those fused launches.
+    pub batched_requests: usize,
+    /// Plan-cache counters for this call.
+    pub cache: CacheStats,
+    /// Median latency (ms).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub latency_p99_ms: f64,
+    /// Mean latency (ms).
+    pub latency_mean_ms: f64,
+    /// Completion time of the last job (ms).
+    pub makespan_ms: f64,
+    /// Per-device totals (cumulative over the runtime's lifetime).
+    pub devices: Vec<DeviceReport>,
+}
+
+impl RuntimeReport {
+    /// Served requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            0.0
+        } else {
+            self.served as f64 / (self.makespan_ms * 1e-3)
+        }
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "served {}/{} requests ({} rejected) in {:.3} simulated ms → {:.0} req/s",
+            self.served,
+            self.submitted,
+            self.rejected,
+            self.makespan_ms,
+            self.throughput_rps()
+        )?;
+        writeln!(
+            f,
+            "plan cache: {} hits / {} misses ({:.1}% hit rate, {} evictions)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions
+        )?;
+        writeln!(
+            f,
+            "latency: p50 {:.4} ms, p99 {:.4} ms, mean {:.4} ms",
+            self.latency_p50_ms, self.latency_p99_ms, self.latency_mean_ms
+        )?;
+        writeln!(
+            f,
+            "batching: {} fused launches covering {} requests",
+            self.batches, self.batched_requests
+        )?;
+        for d in &self.devices {
+            writeln!(
+                f,
+                "device {}: {} jobs, SM occupancy {:.1}%, busy until {:.3} ms",
+                d.device,
+                d.jobs,
+                d.sm_occupancy * 100.0,
+                d.makespan_ms
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Completions plus the aggregated report.
+#[derive(Debug, Clone)]
+pub struct ServeResult {
+    /// Per-request outcomes, in submission order.
+    pub completions: Vec<Completion>,
+    /// Aggregated metrics.
+    pub report: RuntimeReport,
+}
+
+/// The serving runtime: device pool + plan cache + batcher + queue.
+#[derive(Debug)]
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    spec: GpuSpec,
+    model: CostModel,
+    heuristic: Heuristic,
+    devices: Vec<DeviceSim>,
+    streams: Vec<Vec<StreamId>>,
+    cache: PlanCache,
+    fp_memo: HashMap<usize, Fingerprint>,
+}
+
+impl Runtime {
+    /// A pool of `cfg.devices` copies of `spec` with the standard cost
+    /// model and the paper's schedule heuristic.
+    pub fn new(spec: GpuSpec, cfg: RuntimeConfig) -> Self {
+        Self::with_model(spec, CostModel::standard(), Heuristic::paper(), cfg)
+    }
+
+    /// Full control over cost model and heuristic.
+    pub fn with_model(
+        spec: GpuSpec,
+        model: CostModel,
+        heuristic: Heuristic,
+        cfg: RuntimeConfig,
+    ) -> Self {
+        assert!(cfg.devices >= 1, "pool needs at least one device");
+        assert!(cfg.streams_per_device >= 1, "devices need at least one stream");
+        assert!(cfg.queue_depth >= 1, "queue depth must be positive");
+        let mut devices = Vec::with_capacity(cfg.devices);
+        let mut streams = Vec::with_capacity(cfg.devices);
+        for _ in 0..cfg.devices {
+            let mut d = DeviceSim::with_model(spec.clone(), model.clone());
+            streams.push((0..cfg.streams_per_device).map(|_| d.create_stream()).collect());
+            devices.push(d);
+        }
+        Self {
+            cache: PlanCache::new(cfg.plan_cache_capacity),
+            cfg,
+            spec,
+            model,
+            heuristic,
+            devices,
+            streams,
+            fp_memo: HashMap::new(),
+        }
+    }
+
+    /// The pool's device architecture.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Plan-cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serve a request stream to completion. Requests are processed in
+    /// arrival order (ties by id); the call is deterministic for a given
+    /// runtime state and input.
+    // (The batch-flush macro resets `deadline` on every use; the final
+    // flush's reset is intentionally dead.)
+    #[allow(unused_assignments)]
+    pub fn serve(&mut self, requests: &[Request]) -> simt::Result<ServeResult> {
+        let cache_before = self.cache.stats();
+        let mut order: Vec<&Request> = requests.iter().collect();
+        order.sort_by(|a, b| {
+            a.arrival_ms
+                .partial_cmp(&b.arrival_ms)
+                .expect("arrival times are finite")
+                .then(a.id.cmp(&b.id))
+        });
+
+        let mut completions: Vec<Completion> = Vec::with_capacity(order.len());
+        let mut in_flight: Vec<f64> = Vec::new(); // job end times
+        let mut rejected = 0usize;
+        let mut batches = 0usize;
+        let mut batched_requests = 0usize;
+        // Pending tiny requests: (request, effective submit time).
+        let mut pending: Vec<(&Request, f64)> = Vec::new();
+        let mut deadline = f64::INFINITY;
+
+        macro_rules! flush_batch {
+            ($at:expr) => {
+                if !pending.is_empty() {
+                    let at: f64 = $at;
+                    let members = std::mem::take(&mut pending);
+                    deadline = f64::INFINITY;
+                    if members.len() > 1 {
+                        batches += 1;
+                        batched_requests += members.len();
+                    }
+                    let done = self.submit(&members, at)?;
+                    in_flight.push(done[0].end_ms);
+                    completions.extend(done);
+                }
+            };
+        }
+
+        for r in order {
+            assert_eq!(
+                r.x.len(),
+                r.matrix.cols(),
+                "request {}: x must have one entry per column",
+                r.id
+            );
+            let mut t = r.arrival_ms;
+            // A due batch flushes before this arrival is admitted.
+            if deadline <= t {
+                let at = deadline.max(pending.iter().fold(0.0f64, |m, (_, pt)| m.max(*pt)));
+                flush_batch!(at);
+            }
+            // Admission control against the in-flight window.
+            in_flight.retain(|&end| end > t);
+            if in_flight.len() >= self.cfg.queue_depth {
+                match self.cfg.policy {
+                    QueuePolicy::Reject => {
+                        rejected += 1;
+                        continue;
+                    }
+                    QueuePolicy::Block => {
+                        // Wait until enough jobs drain to open a slot.
+                        in_flight.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                        while in_flight.len() >= self.cfg.queue_depth {
+                            t = t.max(in_flight.remove(0));
+                        }
+                        in_flight.retain(|&end| end > t);
+                    }
+                }
+            }
+            let tiny = self.cfg.batch_max > 1 && r.matrix.nnz() <= self.cfg.tiny_nnz;
+            if tiny {
+                if pending.is_empty() {
+                    deadline = t + self.cfg.batch_window_ms;
+                }
+                pending.push((r, t));
+                if pending.len() >= self.cfg.batch_max {
+                    flush_batch!(t);
+                }
+            } else {
+                let done = self.submit(&[(r, t)], t)?;
+                in_flight.push(done[0].end_ms);
+                completions.extend(done);
+            }
+        }
+        if !pending.is_empty() {
+            let at = pending
+                .iter()
+                .fold(deadline.min(1e300), |m, (_, pt)| m.max(*pt));
+            flush_batch!(at);
+        }
+
+        // Aggregate.
+        let mut latencies: Vec<f64> = completions.iter().map(Completion::latency_ms).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pick = |p: f64| -> f64 {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                let idx = ((p * latencies.len() as f64).ceil() as usize).max(1) - 1;
+                latencies[idx.min(latencies.len() - 1)]
+            }
+        };
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        let makespan_ms = completions.iter().fold(0.0f64, |m, c| m.max(c.end_ms));
+        let cache_after = self.cache.stats();
+        let report = RuntimeReport {
+            submitted: requests.len(),
+            served: completions.len(),
+            rejected,
+            batches,
+            batched_requests,
+            cache: CacheStats {
+                hits: cache_after.hits - cache_before.hits,
+                misses: cache_after.misses - cache_before.misses,
+                evictions: cache_after.evictions - cache_before.evictions,
+            },
+            latency_p50_ms: pick(0.50),
+            latency_p99_ms: pick(0.99),
+            latency_mean_ms: mean,
+            makespan_ms,
+            devices: self
+                .devices
+                .iter()
+                .enumerate()
+                .map(|(i, d)| DeviceReport {
+                    device: i,
+                    jobs: d.jobs_done(),
+                    sm_occupancy: d.sm_occupancy(),
+                    makespan_ms: d.makespan_ms(),
+                })
+                .collect(),
+        };
+        Ok(ServeResult {
+            completions,
+            report,
+        })
+    }
+
+    /// Run one job (solo request or fused batch) and place it on the
+    /// earliest-available stream at or after `submit_ms`.
+    fn submit(
+        &mut self,
+        members: &[(&Request, f64)],
+        submit_ms: f64,
+    ) -> simt::Result<Vec<Completion>> {
+        // Execute functionally + time solo, via the plan cache for solo
+        // requests; fused batches are one-off shapes and bypass it.
+        let (run, cache_hit) = if members.len() == 1 {
+            let a = &members[0].0.matrix;
+            let x = &members[0].0.x;
+            let fp = *self
+                .fp_memo
+                .entry(Arc::as_ptr(a) as usize)
+                .or_insert_with(|| Fingerprint::of(a));
+            match self.cache.get(&fp) {
+                Some(plan) => (
+                    spmv_with_plan(&self.spec, &self.model, a, x, &plan)?,
+                    Some(true),
+                ),
+                None => {
+                    let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
+                    let run = spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?;
+                    let plan: SpmvPlan =
+                        plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)?;
+                    self.cache.insert(fp, Arc::new(plan));
+                    (run, Some(false))
+                }
+            }
+        } else {
+            let parts: Vec<&Csr<f32>> = members.iter().map(|(r, _)| r.matrix.as_ref()).collect();
+            let fused = batch::block_diag(&parts);
+            let xs: Vec<&[f32]> = members.iter().map(|(r, _)| r.x.as_ref()).collect();
+            let x = batch::concat_x(&xs);
+            let kind = self
+                .heuristic
+                .select(fused.rows(), fused.cols(), fused.nnz());
+            (
+                spmv_with_model(&self.spec, &self.model, &fused, &x, kind, DEFAULT_BLOCK)?,
+                None,
+            )
+        };
+
+        // Earliest-available stream; least-loaded device on ties.
+        let (dev_idx, stream) = self.pick_stream(submit_ms);
+        let job = self.devices[dev_idx].replay(stream, &run.report, submit_ms);
+
+        Ok(self.complete(members, &run, dev_idx, cache_hit, job.start_ms, job.end_ms))
+    }
+
+    fn pick_stream(&self, submit_ms: f64) -> (usize, StreamId) {
+        let mut best: Option<(f64, f64, usize, StreamId)> = None;
+        for (di, d) in self.devices.iter().enumerate() {
+            for &s in &self.streams[di] {
+                let start = d.stream_ready_ms(s).max(submit_ms);
+                let tie = d.makespan_ms();
+                let better = match &best {
+                    None => true,
+                    Some((bs, bt, _, _)) => {
+                        start < *bs - 1e-12 || (start < *bs + 1e-12 && tie < *bt - 1e-12)
+                    }
+                };
+                if better {
+                    best = Some((start, tie, di, s));
+                }
+            }
+        }
+        let (_, _, di, s) = best.expect("pool has at least one stream");
+        (di, s)
+    }
+
+    fn complete(
+        &self,
+        members: &[(&Request, f64)],
+        run: &SpmvRun,
+        device: usize,
+        cache_hit: Option<bool>,
+        start_ms: f64,
+        end_ms: f64,
+    ) -> Vec<Completion> {
+        let batched = members.len() > 1;
+        let ys: Vec<Option<Vec<f32>>> = if self.cfg.keep_results {
+            if batched {
+                let counts: Vec<usize> = members.iter().map(|(r, _)| r.matrix.rows()).collect();
+                batch::split_y(&run.y, &counts)
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            } else {
+                vec![Some(run.y.clone())]
+            }
+        } else {
+            members.iter().map(|_| None).collect()
+        };
+        members
+            .iter()
+            .zip(ys)
+            .map(|((r, _), y)| Completion {
+                id: r.id,
+                arrival_ms: r.arrival_ms,
+                start_ms,
+                end_ms,
+                device,
+                batched,
+                cache_hit,
+                schedule: run.schedule,
+                y,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize, seed: u64) -> Vec<Arc<Csr<f32>>> {
+        (0..n)
+            .map(|i| {
+                Arc::new(sparse::gen::powerlaw(
+                    2_000 + 500 * i,
+                    2_000 + 500 * i,
+                    30_000 + 5_000 * i,
+                    1.7,
+                    seed + i as u64,
+                ))
+            })
+            .collect()
+    }
+
+    fn stream(matrices: &[Arc<Csr<f32>>], n: usize) -> Vec<Request> {
+        zipf_workload(
+            matrices,
+            &WorkloadSpec {
+                requests: n,
+                zipf_s: 1.1,
+                mean_interarrival_ms: 0.02,
+                seed: 7,
+            },
+        )
+    }
+
+    #[test]
+    fn serves_all_requests_and_caches_plans() {
+        let m = corpus(4, 100);
+        let reqs = stream(&m, 120);
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(out.report.served, 120);
+        assert_eq!(out.report.rejected, 0);
+        // 4 distinct matrices → 4 misses, everything else hits.
+        assert_eq!(out.report.cache.misses, 4);
+        assert!(out.report.cache.hit_rate() > 0.9);
+        assert!(out.report.latency_p99_ms >= out.report.latency_p50_ms);
+        assert!(out.report.makespan_ms > 0.0);
+        assert!(out.report.devices[0].sm_occupancy > 0.0);
+    }
+
+    #[test]
+    fn results_match_reference_under_serving() {
+        let m = corpus(3, 200);
+        let reqs = stream(&m, 40);
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                keep_results: true,
+                ..RuntimeConfig::default()
+            },
+        );
+        let out = rt.serve(&reqs).unwrap();
+        for c in &out.completions {
+            let r = reqs.iter().find(|r| r.id == c.id).unwrap();
+            let want = r.matrix.spmv_ref(&r.x);
+            let got = c.y.as_ref().expect("keep_results");
+            let err = kernels::spmv::max_rel_error(got, &want);
+            assert!(err < 2e-3, "request {}: err {err}", c.id);
+        }
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let m = corpus(3, 300);
+        let reqs = stream(&m, 80);
+        let run = |_: u32| {
+            let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+            let out = rt.serve(&reqs).unwrap();
+            (
+                out.report.makespan_ms,
+                out.report.latency_p99_ms,
+                out.report.cache.hits,
+                out.completions.iter().map(|c| c.end_ms).sum::<f64>(),
+            )
+        };
+        assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn two_devices_outrun_one_under_load() {
+        let m = corpus(4, 400);
+        // Arrivals far faster than one device's lanes can drain: the
+        // makespan is service-bound, so doubling the pool ≈ halves it.
+        let reqs = zipf_workload(
+            &m,
+            &WorkloadSpec {
+                requests: 150,
+                zipf_s: 1.1,
+                mean_interarrival_ms: 0.002,
+                seed: 7,
+            },
+        );
+        let serve_with = |devices: usize| {
+            let mut rt = Runtime::new(
+                GpuSpec::v100(),
+                RuntimeConfig {
+                    devices,
+                    ..RuntimeConfig::default()
+                },
+            );
+            rt.serve(&reqs).unwrap().report
+        };
+        let one = serve_with(1);
+        let two = serve_with(2);
+        assert_eq!(one.served, two.served);
+        let speedup = two.throughput_rps() / one.throughput_rps();
+        assert!(
+            speedup >= 1.5,
+            "2-device throughput speedup only {speedup:.2}x ({:.0} vs {:.0} req/s)",
+            two.throughput_rps(),
+            one.throughput_rps()
+        );
+        // Both devices actually served jobs.
+        assert!(two.devices.iter().all(|d| d.jobs > 0));
+    }
+
+    #[test]
+    fn reject_policy_sheds_load_block_policy_serves_all() {
+        let m = corpus(2, 500);
+        let reqs = stream(&m, 100);
+        let serve_with = |policy: QueuePolicy| {
+            let mut rt = Runtime::new(
+                GpuSpec::v100(),
+                RuntimeConfig {
+                    queue_depth: 2,
+                    policy,
+                    ..RuntimeConfig::default()
+                },
+            );
+            rt.serve(&reqs).unwrap().report
+        };
+        let rej = serve_with(QueuePolicy::Reject);
+        assert!(rej.rejected > 0, "tight queue should shed load");
+        assert_eq!(rej.served + rej.rejected, 100);
+        let blk = serve_with(QueuePolicy::Block);
+        assert_eq!(blk.served, 100);
+        assert_eq!(blk.rejected, 0);
+        // Blocking converts drops into waiting.
+        assert!(blk.latency_p99_ms > rej.latency_p99_ms);
+    }
+
+    #[test]
+    fn tiny_requests_are_batched_and_still_correct() {
+        let tiny: Vec<Arc<Csr<f32>>> = (0..6)
+            .map(|i| Arc::new(sparse::gen::uniform(60, 60, 400, 600 + i)))
+            .collect();
+        let reqs = zipf_workload(
+            &tiny,
+            &WorkloadSpec {
+                requests: 64,
+                zipf_s: 0.8,
+                mean_interarrival_ms: 0.002,
+                seed: 11,
+            },
+        );
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                keep_results: true,
+                ..RuntimeConfig::default()
+            },
+        );
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(out.report.served, 64);
+        assert!(out.report.batches > 0, "tiny mix should coalesce");
+        assert!(out.report.batched_requests > out.report.batches);
+        for c in out.completions.iter().filter(|c| c.batched) {
+            let r = reqs.iter().find(|r| r.id == c.id).unwrap();
+            let want = r.matrix.spmv_ref(&r.x);
+            let err = kernels::spmv::max_rel_error(c.y.as_ref().unwrap(), &want);
+            assert!(err < 2e-3, "batched request {}: err {err}", c.id);
+        }
+    }
+
+    #[test]
+    fn batching_beats_serial_tiny_launches_on_makespan() {
+        let tiny: Vec<Arc<Csr<f32>>> = (0..4)
+            .map(|i| Arc::new(sparse::gen::uniform(50, 50, 300, 700 + i)))
+            .collect();
+        let reqs = zipf_workload(
+            &tiny,
+            &WorkloadSpec {
+                requests: 48,
+                zipf_s: 0.5,
+                mean_interarrival_ms: 0.001,
+                seed: 13,
+            },
+        );
+        let serve_with = |batch_max: usize| {
+            let mut rt = Runtime::new(
+                GpuSpec::v100(),
+                RuntimeConfig {
+                    batch_max,
+                    streams_per_device: 1,
+                    ..RuntimeConfig::default()
+                },
+            );
+            rt.serve(&reqs).unwrap().report
+        };
+        let unbatched = serve_with(1);
+        let batched = serve_with(8);
+        assert_eq!(unbatched.batches, 0);
+        assert!(batched.batches > 0);
+        assert!(
+            batched.makespan_ms < unbatched.makespan_ms,
+            "batched {} ms vs unbatched {} ms",
+            batched.makespan_ms,
+            unbatched.makespan_ms
+        );
+    }
+
+    #[test]
+    fn cache_capacity_evicts_and_remisses() {
+        let m = corpus(3, 800);
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                plan_cache_capacity: 1,
+                batch_max: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        // Round-robin through 3 matrices: every access under capacity 1
+        // misses after the first eviction.
+        let reqs: Vec<Request> = (0..9)
+            .map(|i| Request {
+                id: i,
+                matrix: Arc::clone(&m[(i % 3) as usize]),
+                x: Arc::from(
+                    sparse::dense::test_vector(m[(i % 3) as usize].cols()).into_boxed_slice(),
+                ),
+                arrival_ms: i as f64,
+            })
+            .collect();
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(out.report.cache.hits, 0);
+        assert_eq!(out.report.cache.misses, 9);
+        assert!(out.report.cache.evictions >= 6);
+    }
+}

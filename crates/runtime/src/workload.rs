@@ -1,0 +1,123 @@
+//! Open-loop serving workloads: Zipf-skewed matrix popularity with
+//! Poisson arrivals.
+//!
+//! Serving traffic is skewed — a few models/matrices take most requests —
+//! and open-loop: requests arrive on their own clock, not when the server
+//! is ready. `zipf_workload` reproduces both with the repo's deterministic
+//! PRNG, so every bench run sees the same request stream.
+
+use std::sync::Arc;
+
+use sparse::{Csr, Prng};
+
+use crate::Request;
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Zipf skew exponent `s` (0 = uniform popularity; ~1 = classic skew).
+    pub zipf_s: f64,
+    /// Mean inter-arrival gap in simulated milliseconds (exponential).
+    pub mean_interarrival_ms: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            requests: 1_000,
+            zipf_s: 1.1,
+            mean_interarrival_ms: 0.05,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate an open-loop request stream over `matrices`: request `i`
+/// targets a Zipf-popular matrix (rank = input order) and arrives after
+/// an exponential gap. Each matrix gets one shared deterministic input
+/// vector.
+pub fn zipf_workload(matrices: &[Arc<Csr<f32>>], spec: &WorkloadSpec) -> Vec<Request> {
+    assert!(!matrices.is_empty(), "workload needs at least one matrix");
+    let mut rng = Prng::seed_from_u64(spec.seed);
+    // Zipf CDF over ranks: weight(i) = 1 / (i+1)^s.
+    let weights: Vec<f64> = (0..matrices.len())
+        .map(|i| 1.0 / ((i + 1) as f64).powf(spec.zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let xs: Vec<Arc<[f32]>> = matrices
+        .iter()
+        .map(|a| Arc::from(sparse::dense::test_vector(a.cols()).into_boxed_slice()))
+        .collect();
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(spec.requests);
+    for id in 0..spec.requests {
+        t += rng.exp(1.0 / spec.mean_interarrival_ms.max(1e-9));
+        let u = rng.f64();
+        let idx = cdf.partition_point(|&c| c < u).min(matrices.len() - 1);
+        out.push(Request {
+            id: id as u64,
+            matrix: Arc::clone(&matrices[idx]),
+            x: Arc::clone(&xs[idx]),
+            arrival_ms: t,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Arc<Csr<f32>>> {
+        (0..6)
+            .map(|i| Arc::new(sparse::gen::uniform(100 + i * 10, 100, 800, i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_ordered() {
+        let m = corpus();
+        let spec = WorkloadSpec {
+            requests: 200,
+            ..WorkloadSpec::default()
+        };
+        let a = zipf_workload(&m, &spec);
+        let b = zipf_workload(&m, &spec);
+        assert_eq!(a.len(), 200);
+        assert!(a.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(p, q)| p.arrival_ms == q.arrival_ms && Arc::ptr_eq(&p.matrix, &q.matrix)));
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let m = corpus();
+        let spec = WorkloadSpec {
+            requests: 2_000,
+            zipf_s: 1.2,
+            ..WorkloadSpec::default()
+        };
+        let reqs = zipf_workload(&m, &spec);
+        let head = reqs
+            .iter()
+            .filter(|r| Arc::ptr_eq(&r.matrix, &m[0]))
+            .count();
+        let tail = reqs
+            .iter()
+            .filter(|r| Arc::ptr_eq(&r.matrix, &m[5]))
+            .count();
+        assert!(head > 3 * tail.max(1), "rank 0: {head}, rank 5: {tail}");
+    }
+}

@@ -165,7 +165,7 @@ impl<'a> BlockCtx<'a> {
     /// * sub-warp groups run lockstep with their warp-mates, so the warp is
     ///   charged, per phase, the maximum across all groups sharing it.
     pub fn for_each_group(&mut self, group_size: u32, mut f: impl FnMut(&mut GroupCtx<'_>)) {
-        if group_size == 0 || self.block_dim % group_size != 0 {
+        if group_size == 0 || !self.block_dim.is_multiple_of(group_size) {
             self.error = Some(LaunchError::BadGroupSize {
                 group_size,
                 block_dim: self.block_dim,

@@ -9,11 +9,10 @@
 //! overhead of a few percent, and atomics that are noticeably more
 //! expensive than plain accesses.
 
-use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 
 /// Unit costs for simulated operations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Cost of processing one work atom (e.g. one nonzero in SpMV): the
     /// loads, the FMA, and index arithmetic.
@@ -218,7 +217,7 @@ impl MemCounters {
 }
 
 /// Plain-data snapshot of [`MemCounters`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MemSummary {
     /// Bytes read from global memory.
     pub read_bytes: u64,

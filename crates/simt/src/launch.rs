@@ -71,7 +71,7 @@ impl<F: Fn(&mut BlockCtx<'_>) + Sync> BlockKernel for F {
     }
 }
 
-fn validate(spec: &GpuSpec, cfg: &LaunchConfig) -> Result<Occupancy> {
+pub(crate) fn validate(spec: &GpuSpec, cfg: &LaunchConfig) -> Result<Occupancy> {
     if cfg.grid_dim == 0 || cfg.block_dim == 0 {
         return Err(LaunchError::EmptyLaunch);
     }
@@ -166,7 +166,7 @@ where
 }
 
 /// Execute all blocks, in parallel when the grid is large enough.
-fn run_blocks<K: BlockKernel>(
+pub(crate) fn run_blocks<K: BlockKernel>(
     spec: &GpuSpec,
     model: &CostModel,
     cfg: &LaunchConfig,
@@ -188,11 +188,11 @@ fn run_blocks<K: BlockKernel>(
         return Ok(out);
     }
     let next = AtomicU32::new(0);
-    let results = crossbeam::thread::scope(|s| {
+    let results = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local: Vec<(u32, std::result::Result<BlockCost, LaunchError>)> =
                         Vec::new();
                     loop {
@@ -213,8 +213,7 @@ fn run_blocks<K: BlockKernel>(
             .into_iter()
             .flat_map(|h| h.join().expect("block worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("executor scope panicked");
+    });
 
     let mut out: Vec<Option<BlockCost>> = vec![None; n as usize];
     for (b, res) in results {

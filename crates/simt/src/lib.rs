@@ -82,6 +82,7 @@ pub mod report;
 pub mod scheduler;
 pub mod shared;
 pub mod spec;
+pub mod stream;
 
 pub use block::BlockCtx;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
@@ -99,3 +100,4 @@ pub use occupancy::Occupancy;
 pub use report::{LaunchReport, TimingBreakdown};
 pub use shared::SharedBuf;
 pub use spec::GpuSpec;
+pub use stream::{DeviceSim, Event, JobReport, StreamId, StreamReport};

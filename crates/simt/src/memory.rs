@@ -156,7 +156,8 @@ macro_rules! float_scalar {
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let old = <$t>::from_bits(cur);
-                    if !(v < old) {
+                    // NaN-aware: keep `old` unless `v` compares strictly less.
+                    if v.partial_cmp(&old) != Some(core::cmp::Ordering::Less) {
                         return old;
                     }
                     match cell.compare_exchange_weak(
@@ -175,7 +176,8 @@ macro_rules! float_scalar {
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let old = <$t>::from_bits(cur);
-                    if !(v > old) {
+                    // NaN-aware: keep `old` unless `v` compares strictly greater.
+                    if v.partial_cmp(&old) != Some(core::cmp::Ordering::Greater) {
                         return old;
                     }
                     match cell.compare_exchange_weak(

@@ -14,10 +14,9 @@
 
 use crate::report::LaunchReport;
 use crate::spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// A homogeneous multi-GPU node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiGpuSpec {
     /// Per-device architecture.
     pub device: GpuSpec,
@@ -58,7 +57,7 @@ impl MultiGpuSpec {
 }
 
 /// Result of a multi-device launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiLaunchReport {
     /// Per-device launch reports, in device order.
     pub per_device: Vec<LaunchReport>,

@@ -7,10 +7,9 @@
 
 use crate::error::{LaunchError, Result};
 use crate::spec::GpuSpec;
-use serde::{Deserialize, Serialize};
 
 /// What capped the number of resident blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OccupancyLimit {
     /// Limited by `max_warps_per_sm`.
     Warps,
@@ -21,7 +20,7 @@ pub enum OccupancyLimit {
 }
 
 /// Result of the occupancy calculation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Occupancy {
     /// Blocks of this shape resident on one SM.
     pub blocks_per_sm: u32,
@@ -55,11 +54,10 @@ impl Occupancy {
         let warps_per_block = spec.warps_for(block_dim);
         let by_warps = spec.max_warps_per_sm / warps_per_block;
         let by_blocks = spec.max_blocks_per_sm;
-        let by_shared = if shared_bytes == 0 {
-            u32::MAX
-        } else {
-            spec.shared_mem_per_sm / shared_bytes
-        };
+        let by_shared = spec
+            .shared_mem_per_sm
+            .checked_div(shared_bytes)
+            .unwrap_or(u32::MAX);
         let (blocks_per_sm, limited_by) = [
             (by_warps, OccupancyLimit::Warps),
             (by_blocks, OccupancyLimit::Blocks),

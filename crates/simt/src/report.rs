@@ -2,10 +2,9 @@
 
 use crate::cost::MemSummary;
 use crate::occupancy::Occupancy;
-use serde::{Deserialize, Serialize};
 
 /// Whether the launch was limited by issue throughput or memory bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Boundedness {
     /// Compute (issue-slot) bound.
     Compute,
@@ -14,7 +13,7 @@ pub enum Boundedness {
 }
 
 /// Simulated timing decomposition of one kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingBreakdown {
     /// SM makespan converted to milliseconds.
     pub compute_ms: f64,
@@ -39,7 +38,7 @@ pub struct TimingBreakdown {
 }
 
 /// Result of a completed kernel launch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaunchReport {
     /// Grid dimension launched.
     pub grid_dim: u32,

@@ -9,7 +9,6 @@
 //! configurable group sizes as the portability story for 64-wide warps
 //! (§5.2.3).
 
-use serde::{Deserialize, Serialize};
 
 /// Architectural description of a simulated GPU.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// `launch_overhead_us`) are calibrated so simulated SpMV magnitudes land in
 /// the same regime as the paper's published CSV samples (tens of
 /// microseconds for millions of nonzeros on a V100).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Human-readable device name.
     pub name: String,

@@ -1,0 +1,632 @@
+//! Streams, events, and a shared-device timeline — CUDA's concurrency
+//! surface on the analytic makespan model.
+//!
+//! [`launch`](crate::launch::launch) answers "how long does this kernel
+//! take on an idle device?". A serving workload asks a different question:
+//! *many* kernels, submitted over time, sharing one device. This module
+//! models that the way hardware does:
+//!
+//! * **Streams are FIFO** — a kernel on a stream starts only after the
+//!   stream's previous kernel finished.
+//! * **Streams overlap** — kernels on *different* streams may run
+//!   concurrently. Blocks dispatch onto the device's SMs wherever capacity
+//!   frees up first (the gigathread engine's greedy least-loaded rule, now
+//!   across launches): a kernel that cannot fill the device leaves SMs for
+//!   a concurrent kernel, which is exactly the underutilization-recovery
+//!   that makes streams profitable on hardware.
+//! * **Events order work across streams** — [`DeviceSim::record_event`]
+//!   marks the completion of everything enqueued on a stream so far;
+//!   [`DeviceSim::wait_event`] holds a stream's next kernels until the
+//!   event resolves.
+//!
+//! Because the simulator is analytic, kernels still *execute* (host-side,
+//! functionally) at submission; only their *timing* is resolved against the
+//! shared SM timeline. Two simplifications are deliberate and documented:
+//! memory bandwidth is charged per launch (concurrent launches do not slow
+//! each other's DRAM traffic down), and a launch reserves its SMs for its
+//! compute time only. Both err toward optimism for heavily overlapped
+//! memory-bound mixes; relative comparisons between pool sizes and
+//! schedules — what the serving experiments report — are unaffected.
+
+use crate::cost::{CostModel, MemSummary};
+use crate::error::Result;
+use crate::launch::{run_blocks, validate, BlockKernel, LaunchConfig};
+use crate::report::{Boundedness, LaunchReport, TimingBreakdown};
+use crate::spec::GpuSpec;
+
+/// Handle to one FIFO work queue on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(u32);
+
+/// A recorded marker: "everything enqueued on stream S up to this point".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event(usize);
+
+/// Timing of one kernel on the shared device timeline.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The stream the kernel ran on.
+    pub stream: StreamId,
+    /// When the kernel became eligible (stream ready + waits + not-before).
+    pub start_ms: f64,
+    /// When the kernel completed.
+    pub end_ms: f64,
+    /// The launch's own report; `timing.elapsed_ms == end_ms - start_ms`
+    /// *on this shared timeline* (≥ the idle-device elapsed time).
+    pub report: LaunchReport,
+}
+
+impl JobReport {
+    /// Shared-timeline latency of this kernel.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// Per-stream accounting returned by [`DeviceSim::stream_report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamReport {
+    /// The stream.
+    pub stream: StreamId,
+    /// Kernels completed on this stream.
+    pub jobs: usize,
+    /// Completion time of the stream's last kernel (0 if none ran).
+    pub elapsed_ms: f64,
+    /// Sum of kernel (end - start) spans on this stream.
+    pub busy_ms: f64,
+}
+
+#[derive(Debug, Clone)]
+struct StreamState {
+    ready_ms: f64,
+    jobs: usize,
+    busy_ms: f64,
+}
+
+/// One simulated device with a shared SM timeline, multiple streams, and
+/// events. The in-flight-kernel counterpart of [`GpuSpec`] +
+/// [`launch`](crate::launch::launch).
+#[derive(Debug, Clone)]
+pub struct DeviceSim {
+    spec: GpuSpec,
+    model: CostModel,
+    /// Per-SM time at which the SM's queued compute drains (ms).
+    sm_free: Vec<f64>,
+    /// Per-SM cumulative busy time (ms), for occupancy accounting.
+    sm_busy: Vec<f64>,
+    streams: Vec<StreamState>,
+    events: Vec<f64>,
+    jobs_done: usize,
+    makespan_ms: f64,
+}
+
+impl DeviceSim {
+    /// A device with the standard cost model.
+    pub fn new(spec: GpuSpec) -> Self {
+        Self::with_model(spec, CostModel::standard())
+    }
+
+    /// A device with an explicit cost model.
+    pub fn with_model(spec: GpuSpec, model: CostModel) -> Self {
+        let n = spec.num_sms as usize;
+        Self {
+            spec,
+            model,
+            sm_free: vec![0.0; n],
+            sm_busy: vec![0.0; n],
+            streams: Vec::new(),
+            events: Vec::new(),
+            jobs_done: 0,
+            makespan_ms: 0.0,
+        }
+    }
+
+    /// The device's architecture.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Open a new stream (its FIFO starts empty and ready at t = 0).
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.push(StreamState {
+            ready_ms: 0.0,
+            jobs: 0,
+            busy_ms: 0.0,
+        });
+        StreamId(self.streams.len() as u32 - 1)
+    }
+
+    /// Launch a kernel on `stream`, eligible to start immediately.
+    pub fn launch<K: BlockKernel>(
+        &mut self,
+        stream: StreamId,
+        cfg: LaunchConfig,
+        kernel: &K,
+    ) -> Result<JobReport> {
+        self.launch_at(stream, cfg, kernel, 0.0)
+    }
+
+    /// Launch a kernel on `stream`, eligible no earlier than
+    /// `not_before_ms` on the device clock (an arrival time in a serving
+    /// workload). Executes the kernel functionally now; resolves its
+    /// timing against the shared SM timeline and returns the placement.
+    pub fn launch_at<K: BlockKernel>(
+        &mut self,
+        stream: StreamId,
+        cfg: LaunchConfig,
+        kernel: &K,
+        not_before_ms: f64,
+    ) -> Result<JobReport> {
+        let occ = validate(&self.spec, &cfg)?;
+        let t0 = std::time::Instant::now();
+        let blocks = run_blocks(&self.spec, &self.model, &cfg, kernel)?;
+        let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let s = stream.0 as usize;
+        assert!(s < self.streams.len(), "unknown stream {stream:?}");
+        let start = self.streams[s].ready_ms.max(not_before_ms);
+
+        // Greedy block dispatch against the shared per-SM timeline,
+        // mirroring `scheduler::device_time` but with non-zero SM start
+        // offsets left by earlier launches.
+        let hide = (f64::from(occ.resident_warps) / self.model.latency_hiding_warps).min(1.0);
+        let eff_issue = (f64::from(self.spec.issue_width_per_sm) * hide).max(1e-9);
+        let cycles_to_ms = 1.0 / (self.spec.clock_ghz * 1e9) * 1e3;
+
+        let num_sms = self.sm_free.len();
+        // Working finish times: an idle SM can start this job at `start`.
+        let mut t: Vec<f64> = self.sm_free.iter().map(|&f| f.max(start)).collect();
+        let mut critical = vec![0.0f64; num_sms];
+        let mut used = vec![false; num_sms];
+        let mut mem = MemSummary::default();
+        let mut total_units = 0.0;
+        for b in &blocks {
+            let (sm, _) = t
+                .iter()
+                .enumerate()
+                .fold((0usize, f64::INFINITY), |(bi, bv), (i, &v)| {
+                    if v < bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+            let units = b.total_units();
+            total_units += units;
+            t[sm] += units / eff_issue * cycles_to_ms;
+            critical[sm] = critical[sm].max(b.critical_warp() * cycles_to_ms);
+            used[sm] = true;
+            mem = mem.merged(b.mem);
+        }
+        // Latency-exposure: a warp outliving its SM's queued work stalls.
+        let mut compute_end = start;
+        let mut busy = 0.0f64;
+        let mut ends = vec![0.0f64; num_sms];
+        for i in 0..num_sms {
+            if !used[i] {
+                continue;
+            }
+            let job_start_i = self.sm_free[i].max(start);
+            let load = t[i] - job_start_i;
+            let end = t[i] + (critical[i] - load).max(0.0) * self.model.latency_stall;
+            ends[i] = end;
+            busy += end - job_start_i;
+            compute_end = compute_end.max(end);
+        }
+        let compute_ms = compute_end - start;
+        let utilization = if compute_ms > 0.0 {
+            busy / (compute_ms * num_sms as f64)
+        } else {
+            0.0
+        };
+        let bw_frac = if mem.total_bytes() == 0 {
+            1.0
+        } else {
+            (utilization * 4.0).clamp(0.05, 1.0)
+        };
+        let memory_ms = mem.total_bytes() as f64 / (self.spec.mem_bw_gbs * 1e9 * bw_frac) * 1e3;
+        let overhead_ms = self.spec.launch_overhead_us * 1e-3;
+        let end = compute_ms.max(memory_ms) + overhead_ms + start;
+
+        // Commit: SMs stay reserved for their compute; the stream advances
+        // to full completion.
+        for i in 0..num_sms {
+            if used[i] {
+                let job_start_i = self.sm_free[i].max(start);
+                self.sm_busy[i] += ends[i] - job_start_i;
+                self.sm_free[i] = self.sm_free[i].max(ends[i]);
+            }
+        }
+        let st = &mut self.streams[s];
+        st.ready_ms = end;
+        st.jobs += 1;
+        st.busy_ms += end - start;
+        self.jobs_done += 1;
+        self.makespan_ms = self.makespan_ms.max(end);
+
+        let timing = TimingBreakdown {
+            compute_ms,
+            memory_ms,
+            overhead_ms,
+            elapsed_ms: end - start,
+            bound: if compute_ms >= memory_ms {
+                Boundedness::Compute
+            } else {
+                Boundedness::Memory
+            },
+            sm_utilization: utilization,
+            total_units,
+            effective_issue_width: eff_issue,
+            sm_times_ms: ends
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| if used[i] { e - start } else { 0.0 })
+                .collect(),
+        };
+        Ok(JobReport {
+            stream,
+            start_ms: start,
+            end_ms: end,
+            report: LaunchReport {
+                grid_dim: cfg.grid_dim,
+                block_dim: cfg.block_dim,
+                shared_bytes: cfg.shared_bytes,
+                occupancy: occ,
+                timing,
+                mem,
+                host_wall_ms,
+            },
+        })
+    }
+
+    /// Enqueue a kernel whose cost was already measured solo (a
+    /// [`LaunchReport`] from the one-shot `launch_*` functions) without
+    /// re-executing it. The job's *footprint* — how many SMs it occupies,
+    /// for how long — is taken from the report and placed greedily onto
+    /// the shared timeline, so streams overlap and contend exactly as
+    /// with [`Self::launch_at`]. This is the serving-runtime entry point:
+    /// application kernels (SpMV under any schedule, including
+    /// multi-launch ones like LRB) run functionally once through their
+    /// normal path, then their reports are replayed onto device streams.
+    ///
+    /// Footprint approximation: the job occupies `k =
+    /// ⌈sm_utilization · num_sms⌉` SMs for its solo `compute_ms` (the
+    /// solo makespan already folds in the launch's internal imbalance);
+    /// memory and overhead are charged as in `launch_at`.
+    pub fn replay(
+        &mut self,
+        stream: StreamId,
+        report: &LaunchReport,
+        not_before_ms: f64,
+    ) -> JobReport {
+        let s = stream.0 as usize;
+        assert!(s < self.streams.len(), "unknown stream {stream:?}");
+        let start = self.streams[s].ready_ms.max(not_before_ms);
+
+        let num_sms = self.sm_free.len();
+        let solo_sms = report.timing.sm_times_ms.len().max(1);
+        let span = report.timing.compute_ms;
+        let k = if span > 0.0 {
+            ((report.timing.sm_utilization * solo_sms as f64).ceil() as usize).clamp(1, num_sms)
+        } else {
+            0
+        };
+
+        // Occupy the k least-loaded SMs for `span` each.
+        let mut order: Vec<usize> = (0..num_sms).collect();
+        order.sort_by(|&a, &b| {
+            self.sm_free[a]
+                .partial_cmp(&self.sm_free[b])
+                .expect("SM times are finite")
+                .then(a.cmp(&b))
+        });
+        let mut compute_end = start;
+        for &i in order.iter().take(k) {
+            let job_start_i = self.sm_free[i].max(start);
+            let end_i = job_start_i + span;
+            self.sm_busy[i] += span;
+            self.sm_free[i] = self.sm_free[i].max(end_i);
+            compute_end = compute_end.max(end_i);
+        }
+        let compute_ms = compute_end - start;
+        let utilization = if num_sms > 0 {
+            k as f64 / num_sms as f64
+        } else {
+            0.0
+        };
+        let bw_frac = if report.mem.total_bytes() == 0 {
+            1.0
+        } else {
+            (utilization * 4.0).clamp(0.05, 1.0)
+        };
+        let memory_ms =
+            report.mem.total_bytes() as f64 / (self.spec.mem_bw_gbs * 1e9 * bw_frac) * 1e3;
+        let overhead_ms = report.timing.overhead_ms;
+        let end = compute_ms.max(memory_ms) + overhead_ms + start;
+
+        let st = &mut self.streams[s];
+        st.ready_ms = end;
+        st.jobs += 1;
+        st.busy_ms += end - start;
+        self.jobs_done += 1;
+        self.makespan_ms = self.makespan_ms.max(end);
+
+        let mut rep = report.clone();
+        rep.timing.compute_ms = compute_ms;
+        rep.timing.memory_ms = memory_ms;
+        rep.timing.elapsed_ms = end - start;
+        rep.timing.sm_utilization = utilization;
+        JobReport {
+            stream,
+            start_ms: start,
+            end_ms: end,
+            report: rep,
+        }
+    }
+
+    /// Record an event on `stream`: it resolves when everything enqueued
+    /// on the stream so far has completed.
+    pub fn record_event(&mut self, stream: StreamId) -> Event {
+        let t = self.streams[stream.0 as usize].ready_ms;
+        self.events.push(t);
+        Event(self.events.len() - 1)
+    }
+
+    /// Make `stream` wait for `event`: kernels launched on the stream
+    /// after this call start no earlier than the event's resolution time.
+    pub fn wait_event(&mut self, stream: StreamId, event: Event) {
+        let t = self.events[event.0];
+        let st = &mut self.streams[stream.0 as usize];
+        st.ready_ms = st.ready_ms.max(t);
+    }
+
+    /// The time at which `stream`'s queue drains.
+    pub fn stream_ready_ms(&self, stream: StreamId) -> f64 {
+        self.streams[stream.0 as usize].ready_ms
+    }
+
+    /// Per-stream accounting.
+    pub fn stream_report(&self, stream: StreamId) -> StreamReport {
+        let st = &self.streams[stream.0 as usize];
+        StreamReport {
+            stream,
+            jobs: st.jobs,
+            elapsed_ms: if st.jobs > 0 { st.ready_ms } else { 0.0 },
+            busy_ms: st.busy_ms,
+        }
+    }
+
+    /// Device-wide completion time: when the last queued kernel finishes.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan_ms
+    }
+
+    /// Kernels completed on this device.
+    pub fn jobs_done(&self) -> usize {
+        self.jobs_done
+    }
+
+    /// Mean SM busy fraction over the device makespan so far (0 if idle).
+    /// This is the serving-level occupancy number: how much of the device
+    /// the submitted mix actually used.
+    pub fn sm_occupancy(&self) -> f64 {
+        if self.makespan_ms <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.sm_busy.iter().sum();
+        busy / (self.makespan_ms * self.sm_busy.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockCtx;
+
+    /// A balanced compute kernel: `grid` blocks, every thread charges
+    /// `units`.
+    fn charge_kernel(units: f64) -> impl Fn(&mut BlockCtx<'_>) + Sync {
+        move |b: &mut BlockCtx<'_>| b.for_each_thread(|t| t.charge(units))
+    }
+
+    fn solo_elapsed(spec: &GpuSpec, cfg: LaunchConfig, units: f64) -> f64 {
+        let mut dev = DeviceSim::new(spec.clone());
+        let s = dev.create_stream();
+        dev.launch(s, cfg, &charge_kernel(units)).unwrap().elapsed_ms()
+    }
+
+    #[test]
+    fn different_streams_overlap_on_underutilized_device() {
+        let spec = GpuSpec::v100(); // 80 SMs
+        let cfg = LaunchConfig::new(40, 256); // each kernel fills half
+        let solo = solo_elapsed(&spec, cfg, 1_000.0);
+        let mut dev = DeviceSim::new(spec);
+        let (s1, s2) = (dev.create_stream(), dev.create_stream());
+        let k = charge_kernel(1_000.0);
+        let j1 = dev.launch(s1, cfg, &k).unwrap();
+        let j2 = dev.launch(s2, cfg, &k).unwrap();
+        let combined = j1.end_ms.max(j2.end_ms);
+        assert!(
+            combined < 2.0 * solo * 0.75,
+            "combined {combined} vs serialized {}",
+            2.0 * solo
+        );
+        // Both started at t = 0 — true concurrency, not queueing.
+        assert_eq!(j1.start_ms, 0.0);
+        assert_eq!(j2.start_ms, 0.0);
+    }
+
+    #[test]
+    fn same_stream_serializes_fifo() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        let mut dev = DeviceSim::new(spec);
+        let s = dev.create_stream();
+        let k = charge_kernel(1_000.0);
+        let j1 = dev.launch(s, cfg, &k).unwrap();
+        let j2 = dev.launch(s, cfg, &k).unwrap();
+        assert!(
+            j2.start_ms >= j1.end_ms,
+            "FIFO: j2 start {} < j1 end {}",
+            j2.start_ms,
+            j1.end_ms
+        );
+    }
+
+    #[test]
+    fn event_orders_across_streams() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        let mut dev = DeviceSim::new(spec);
+        let (producer, consumer) = (dev.create_stream(), dev.create_stream());
+        let k = charge_kernel(1_000.0);
+        let j1 = dev.launch(producer, cfg, &k).unwrap();
+        let ev = dev.record_event(producer);
+        dev.wait_event(consumer, ev);
+        let j2 = dev.launch(consumer, cfg, &k).unwrap();
+        assert!(
+            j2.start_ms >= j1.end_ms,
+            "event wait: consumer started {} before producer ended {}",
+            j2.start_ms,
+            j1.end_ms
+        );
+    }
+
+    #[test]
+    fn event_before_work_is_a_no_op() {
+        let spec = GpuSpec::v100();
+        let mut dev = DeviceSim::new(spec);
+        let (a, b) = (dev.create_stream(), dev.create_stream());
+        let ev = dev.record_event(a); // nothing enqueued: resolves at 0
+        dev.wait_event(b, ev);
+        let j = dev
+            .launch(b, LaunchConfig::new(8, 64), &charge_kernel(10.0))
+            .unwrap();
+        assert_eq!(j.start_ms, 0.0);
+    }
+
+    #[test]
+    fn not_before_delays_start() {
+        let spec = GpuSpec::v100();
+        let mut dev = DeviceSim::new(spec);
+        let s = dev.create_stream();
+        let j = dev
+            .launch_at(s, LaunchConfig::new(8, 64), &charge_kernel(10.0), 3.5)
+            .unwrap();
+        assert_eq!(j.start_ms, 3.5);
+        assert!(dev.makespan_ms() > 3.5);
+    }
+
+    #[test]
+    fn saturating_kernels_gain_nothing_from_streams() {
+        // Each kernel already fills all 80 SMs evenly: overlap cannot help.
+        // (Compute-dominated so the once-per-launch overhead is noise.)
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(160, 256);
+        let solo = solo_elapsed(&spec, cfg, 100_000.0);
+        let mut dev = DeviceSim::new(spec);
+        let (s1, s2) = (dev.create_stream(), dev.create_stream());
+        let k = charge_kernel(100_000.0);
+        dev.launch(s1, cfg, &k).unwrap();
+        let j2 = dev.launch(s2, cfg, &k).unwrap();
+        assert!(
+            j2.end_ms >= 1.8 * solo,
+            "two saturating kernels {} vs solo {solo}",
+            j2.end_ms
+        );
+    }
+
+    #[test]
+    fn stream_reports_count_jobs_and_spans() {
+        let spec = GpuSpec::v100();
+        let mut dev = DeviceSim::new(spec);
+        let s = dev.create_stream();
+        let k = charge_kernel(100.0);
+        dev.launch(s, LaunchConfig::new(8, 64), &k).unwrap();
+        dev.launch(s, LaunchConfig::new(8, 64), &k).unwrap();
+        let r = dev.stream_report(s);
+        assert_eq!(r.jobs, 2);
+        assert!(r.elapsed_ms > 0.0);
+        assert!((r.busy_ms - r.elapsed_ms).abs() < 1e-9, "FIFO stream is span-busy");
+        assert_eq!(dev.jobs_done(), 2);
+        assert!(dev.sm_occupancy() > 0.0);
+    }
+
+    #[test]
+    fn replayed_reports_match_live_launch_behaviour() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        // Measure solo with the one-shot path.
+        let solo = crate::launch::launch_with_model(
+            &spec,
+            &CostModel::standard(),
+            cfg,
+            &charge_kernel(100_000.0),
+        )
+        .unwrap();
+        // Replay on an idle device ≈ solo elapsed.
+        let mut dev = DeviceSim::new(spec.clone());
+        let s = dev.create_stream();
+        let j = dev.replay(s, &solo, 0.0);
+        let rel = (j.elapsed_ms() - solo.elapsed_ms()).abs() / solo.elapsed_ms();
+        assert!(rel < 0.05, "idle replay {} vs solo {}", j.elapsed_ms(), solo.elapsed_ms());
+        // Two half-device replays on different streams overlap...
+        let mut dev = DeviceSim::new(spec.clone());
+        let (s1, s2) = (dev.create_stream(), dev.create_stream());
+        let j1 = dev.replay(s1, &solo, 0.0);
+        let j2 = dev.replay(s2, &solo, 0.0);
+        assert!(j1.end_ms.max(j2.end_ms) < 1.5 * solo.elapsed_ms());
+        // ...but serialize on the same stream.
+        let mut dev = DeviceSim::new(spec);
+        let s = dev.create_stream();
+        let j1 = dev.replay(s, &solo, 0.0);
+        let j2 = dev.replay(s, &solo, 0.0);
+        assert!(j2.start_ms >= j1.end_ms);
+    }
+
+    #[test]
+    fn kernels_still_compute_correct_results() {
+        let spec = GpuSpec::v100();
+        let mut dev = DeviceSim::new(spec);
+        let (s1, s2) = (dev.create_stream(), dev.create_stream());
+        let n = 1024usize;
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        {
+            let ga = crate::memory::GlobalMem::new(&mut a);
+            dev.launch(s1, LaunchConfig::over_threads(n as u64, 128), &|blk: &mut BlockCtx<'_>| {
+                blk.for_each_thread(|t| {
+                    let i = t.global_thread_id() as usize;
+                    if i < n {
+                        ga.store(i, i as u64 * 3);
+                    }
+                });
+            })
+            .unwrap();
+            let gb = crate::memory::GlobalMem::new(&mut b);
+            dev.launch(s2, LaunchConfig::over_threads(n as u64, 128), &|blk: &mut BlockCtx<'_>| {
+                blk.for_each_thread(|t| {
+                    let i = t.global_thread_id() as usize;
+                    if i < n {
+                        gb.store(i, i as u64 + 7);
+                    }
+                });
+            })
+            .unwrap();
+        }
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+        assert!(b.iter().enumerate().all(|(i, &v)| v == i as u64 + 7));
+    }
+
+    #[test]
+    fn unknown_stream_panics() {
+        let spec = GpuSpec::test_tiny();
+        let mut dev = DeviceSim::new(spec.clone());
+        let mut other = DeviceSim::new(spec);
+        let s = other.create_stream();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = dev.launch(s, LaunchConfig::new(1, 32), &charge_kernel(1.0));
+        }));
+        assert!(r.is_err());
+    }
+}

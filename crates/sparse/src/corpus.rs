@@ -16,10 +16,9 @@
 
 use crate::csr::Csr;
 use crate::gen;
-use serde::{Deserialize, Serialize};
 
 /// Structural family of a corpus entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Erdős–Rényi uniform random.
     Uniform,
@@ -43,7 +42,7 @@ pub enum Family {
     Tiny,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Kind {
     Uniform { rows: usize, cols: usize, nnz: usize },
     PowerLaw { rows: usize, cols: usize, nnz: usize, alpha: f64 },
@@ -58,7 +57,7 @@ enum Kind {
 }
 
 /// A recipe for one corpus matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorpusSpec {
     /// Unique dataset name (plays the role of SuiteSparse's matrix name in
     /// every CSV the harness emits).

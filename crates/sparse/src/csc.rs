@@ -100,8 +100,7 @@ impl Csc<f32> {
     pub fn spmv_ref(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0f32; self.rows];
-        for c in 0..self.cols {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             let (rows, vals) = self.col(c);
             for (&r, &v) in rows.iter().zip(vals) {
                 y[r as usize] += v * xc;

@@ -205,13 +205,13 @@ impl Csr<f32> {
     pub fn spmv_ref(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "x must have one entry per column");
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             let mut sum = 0.0f64; // accumulate in f64 to stabilize the reference
             for (&c, &v) in cols.iter().zip(vals) {
                 sum += f64::from(v) * f64::from(x[c as usize]);
             }
-            y[r] = sum as f32;
+            *yr = sum as f32;
         }
         y
     }

@@ -115,7 +115,7 @@ impl Ell<f32> {
     pub fn spmv_ref(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut sum = 0.0f64;
             for s in self.row_slots(r) {
                 let c = self.col_indices[s];
@@ -123,7 +123,7 @@ impl Ell<f32> {
                     sum += f64::from(self.values[s]) * f64::from(x[c as usize]);
                 }
             }
-            y[r] = sum as f32;
+            *yr = sum as f32;
         }
         y
     }

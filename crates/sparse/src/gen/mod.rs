@@ -28,19 +28,18 @@ pub use structured::{banded, block_diag, diagonal, stencil5, stencil9};
 pub use uniform::uniform;
 
 use crate::csr::Csr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Prng;
 
 /// Deterministic RNG shared by all generators.
-pub(crate) fn rng_for(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub(crate) fn rng_for(seed: u64) -> Prng {
+    Prng::seed_from_u64(seed)
 }
 
 /// Draw a nonzero value in `[-1, -0.1] ∪ [0.1, 1]` (bounded away from zero
 /// so cancellation never hides kernel bugs in tests).
-pub(crate) fn draw_value(rng: &mut StdRng) -> f32 {
-    let mag = rng.gen_range(0.1f32..1.0);
-    if rng.gen_bool(0.5) {
+pub(crate) fn draw_value(rng: &mut Prng) -> f32 {
+    let mag = rng.f32_range(0.1, 1.0);
+    if rng.chance(0.5) {
         mag
     } else {
         -mag
@@ -54,7 +53,7 @@ pub(crate) fn from_row_lengths(
     rows: usize,
     cols: usize,
     lengths: &[usize],
-    rng: &mut StdRng,
+    rng: &mut Prng,
 ) -> Csr<f32> {
     assert_eq!(lengths.len(), rows);
     let mut row_offsets = Vec::with_capacity(rows + 1);
@@ -82,7 +81,7 @@ pub(crate) fn from_row_lengths(
 pub(crate) fn sample_distinct_sorted(
     cols: usize,
     len: usize,
-    rng: &mut StdRng,
+    rng: &mut Prng,
     out: &mut Vec<u32>,
 ) {
     out.clear();
@@ -94,7 +93,7 @@ pub(crate) fn sample_distinct_sorted(
         // Dense case: Bernoulli-style selection via partial shuffle.
         let mut all: Vec<u32> = (0..cols as u32).collect();
         for i in 0..len {
-            let j = rng.gen_range(i..cols);
+            let j = rng.index(i, cols);
             all.swap(i, j);
         }
         out.extend_from_slice(&all[..len]);
@@ -102,7 +101,7 @@ pub(crate) fn sample_distinct_sorted(
         // Floyd's algorithm: O(len) expected.
         let mut set = std::collections::HashSet::with_capacity(len * 2);
         for j in (cols - len)..cols {
-            let t = rng.gen_range(0..=j as u32);
+            let t = rng.index(0, j + 1) as u32;
             if !set.insert(t) {
                 set.insert(j as u32);
                 out.push(j as u32);

@@ -2,7 +2,6 @@
 
 use super::{from_row_lengths, rng_for};
 use crate::csr::Csr;
-use rand::Rng;
 
 /// A matrix whose row lengths follow a (discretized, truncated) power law
 /// with exponent `alpha`: `P(len = k) ∝ k^-alpha`. Smaller `alpha` →
@@ -22,7 +21,7 @@ pub fn powerlaw(rows: usize, cols: usize, nnz_target: usize, alpha: f64, seed: u
     let max_len = cols as f64;
     let mut raw: Vec<f64> = (0..rows)
         .map(|_| {
-            let u: f64 = rng.gen_range(0.0..1.0);
+            let u: f64 = rng.f64();
             // Pareto with x_min = 1: x = (1 - u)^(-1/(alpha-1))
             (1.0 - u).powf(-1.0 / (alpha - 1.0)).min(max_len)
         })

@@ -4,7 +4,6 @@ use super::{draw_value, rng_for};
 use crate::coo::Coo;
 use crate::convert::coo_to_csr;
 use crate::csr::Csr;
-use rand::Rng;
 
 /// Generate the adjacency matrix of an RMAT graph with `2^scale` vertices
 /// and `edge_factor * 2^scale` directed edges, using partition
@@ -28,7 +27,7 @@ pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64), seed: u64) -
         let (mut r, mut c_idx) = (0usize, 0usize);
         let mut half = n >> 1;
         while half > 0 {
-            let u: f64 = rng.gen_range(0.0..1.0);
+            let u: f64 = rng.f64();
             if u < a {
                 // top-left: nothing to add
             } else if u < a + b {

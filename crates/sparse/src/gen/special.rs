@@ -2,7 +2,6 @@
 
 use super::{from_row_lengths, rng_for};
 use crate::csr::Csr;
-use rand::Rng;
 
 /// A single-column matrix (`cols = 1`) — a sparse vector. This is the
 /// exact shape for which CUB short-circuits merge-path into a specialized
@@ -15,7 +14,7 @@ pub fn single_column(rows: usize, nnz: usize, seed: u64) -> Csr<f32> {
     let mut chosen = vec![false; rows];
     let mut placed = 0usize;
     while placed < nnz {
-        let r = rng.gen_range(0..rows);
+        let r = rng.index(0, rows);
         if !chosen[r] {
             chosen[r] = true;
             placed += 1;
@@ -82,6 +81,6 @@ mod tests {
     #[test]
     fn hub_rows_with_more_hubs_than_rows_saturates() {
         let m = hub_rows(4, 16, 100, 8, 1, 10);
-        assert!(m.row_lengths().iter().any(|&l| l == 8));
+        assert!(m.row_lengths().contains(&8));
     }
 }

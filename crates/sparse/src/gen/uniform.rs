@@ -2,7 +2,6 @@
 
 use super::{from_row_lengths, rng_for};
 use crate::csr::Csr;
-use rand::Rng;
 
 /// A `rows × cols` matrix with approximately `nnz` entries placed
 /// uniformly: each row's length is drawn from a narrow distribution around
@@ -18,14 +17,14 @@ pub fn uniform(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr<f32> {
         .map(|_| {
             // Binomial-ish jitter: mean ± sqrt(mean).
             let jitter = if mean >= 1.0 {
-                rng.gen_range(-mean.sqrt()..=mean.sqrt())
+                rng.f64_range(-mean.sqrt(), mean.sqrt())
             } else {
                 0.0
             };
             let l = (mean + jitter).round();
             if l <= 0.0 {
                 // Small means: Bernoulli on the fractional part.
-                usize::from(rng.gen_bool(mean.clamp(0.0, 1.0)))
+                usize::from(rng.chance(mean.clamp(0.0, 1.0)))
             } else {
                 l as usize
             }

@@ -29,6 +29,7 @@ pub mod error;
 pub mod gen;
 pub mod mm;
 pub mod reorder;
+pub mod rng;
 pub mod stats;
 
 pub use coo::Coo;
@@ -38,4 +39,5 @@ pub use csr::Csr;
 pub use dense::DenseMatrix;
 pub use ell::Ell;
 pub use error::{Error, Result};
+pub use rng::Prng;
 pub use stats::RowStats;

@@ -1,0 +1,160 @@
+//! Self-contained deterministic PRNG (xoshiro256++ seeded via SplitMix64).
+//!
+//! The environment this reproduction builds in has no crates.io access, so
+//! the generators cannot lean on the `rand` crate. This module provides the
+//! small slice of functionality they need — seeded construction, uniform
+//! integers in a range, uniform floats, Bernoulli draws — with the same
+//! determinism guarantee: one seed, one bit-exact stream, on every
+//! platform. The algorithm is Blackman & Vigna's xoshiro256++, the same
+//! family `rand`'s `SmallRng` uses.
+
+/// A seeded deterministic random number generator.
+#[derive(Debug, Clone)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+impl Prng {
+    /// Seed the full 256-bit state from one `u64` by running SplitMix64,
+    /// exactly like `rand`'s `SeedableRng::seed_from_u64`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * ((self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32))
+    }
+
+    /// Uniform index in the half-open range `[lo, hi)`. Panics if empty.
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = (hi - lo) as u64;
+        // Multiply-shift (Lemire) with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let (hi128, lo128) = {
+                let m = (x as u128) * (span as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo128 >= span || lo128 >= span.wrapping_neg() % span {
+                return lo + hi128 as usize;
+            }
+        }
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed sample with the given rate (mean `1/rate`),
+    /// for open-loop arrival processes. Deterministic per stream state.
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        // Inverse transform; 1 - u avoids ln(0).
+        -(1.0 - self.f64()).ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Prng::seed_from_u64(7);
+        let mut b = Prng::seed_from_u64(7);
+        let mut c = Prng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn floats_stay_in_bounds() {
+        let mut r = Prng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.f32_range(0.1, 1.0);
+            assert!((0.1..1.0).contains(&y), "y = {y}");
+            let z = r.f64_range(-3.0, 3.0);
+            assert!((-3.0..3.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn index_is_exact_and_covers_range() {
+        let mut r = Prng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.index(0, 10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = r.index(5, 7);
+            assert!(v == 5 || v == 6);
+        }
+        assert_eq!(r.index(3, 4), 3);
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut r = Prng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01, "hits = {hits}");
+    }
+
+    #[test]
+    fn exp_has_requested_mean() {
+        let mut r = Prng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exp(2.0)).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_index_range_panics() {
+        let _ = Prng::seed_from_u64(0).index(4, 4);
+    }
+}

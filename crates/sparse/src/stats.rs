@@ -9,10 +9,9 @@
 //! the "longest pole" ratio that predicts thread-mapped worst cases.
 
 use crate::csr::Csr;
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a row-length (atoms-per-tile) distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RowStats {
     /// Number of rows (tiles).
     pub rows: usize,

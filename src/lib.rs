@@ -13,6 +13,8 @@
 //! * [`kernels`] — applications built on the abstraction: SpMV, SpMM,
 //!   SpGEMM, BFS, SSSP.
 //! * [`baselines`] — CUB-like and cuSparse-like comparators.
+//! * [`runtime`] — a multi-tenant serving runtime: device pool, plan
+//!   cache, tiny-request batcher, and bounded backpressure queue.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the substitution
 //! rationale (no physical GPU is used; everything runs on the simulator).
@@ -20,5 +22,6 @@
 pub use baselines;
 pub use kernels;
 pub use loops;
+pub use runtime;
 pub use simt;
 pub use sparse;

@@ -44,8 +44,7 @@ fn sssp_matches_dijkstra_everywhere() {
         let want = reference::sssp_ref(g.adjacency(), src);
         for kind in SCHEDULES {
             let run = kernels::sssp::sssp(&spec, &g, src, kind).unwrap();
-            for v in 0..g.num_vertices() {
-                let (got, expect) = (run.dist[v], want[v]);
+            for (v, (&got, &expect)) in run.dist.iter().zip(&want).enumerate() {
                 if expect.is_infinite() {
                     assert!(got.is_infinite(), "{name} {kind}: v{v} should be unreachable");
                 } else {

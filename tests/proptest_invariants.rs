@@ -1,16 +1,30 @@
 //! Property-based invariants across the workspace: schedule partitions
 //! are exact for *arbitrary* tile sets, format conversions round-trip,
 //! and every SpMV agrees with the reference on random matrices.
+//!
+//! The proptest crate is unavailable offline, so these properties are
+//! exercised the same way with a seeded in-repo generator
+//! ([`sparse::Prng`]): each property runs over dozens of randomly drawn
+//! cases and every failure message carries the case's inputs, so a
+//! reproduction is one seed away.
 
 use loops::schedule::{GroupMappedSchedule, MergePathSchedule, ScheduleKind};
 use loops::work::{CountedTiles, TileSet};
-use proptest::prelude::*;
 use simt::{GpuSpec, LaunchConfig};
+use sparse::Prng;
+
+const CASES: usize = 48;
+
+/// Random tile-length vector: up to `max_tiles` tiles of up to `max_len`.
+fn random_counts(rng: &mut Prng, max_tiles: usize, max_len: usize) -> Vec<usize> {
+    let n = rng.index(0, max_tiles + 1);
+    (0..n).map(|_| rng.index(0, max_len)).collect()
+}
 
 /// Collect the atoms each merge-path thread claims and check the exact
 /// partition property.
 fn merge_path_partitions_exactly(counts: Vec<usize>, ipt: usize) {
-    let w = CountedTiles::from_counts(counts);
+    let w = CountedTiles::from_counts(counts.clone());
     let sched = MergePathSchedule::new(&w, ipt);
     let spec = GpuSpec::test_tiny();
     let cfg = sched.launch_config(8);
@@ -33,13 +47,16 @@ fn merge_path_partitions_exactly(counts: Vec<usize>, ipt: usize) {
         .unwrap();
     }
     if w.num_atoms() > 0 {
-        assert!(seen.iter().all(|&c| c == 1), "every atom exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "every atom exactly once: ipt={ipt} counts={counts:?}"
+        );
     }
 }
 
 /// Group-mapped coverage with correct tile attribution.
 fn group_mapped_covers_exactly(counts: Vec<usize>, group_size: u32) {
-    let w = CountedTiles::from_counts(counts);
+    let w = CountedTiles::from_counts(counts.clone());
     let sched = GroupMappedSchedule::new(&w, group_size);
     let spec = GpuSpec::test_tiny();
     let block = 16u32;
@@ -56,36 +73,47 @@ fn group_mapped_covers_exactly(counts: Vec<usize>, group_size: u32) {
         .unwrap();
     }
     if w.num_atoms() > 0 {
-        assert!(seen.iter().all(|&c| c == 1));
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "group_size={group_size} counts={counts:?}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn merge_path_partition_property(
-        counts in prop::collection::vec(0usize..60, 0..80),
-        ipt in 1usize..20,
-    ) {
+#[test]
+fn merge_path_partition_property() {
+    let mut rng = Prng::seed_from_u64(0x6d65_7267);
+    for _ in 0..CASES {
+        let counts = random_counts(&mut rng, 80, 60);
+        let ipt = rng.index(1, 20);
         merge_path_partitions_exactly(counts, ipt);
     }
+}
 
-    #[test]
-    fn group_mapped_partition_property(
-        counts in prop::collection::vec(0usize..60, 0..80),
-        gs_pow in 0u32..5, // group sizes 1, 2, 4, 8, 16 — all divide block 16
-    ) {
+#[test]
+fn group_mapped_partition_property() {
+    let mut rng = Prng::seed_from_u64(0x6772_6f75);
+    for _ in 0..CASES {
+        let counts = random_counts(&mut rng, 80, 60);
+        // Group sizes 1, 2, 4, 8, 16 — all divide block 16.
+        let gs_pow = rng.index(0, 5) as u32;
         group_mapped_covers_exactly(counts, 1 << gs_pow);
     }
+}
 
-    #[test]
-    fn csr_coo_csc_roundtrips(
-        triplets in prop::collection::vec((0u32..40, 0u32..30, -10i32..10), 0..200),
-    ) {
-        let entries: Vec<(u32, u32, f32)> = triplets
-            .into_iter()
-            .map(|(r, c, v)| (r, c, v as f32))
+#[test]
+fn csr_coo_csc_roundtrips() {
+    let mut rng = Prng::seed_from_u64(0x726f_756e);
+    for case in 0..CASES {
+        let n = rng.index(0, 200);
+        let entries: Vec<(u32, u32, f32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.index(0, 40) as u32,
+                    rng.index(0, 30) as u32,
+                    rng.index(0, 20) as f32 - 10.0,
+                )
+            })
             .collect();
         let mut coo = sparse::Coo::empty(40, 30);
         for &(r, c, v) in &entries {
@@ -95,59 +123,74 @@ proptest! {
         let csr = sparse::convert::coo_to_csr(&coo);
         // CSR ↔ COO
         let back = sparse::convert::coo_to_csr(&sparse::convert::csr_to_coo(&csr));
-        prop_assert_eq!(&csr, &back);
+        assert_eq!(csr, back, "case {case}");
         // transpose(transpose) = id
         let tt = sparse::convert::transpose(&sparse::convert::transpose(&csr));
-        prop_assert_eq!(&csr, &tt);
+        assert_eq!(csr, tt, "case {case}");
         // CSC SpMV equivalence
         let x = sparse::dense::test_vector(30);
         let csc = sparse::convert::csr_to_csc(&csr);
         let (y1, y2) = (csr.spmv_ref(&x), csc.spmv_ref(&x));
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a - b).abs() < 1e-3 * a.abs().max(1.0));
+            assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn spmv_schedules_agree_on_random_matrices(
-        rows in 1usize..120,
-        cols in 1usize..120,
-        density_pct in 0usize..40,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn spmv_schedules_agree_on_random_matrices() {
+    let mut rng = Prng::seed_from_u64(0x7370_6d76);
+    for _ in 0..CASES {
+        let rows = rng.index(1, 120);
+        let cols = rng.index(1, 120);
+        let density_pct = rng.index(0, 40);
+        let seed = rng.index(0, 1000) as u64;
         let nnz = rows * cols * density_pct / 100;
         let a = sparse::gen::uniform(rows, cols, nnz, seed);
         let x = sparse::dense::test_vector(cols);
         let want = a.spmv_ref(&x);
         let spec = GpuSpec::test_tiny();
-        for kind in [ScheduleKind::ThreadMapped, ScheduleKind::MergePath, ScheduleKind::WarpMapped] {
+        for kind in [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::MergePath,
+            ScheduleKind::WarpMapped,
+        ] {
             let run = kernels::spmv(&spec, &a, &x, kind).unwrap();
             let err = kernels::spmv::max_rel_error(&run.y, &want);
-            prop_assert!(err < 2e-3, "{} err {}", kind, err);
+            assert!(err < 2e-3, "{kind} err {err} on {rows}x{cols} seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn row_stats_invariants(lengths in prop::collection::vec(0usize..500, 1..200)) {
+#[test]
+fn row_stats_invariants() {
+    let mut rng = Prng::seed_from_u64(0x7374_6174);
+    for _ in 0..CASES {
+        let n = rng.index(1, 200);
+        let lengths: Vec<usize> = (0..n).map(|_| rng.index(0, 500)).collect();
         let s = sparse::RowStats::from_lengths(&lengths);
-        prop_assert!(s.min <= s.max);
-        prop_assert!((0.0..=1.0).contains(&s.gini));
-        prop_assert!((0.0..=1.0).contains(&s.empty_frac));
-        prop_assert!(s.mean >= 0.0);
+        assert!(s.min <= s.max);
+        assert!((0.0..=1.0).contains(&s.gini), "lengths={lengths:?}");
+        assert!((0.0..=1.0).contains(&s.empty_frac));
+        assert!(s.mean >= 0.0);
         if s.nnz > 0 {
-            prop_assert!(s.max_over_mean >= 1.0 - 1e-9);
+            assert!(s.max_over_mean >= 1.0 - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn counted_tiles_total_matches_sum(counts in prop::collection::vec(0usize..1000, 0..100)) {
+#[test]
+fn counted_tiles_total_matches_sum() {
+    let mut rng = Prng::seed_from_u64(0x7469_6c65);
+    for _ in 0..CASES {
+        let counts = random_counts(&mut rng, 100, 1000);
         let total: usize = counts.iter().sum();
         let w = CountedTiles::from_counts(counts.clone());
-        prop_assert_eq!(w.num_atoms(), total);
-        prop_assert_eq!(w.num_tiles(), counts.len());
+        assert_eq!(w.num_atoms(), total);
+        assert_eq!(w.num_tiles(), counts.len());
         for (t, &c) in counts.iter().enumerate() {
-            prop_assert_eq!(w.atoms_in_tile(t), c);
+            assert_eq!(w.atoms_in_tile(t), c);
         }
-        prop_assert!(w.validate());
+        assert!(w.validate());
     }
 }
