@@ -3,7 +3,7 @@
 //! thread-mapped launch on a skewed matrix shows a few towering SMs; the
 //! balanced schedules show a flat wall.
 
-use bench::Cli;
+use bench::{Cli, CsvWriter};
 use loops::schedule::ScheduleKind;
 use simt::GpuSpec;
 
@@ -30,7 +30,7 @@ fn bar_chart(label: &str, sm_times: &[f64], util: f64) {
 }
 
 fn main() {
-    let _cli = Cli::parse();
+    let cli = Cli::parse();
     let spec = GpuSpec::v100();
     // A degree-sorted power-law matrix: heavy rows clustered at the top —
     // maximal stress for static row-order schedules.
@@ -47,6 +47,8 @@ fn main() {
         a.nnz(),
         sparse::RowStats::of(&a).cv
     );
+    let mut csv = CsvWriter::create(&cli.out_dir, "timeline.csv", "schedule,sm_id,busy_ms")
+        .expect("create timeline.csv");
     for kind in [
         ScheduleKind::ThreadMapped,
         ScheduleKind::WarpMapped,
@@ -58,6 +60,11 @@ fn main() {
             &run.report.timing.sm_times_ms,
             run.report.timing.sm_utilization,
         );
+        for (sm, &busy) in run.report.timing.sm_times_ms.iter().enumerate() {
+            csv.row(&format!("{kind},{sm},{busy}")).expect("write timeline row");
+        }
     }
+    let path = csv.finish().expect("flush timeline.csv");
     println!("\nFlat wall = balanced device; towers = long-pole SMs the schedule failed to feed.");
+    println!("per-SM profile written to {}", path.display());
 }

@@ -18,7 +18,8 @@
 //! | `ablation_multi_gpu` | 1–8 device scaling (§8 future work) |
 //! | `ablation_dynamic` | static vs dynamic work-queue scheduling |
 //! | `locality_report` | schedule-order L2 hit rates (§8 future work) |
-//! | `timeline` | per-SM busy profile per schedule |
+//! | `timeline` | per-SM busy profile per schedule (+ `timeline.csv`) |
+//! | `profile` | Chrome-trace timelines of a skewed SpMV and a serve run |
 //! | `corpus_stats` | corpus structure/imbalance inventory |
 //! | `run_all` | every experiment in sequence (the artifact's `run.sh`) |
 //!
@@ -33,6 +34,7 @@ pub mod csv;
 pub mod loc;
 pub mod microbench;
 pub mod plot;
+pub mod profile;
 pub mod runner;
 pub mod summary;
 

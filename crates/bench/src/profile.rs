@@ -1,0 +1,167 @@
+//! The `profile` experiment: run a skewed SpMV and a serving workload
+//! under tracing and export their timelines.
+//!
+//! Produces, under the output directory:
+//!
+//! * `trace_spmv.json` — Chrome Trace Event timeline of one skewed SpMV
+//!   under three schedules (open in Perfetto / `chrome://tracing`);
+//! * `trace_serve.json` — the serving runtime's timeline: request rows,
+//!   device dispatches, kernel/block placement, queue-depth and
+//!   plan-cache counters;
+//! * `longpoles.csv` — the top-N longest-running blocks across both
+//!   traces (`trace,kernel,block,sm,start_ms,busy_ms`), the "where did
+//!   the makespan go" report.
+//!
+//! The logic lives in the library (rather than the binary) so the root
+//! package can re-export a `profile` binary that works from the
+//! workspace root, and so tests can drive it against a temp dir.
+
+use std::sync::Arc;
+
+use crate::cli::Cli;
+use crate::csv::CsvWriter;
+use loops::schedule::ScheduleKind;
+use runtime::{zipf_workload, Runtime, RuntimeConfig, WorkloadSpec};
+use simt::GpuSpec;
+use sparse::Csr;
+use trace::{Recorder, TraceData};
+
+/// Requests in the serve trace (the acceptance floor is 200).
+pub const SERVE_REQUESTS: usize = 240;
+
+/// Paths of everything one [`run`] call wrote.
+#[derive(Debug, Clone)]
+pub struct ProfileOutputs {
+    /// Chrome trace of the skewed SpMV launches.
+    pub spmv_json: std::path::PathBuf,
+    /// Chrome trace of the serving workload.
+    pub serve_json: std::path::PathBuf,
+    /// Top-N long-pole-block CSV over both traces.
+    pub longpoles_csv: std::path::PathBuf,
+}
+
+fn skewed_matrix(limit: Option<usize>) -> Csr<f32> {
+    // Degree-sorted power law: the hub rows cluster, so a static
+    // schedule's long-pole blocks stand out in the trace. `--limit`
+    // scales the matrix down for smoke runs.
+    let scale = limit.map_or(1.0, |l| (l as f64 / 10.0).clamp(0.05, 1.0));
+    let n = (120_000.0 * scale) as usize;
+    let nnz = (1_500_000.0 * scale) as usize;
+    let p = sparse::gen::powerlaw(n, n, nnz, 1.7, 9);
+    let order = sparse::reorder::degree_sort(&p);
+    sparse::reorder::permute_rows(&p, &order)
+}
+
+fn trace_spmv(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
+    let spec = GpuSpec::v100();
+    let a = skewed_matrix(cli.limit);
+    let x = sparse::dense::test_vector(a.cols());
+    println!(
+        "profiling SpMV: degree-sorted power-law, {}x{}, {} nnz (CV {:.2})",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        sparse::RowStats::of(&a).cv
+    );
+    let rec = Arc::new(Recorder::new());
+    for (kind, label) in [
+        (ScheduleKind::ThreadMapped, "spmv/thread-mapped"),
+        (ScheduleKind::MergePath, "spmv/merge-path"),
+        (ScheduleKind::WorkQueue(256), "spmv/work-queue"),
+    ] {
+        let run = simt::tracing::scoped(rec.clone() as Arc<dyn trace::TraceSink>, label, || {
+            kernels::spmv(&spec, &a, &x, kind)
+        })
+        .expect("spmv");
+        println!("  {label:<24} {:.5} ms", run.report.elapsed_ms());
+    }
+    let data = rec.snapshot();
+    std::fs::create_dir_all(&cli.out_dir)?;
+    let path = std::path::Path::new(&cli.out_dir).join("trace_spmv.json");
+    std::fs::write(&path, trace::to_chrome_json(&data))?;
+    Ok((path, data))
+}
+
+fn trace_serve(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
+    // A small matrix mix with both tiny (batchable) and mid-size
+    // requests, arriving fast enough to queue.
+    let mut matrices: Vec<Arc<Csr<f32>>> = (0..4)
+        .map(|i| {
+            Arc::new(sparse::gen::powerlaw(
+                3_000 + 800 * i,
+                3_000 + 800 * i,
+                40_000 + 8_000 * i,
+                1.6,
+                100 + i as u64,
+            ))
+        })
+        .collect();
+    matrices.extend((0..2).map(|i| {
+        Arc::new(sparse::gen::uniform(64, 64, 500, 200 + i)) as Arc<Csr<f32>>
+    }));
+    let requests = zipf_workload(
+        &matrices,
+        &WorkloadSpec {
+            requests: SERVE_REQUESTS,
+            zipf_s: 1.1,
+            mean_interarrival_ms: 0.004,
+            seed: 42,
+        },
+    );
+    let rec = Arc::new(Recorder::new());
+    let mut rt = Runtime::new(
+        GpuSpec::v100(),
+        RuntimeConfig {
+            devices: 2,
+            ..RuntimeConfig::default()
+        },
+    );
+    rt.set_trace_sink(rec.clone());
+    let out = rt.serve(&requests).expect("serve");
+    println!(
+        "profiling serve: {} requests, {} batches, cache hit rate {:.1}%, p99 {:.4} ms",
+        out.report.served,
+        out.report.batches,
+        out.report.cache.hit_rate() * 100.0,
+        out.report.latency_p99_ms
+    );
+    let data = rec.snapshot();
+    std::fs::create_dir_all(&cli.out_dir)?;
+    let path = std::path::Path::new(&cli.out_dir).join("trace_serve.json");
+    std::fs::write(&path, trace::to_chrome_json(&data))?;
+    Ok((path, data))
+}
+
+/// Run both traced workloads, write the trace JSONs and the long-pole
+/// report, and print text summaries.
+pub fn run(cli: &Cli) -> std::io::Result<ProfileOutputs> {
+    let (spmv_json, spmv_data) = trace_spmv(cli)?;
+    let (serve_json, serve_data) = trace_serve(cli)?;
+
+    let mut csv = CsvWriter::create(
+        &cli.out_dir,
+        "longpoles.csv",
+        "trace,kernel,block,sm,start_ms,busy_ms",
+    )?;
+    for (tag, data) in [("spmv", &spmv_data), ("serve", &serve_data)] {
+        for p in &data.long_poles {
+            let name = data.kernel_name(p.kernel).unwrap_or("<evicted>");
+            csv.row(&format!(
+                "{tag},{name},{},{},{},{}",
+                p.block, p.sm, p.start_ms, p.dur_ms
+            ))?;
+        }
+    }
+    let longpoles_csv = csv.finish()?;
+
+    println!("\n---- SpMV trace ----\n{}", trace::summary::render(&spmv_data));
+    println!("\n---- serve trace ----\n{}", trace::summary::render(&serve_data));
+    println!("wrote {}", spmv_json.display());
+    println!("wrote {}", serve_json.display());
+    println!("wrote {}", longpoles_csv.display());
+    Ok(ProfileOutputs {
+        spmv_json,
+        serve_json,
+        longpoles_csv,
+    })
+}

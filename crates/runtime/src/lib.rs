@@ -45,6 +45,7 @@ use loops::heuristic::Heuristic;
 use loops::schedule::ScheduleKind;
 use simt::{CostModel, DeviceSim, GpuSpec, StreamId};
 use sparse::Csr;
+use trace::{CounterKind, RequestPhase, TraceEvent, TraceSink};
 
 pub use cache::{CacheStats, PlanCache};
 pub use fingerprint::Fingerprint;
@@ -260,6 +261,20 @@ pub struct Runtime {
     streams: Vec<Vec<StreamId>>,
     cache: PlanCache,
     fp_memo: HashMap<usize, Fingerprint>,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+/// The kernel name a schedule shows up as on the trace timeline.
+fn schedule_label(kind: ScheduleKind) -> &'static str {
+    match kind {
+        ScheduleKind::ThreadMapped => "spmv/thread-mapped",
+        ScheduleKind::WarpMapped => "spmv/warp-mapped",
+        ScheduleKind::BlockMapped => "spmv/block-mapped",
+        ScheduleKind::GroupMapped(_) => "spmv/group-mapped",
+        ScheduleKind::MergePath => "spmv/merge-path",
+        ScheduleKind::WorkQueue(_) => "spmv/work-queue",
+        ScheduleKind::Lrb => "spmv/lrb",
+    }
 }
 
 impl Runtime {
@@ -295,12 +310,35 @@ impl Runtime {
             devices,
             streams,
             fp_memo: HashMap::new(),
+            sink: None,
         }
     }
 
     /// The pool's device architecture.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Attach a trace sink: request-lifecycle events (enqueue, batch
+    /// join, cache hit/miss, reject, dispatch, complete) and queue/cache
+    /// counters flow from the runtime, and every pool device emits its
+    /// kernel/block timeline stamped with its pool index. Serving results
+    /// are unchanged — instrumentation only observes values the runtime
+    /// already computes. (Attached explicitly rather than via
+    /// `simt::tracing::scoped` so the solo measurement launches inside
+    /// `submit` stay untraced; only their replays onto the shared
+    /// timeline appear, which is what actually happens on the device.)
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            d.set_trace(sink.clone(), i as u32);
+        }
+        self.sink = Some(sink);
+    }
+
+    fn emit(&self, ev: TraceEvent) {
+        if let Some(s) = &self.sink {
+            s.event(&ev);
+        }
     }
 
     /// Plan-cache counters so far.
@@ -358,6 +396,11 @@ impl Runtime {
                 r.id
             );
             let mut t = r.arrival_ms;
+            self.emit(TraceEvent::Request {
+                id: r.id,
+                phase: RequestPhase::Enqueue,
+                ts_ms: r.arrival_ms,
+            });
             // A due batch flushes before this arrival is admitted.
             if deadline <= t {
                 let at = deadline.max(pending.iter().fold(0.0f64, |m, (_, pt)| m.max(*pt)));
@@ -365,10 +408,20 @@ impl Runtime {
             }
             // Admission control against the in-flight window.
             in_flight.retain(|&end| end > t);
+            self.emit(TraceEvent::Counter {
+                counter: CounterKind::QueueDepth,
+                ts_ms: t,
+                value: in_flight.len() as f64,
+            });
             if in_flight.len() >= self.cfg.queue_depth {
                 match self.cfg.policy {
                     QueuePolicy::Reject => {
                         rejected += 1;
+                        self.emit(TraceEvent::Request {
+                            id: r.id,
+                            phase: RequestPhase::Reject,
+                            ts_ms: t,
+                        });
                         continue;
                     }
                     QueuePolicy::Block => {
@@ -386,6 +439,11 @@ impl Runtime {
                 if pending.is_empty() {
                     deadline = t + self.cfg.batch_window_ms;
                 }
+                self.emit(TraceEvent::Request {
+                    id: r.id,
+                    phase: RequestPhase::BatchJoin,
+                    ts_ms: t,
+                });
                 pending.push((r, t));
                 if pending.len() >= self.cfg.batch_max {
                     flush_batch!(t);
@@ -470,7 +528,7 @@ impl Runtime {
                 .fp_memo
                 .entry(Arc::as_ptr(a) as usize)
                 .or_insert_with(|| Fingerprint::of(a));
-            match self.cache.get(&fp) {
+            let outcome = match self.cache.get(&fp) {
                 Some(plan) => (
                     spmv_with_plan(&self.spec, &self.model, a, x, &plan)?,
                     Some(true),
@@ -483,7 +541,22 @@ impl Runtime {
                     self.cache.insert(fp, Arc::new(plan));
                     (run, Some(false))
                 }
-            }
+            };
+            self.emit(TraceEvent::Request {
+                id: members[0].0.id,
+                phase: if outcome.1 == Some(true) {
+                    RequestPhase::CacheHit
+                } else {
+                    RequestPhase::CacheMiss
+                },
+                ts_ms: submit_ms,
+            });
+            self.emit(TraceEvent::Counter {
+                counter: CounterKind::CacheOccupancy,
+                ts_ms: submit_ms,
+                value: self.cache.len() as f64,
+            });
+            outcome
         } else {
             let parts: Vec<&Csr<f32>> = members.iter().map(|(r, _)| r.matrix.as_ref()).collect();
             let fused = batch::block_diag(&parts);
@@ -500,7 +573,36 @@ impl Runtime {
 
         // Earliest-available stream; least-loaded device on ties.
         let (dev_idx, stream) = self.pick_stream(submit_ms);
-        let job = self.devices[dev_idx].replay(stream, &run.report, submit_ms);
+        let job = self.devices[dev_idx].replay_named(
+            stream,
+            &run.report,
+            submit_ms,
+            schedule_label(run.schedule),
+        );
+        if self.sink.is_some() {
+            let batched = members.len() > 1;
+            for (r, _) in members {
+                self.emit(TraceEvent::Dispatch {
+                    id: r.id,
+                    device: dev_idx as u32,
+                    stream: stream.index(),
+                    start_ms: job.start_ms,
+                    end_ms: job.end_ms,
+                    batched,
+                });
+                self.emit(TraceEvent::RequestSpan {
+                    id: r.id,
+                    start_ms: r.arrival_ms.min(job.start_ms),
+                    end_ms: job.end_ms,
+                    device: dev_idx as u32,
+                });
+                self.emit(TraceEvent::Request {
+                    id: r.id,
+                    phase: RequestPhase::Complete,
+                    ts_ms: job.end_ms,
+                });
+            }
+        }
 
         Ok(self.complete(members, &run, dev_idx, cache_hit, job.start_ms, job.end_ms))
     }
@@ -782,6 +884,154 @@ mod tests {
             batched.makespan_ms,
             unbatched.makespan_ms
         );
+    }
+
+    #[test]
+    fn empty_serve_reports_zeros_without_nan() {
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let out = rt.serve(&[]).unwrap();
+        let rep = &out.report;
+        assert_eq!(rep.submitted, 0);
+        assert_eq!(rep.served, 0);
+        assert_eq!(rep.latency_p50_ms, 0.0);
+        assert_eq!(rep.latency_p99_ms, 0.0);
+        assert_eq!(rep.latency_mean_ms, 0.0);
+        assert_eq!(rep.throughput_rps(), 0.0);
+        assert!(!rep.latency_mean_ms.is_nan());
+        // Display must render the degenerate report cleanly.
+        let text = format!("{rep}");
+        assert!(text.contains("served 0/0"));
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn single_request_percentiles_collapse() {
+        let m = corpus(1, 900);
+        let reqs = vec![Request {
+            id: 0,
+            matrix: Arc::clone(&m[0]),
+            x: Arc::from(sparse::dense::test_vector(m[0].cols()).into_boxed_slice()),
+            arrival_ms: 0.0,
+        }];
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let out = rt.serve(&reqs).unwrap();
+        let rep = &out.report;
+        assert_eq!(rep.served, 1);
+        assert_eq!(rep.latency_p50_ms, rep.latency_p99_ms);
+        assert_eq!(rep.latency_p50_ms, rep.latency_mean_ms);
+        assert!(rep.latency_p50_ms > 0.0);
+    }
+
+    #[test]
+    fn all_rejected_report_displays_cleanly() {
+        // A fully-rejected serve can't happen (the first request is always
+        // admitted), so exercise Display on a constructed report plus a
+        // heavy-rejection real serve.
+        let rep = RuntimeReport {
+            submitted: 5,
+            served: 0,
+            rejected: 5,
+            batches: 0,
+            batched_requests: 0,
+            cache: CacheStats::default(),
+            latency_p50_ms: 0.0,
+            latency_p99_ms: 0.0,
+            latency_mean_ms: 0.0,
+            makespan_ms: 0.0,
+            devices: vec![],
+        };
+        assert_eq!(rep.throughput_rps(), 0.0);
+        let text = format!("{rep}");
+        assert!(text.contains("served 0/5 requests (5 rejected)"));
+        assert!(!text.contains("NaN"));
+
+        let m = corpus(1, 950);
+        let reqs = stream(&m, 50);
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                queue_depth: 1,
+                policy: QueuePolicy::Reject,
+                batch_max: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        let out = rt.serve(&reqs).unwrap();
+        assert!(out.report.rejected > 0);
+        let text = format!("{}", out.report);
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn traced_serve_matches_untraced_and_covers_lifecycle() {
+        let m = corpus(3, 1000);
+        let reqs = stream(&m, 60);
+        let run = |sink: Option<Arc<trace::Recorder>>| {
+            let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+            if let Some(s) = &sink {
+                rt.set_trace_sink(s.clone());
+            }
+            let out = rt.serve(&reqs).unwrap();
+            (
+                out.report.makespan_ms,
+                out.report.latency_p99_ms,
+                out.report.cache.hits,
+                out.completions
+                    .iter()
+                    .map(|c| (c.id, c.start_ms, c.end_ms, c.device))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let rec = Arc::new(trace::Recorder::new());
+        assert_eq!(run(None), run(Some(rec.clone())), "tracing must not perturb serving");
+
+        let data = rec.snapshot();
+        let phase_count = |p: RequestPhase| {
+            data.events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Request { phase, .. } if *phase == p))
+                .count()
+        };
+        assert_eq!(phase_count(RequestPhase::Enqueue), 60);
+        assert_eq!(phase_count(RequestPhase::Complete), 60);
+        assert_eq!(
+            phase_count(RequestPhase::CacheHit) + phase_count(RequestPhase::CacheMiss),
+            data.events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Dispatch { batched: false, .. }))
+                .count()
+        );
+        // Every dispatch sits inside its request's span.
+        for ev in &data.events {
+            if let TraceEvent::Dispatch { id, start_ms, end_ms, .. } = ev {
+                let span = data
+                    .events
+                    .iter()
+                    .find_map(|e| match e {
+                        TraceEvent::RequestSpan { id: sid, start_ms, end_ms, .. }
+                            if sid == id =>
+                        {
+                            Some((*start_ms, *end_ms))
+                        }
+                        _ => None,
+                    })
+                    .expect("dispatch has a request span");
+                assert!(*start_ms >= span.0 - 1e-12 && *end_ms <= span.1 + 1e-12);
+            }
+        }
+        // Device kernels were traced through replay_named with schedule names.
+        assert!(data
+            .kernels()
+            .all(|k| matches!(k, TraceEvent::Kernel { name, .. } if name.starts_with("spmv/"))));
+        assert!(data.kernels().count() > 0);
+        // Counters flowed.
+        assert!(data
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Counter { counter: CounterKind::QueueDepth, .. })));
+        assert!(data.events.iter().any(
+            |e| matches!(e, TraceEvent::Counter { counter: CounterKind::CacheOccupancy, .. })
+        ));
     }
 
     #[test]

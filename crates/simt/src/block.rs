@@ -22,9 +22,11 @@ pub struct BlockCtx<'a> {
     spec: &'a GpuSpec,
     model: &'a CostModel,
     warp_costs: Vec<f64>,
+    warp_active: Vec<f64>,
     counters: MemCounters,
     shared: SharedTracker,
     prologue_charged: bool,
+    stats: bool,
     error: Option<LaunchError>,
 }
 
@@ -33,6 +35,14 @@ pub struct BlockCtx<'a> {
 pub struct BlockCost {
     /// Work units accumulated by each warp of the block.
     pub warp_costs: Vec<f64>,
+    /// Sum of per-lane units per warp — the divergence profile behind
+    /// `warp_costs` (a warp's cost is its *maximum* lane; this is the
+    /// lane *total*, so `active / (warp_size × cost)` is the warp's mean
+    /// lane activity). Collected only when the launch is traced
+    /// (empty otherwise, so untraced launches allocate nothing extra);
+    /// group phases record their barrier-aligned cost, i.e. no
+    /// intra-group divergence is attributed.
+    pub warp_active: Vec<f64>,
     /// Memory traffic and atomic counts.
     pub mem: MemSummary,
 }
@@ -50,6 +60,7 @@ impl BlockCost {
 }
 
 impl<'a> BlockCtx<'a> {
+    #[cfg(test)]
     pub(crate) fn new(
         block_idx: u32,
         block_dim: u32,
@@ -57,6 +68,20 @@ impl<'a> BlockCtx<'a> {
         shared_declared: u32,
         spec: &'a GpuSpec,
         model: &'a CostModel,
+    ) -> Self {
+        Self::with_stats(block_idx, block_dim, grid_dim, shared_declared, spec, model, false)
+    }
+
+    /// `stats` additionally collects per-warp lane-activity totals for
+    /// tracing; off, the block allocates and computes nothing extra.
+    pub(crate) fn with_stats(
+        block_idx: u32,
+        block_dim: u32,
+        grid_dim: u32,
+        shared_declared: u32,
+        spec: &'a GpuSpec,
+        model: &'a CostModel,
+        stats: bool,
     ) -> Self {
         let num_warps = spec.warps_for(block_dim) as usize;
         Self {
@@ -66,9 +91,11 @@ impl<'a> BlockCtx<'a> {
             spec,
             model,
             warp_costs: vec![0.0; num_warps],
+            warp_active: if stats { vec![0.0; num_warps] } else { Vec::new() },
             counters: MemCounters::new(),
             shared: SharedTracker::new(shared_declared),
             prologue_charged: false,
+            stats,
             error: None,
         }
     }
@@ -147,6 +174,9 @@ impl<'a> BlockCtx<'a> {
             f(&lane);
             let w = (t / warp_size) as usize;
             warp_max[w] = warp_max[w].max(lane.units());
+            if self.stats {
+                self.warp_active[w] += lane.units();
+            }
             self.counters.merge(lane.counters());
         }
         for (c, m) in self.warp_costs.iter_mut().zip(warp_max) {
@@ -194,6 +224,11 @@ impl<'a> BlockCtx<'a> {
                 let first_warp = (g as usize) * warps_per_group;
                 for w in first_warp..first_warp + warps_per_group {
                     self.warp_costs[w] += total;
+                    if self.stats {
+                        // Group phases are barrier-aligned: charge the full
+                        // warp as active so no divergence is attributed.
+                        self.warp_active[w] += total * f64::from(warp_size);
+                    }
                 }
             }
         } else {
@@ -223,8 +258,12 @@ impl<'a> BlockCtx<'a> {
                     slot[p] = slot[p].max(m);
                 }
             }
-            for (c, phases) in self.warp_costs.iter_mut().zip(warp_phase) {
-                *c += phases.iter().sum::<f64>();
+            for (w, phases) in warp_phase.into_iter().enumerate() {
+                let total = phases.iter().sum::<f64>();
+                self.warp_costs[w] += total;
+                if self.stats {
+                    self.warp_active[w] += total * f64::from(warp_size);
+                }
             }
         }
     }
@@ -252,6 +291,7 @@ impl<'a> BlockCtx<'a> {
         }
         Ok(BlockCost {
             warp_costs: self.warp_costs,
+            warp_active: self.warp_active,
             mem: self.counters.snapshot(),
         })
     }
@@ -375,6 +415,54 @@ mod tests {
         let cost = b.finish().unwrap();
         assert_eq!(cost.mem.read_bytes, 8 * 4);
         assert_eq!(cost.mem.write_bytes, 8 * 2);
+    }
+
+    #[test]
+    fn stats_off_leaves_warp_active_unallocated() {
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        let mut b = block(&spec, &model, 16);
+        b.for_each_thread(|l| l.charge(1.0));
+        let cost = b.finish().unwrap();
+        assert!(cost.warp_active.is_empty());
+        assert_eq!(cost.warp_active.capacity(), 0, "no hidden allocation");
+    }
+
+    #[test]
+    fn stats_on_collects_lane_activity_without_changing_costs() {
+        let spec = GpuSpec::test_tiny(); // warp = 8
+        let model = CostModel::standard();
+        let run = |stats: bool| {
+            let mut b = BlockCtx::with_stats(0, 8, 16, 4096, &spec, &model, stats);
+            // Half the lanes do 10× the work: heavy divergence.
+            b.for_each_thread(|l| l.charge(if l.lane_id() < 4 { 10.0 } else { 1.0 }));
+            b.finish().unwrap()
+        };
+        let plain = run(false);
+        let traced = run(true);
+        assert_eq!(plain.warp_costs, traced.warp_costs, "stats must not perturb costs");
+        let p = model.thread_prologue_cost;
+        // Lane sum: 4×(p+10) + 4×(p+1) = 8p + 44.
+        assert_eq!(traced.warp_active.len(), 1);
+        assert!((traced.warp_active[0] - (8.0 * p + 44.0)).abs() < 1e-12);
+        // Mean lane activity is well below 1.0 for this divergent phase.
+        let frac = traced.warp_active[0] / (8.0 * traced.warp_costs[0]);
+        assert!(frac < 0.8, "got {frac}");
+    }
+
+    #[test]
+    fn stats_on_group_phase_reports_full_activity() {
+        let spec = GpuSpec::test_tiny(); // warp = 8
+        let model = CostModel::standard();
+        let mut b = BlockCtx::with_stats(0, 16, 16, 4096, &spec, &model, true);
+        b.for_each_group(16, |g| {
+            g.phase_for_each(|l| l.charge(if l.group_rank() == 0 { 5.0 } else { 1.0 }));
+        });
+        let cost = b.finish().unwrap();
+        // Barrier-aligned: every warp fully active for its charged cost.
+        for (c, a) in cost.warp_costs.iter().zip(&cost.warp_active) {
+            assert!((a - c * 8.0).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -15,9 +15,10 @@ use crate::group::GroupCtx;
 use crate::lane::LaneCtx;
 use crate::occupancy::Occupancy;
 use crate::report::LaunchReport;
-use crate::scheduler::device_time;
+use crate::scheduler::{device_time_traced, TraceCtx};
 use crate::spec::GpuSpec;
 use std::sync::atomic::{AtomicU32, Ordering};
+use trace::{KernelId, TraceEvent};
 
 /// Launch geometry: 1-D grid of 1-D blocks plus declared shared memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,10 +87,34 @@ pub fn launch_with_model<K: BlockKernel>(
     kernel: &K,
 ) -> Result<LaunchReport> {
     let occ = validate(spec, &cfg)?;
+    // One TLS read per launch; when no sink is scoped in, the launch runs
+    // the exact untraced path (stats off, `device_time` math unchanged).
+    let scoped_sink = crate::tracing::current();
     let t0 = std::time::Instant::now();
-    let blocks = run_blocks(spec, model, &cfg, kernel)?;
+    let blocks = run_blocks(spec, model, &cfg, kernel, scoped_sink.is_some())?;
     let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let timing = device_time(spec, model, &blocks, &occ);
+    let timing = match &scoped_sink {
+        None => device_time_traced(spec, model, &blocks, &occ, None),
+        Some((sink, label)) => {
+            let ctx = TraceCtx {
+                sink: sink.as_ref(),
+                kernel: KernelId::next(),
+                device: 0,
+            };
+            let timing = device_time_traced(spec, model, &blocks, &occ, Some(&ctx));
+            sink.event(&TraceEvent::Kernel {
+                id: ctx.kernel,
+                name: label,
+                device: 0,
+                stream: 0,
+                start_ms: 0.0,
+                end_ms: timing.elapsed_ms,
+                grid_dim: cfg.grid_dim,
+                block_dim: cfg.block_dim,
+            });
+            timing
+        }
+    };
     let mem = blocks
         .iter()
         .fold(crate::cost::MemSummary::default(), |acc, b| {
@@ -171,6 +196,7 @@ pub(crate) fn run_blocks<K: BlockKernel>(
     model: &CostModel,
     cfg: &LaunchConfig,
     kernel: &K,
+    stats: bool,
 ) -> Result<Vec<BlockCost>> {
     let n = cfg.grid_dim;
     let workers = std::thread::available_parallelism()
@@ -181,7 +207,8 @@ pub(crate) fn run_blocks<K: BlockKernel>(
     if workers == 1 || n < 4 {
         let mut out = Vec::with_capacity(n as usize);
         for b in 0..n {
-            let mut ctx = BlockCtx::new(b, cfg.block_dim, n, cfg.shared_bytes, spec, model);
+            let mut ctx =
+                BlockCtx::with_stats(b, cfg.block_dim, n, cfg.shared_bytes, spec, model, stats);
             kernel.run(&mut ctx);
             out.push(ctx.finish()?);
         }
@@ -200,8 +227,15 @@ pub(crate) fn run_blocks<K: BlockKernel>(
                         if b >= n {
                             break;
                         }
-                        let mut ctx =
-                            BlockCtx::new(b, cfg.block_dim, n, cfg.shared_bytes, spec, model);
+                        let mut ctx = BlockCtx::with_stats(
+                            b,
+                            cfg.block_dim,
+                            n,
+                            cfg.shared_bytes,
+                            spec,
+                            model,
+                            stats,
+                        );
                         kernel.run(&mut ctx);
                         local.push((b, ctx.finish()));
                     }

@@ -83,6 +83,7 @@ pub mod scheduler;
 pub mod shared;
 pub mod spec;
 pub mod stream;
+pub mod tracing;
 
 pub use block::BlockCtx;
 pub use cache::{CacheConfig, CacheSim, CacheStats};

@@ -66,13 +66,38 @@ impl LaunchReport {
 
     /// Sum another launch into a cumulative timing (for multi-kernel
     /// algorithms such as SpGEMM's count+fill or iterative SSSP): elapsed
-    /// times add, traffic adds, the rest keeps the later launch's values.
+    /// times add, traffic adds, per-SM busy times merge element-wise (the
+    /// kernels run back-to-back on the same SMs), utilization and
+    /// boundedness are recomputed over the combined totals, and the rest
+    /// keeps the later launch's values.
     pub fn accumulate(&mut self, other: &LaunchReport) {
         self.timing.elapsed_ms += other.timing.elapsed_ms;
         self.timing.compute_ms += other.timing.compute_ms;
         self.timing.memory_ms += other.timing.memory_ms;
         self.timing.overhead_ms += other.timing.overhead_ms;
         self.timing.total_units += other.timing.total_units;
+        if self.timing.sm_times_ms.len() < other.timing.sm_times_ms.len() {
+            self.timing.sm_times_ms.resize(other.timing.sm_times_ms.len(), 0.0);
+        }
+        for (mine, &theirs) in self
+            .timing
+            .sm_times_ms
+            .iter_mut()
+            .zip(&other.timing.sm_times_ms)
+        {
+            *mine += theirs;
+        }
+        let busy: f64 = self.timing.sm_times_ms.iter().sum();
+        self.timing.sm_utilization = if self.timing.compute_ms > 0.0 {
+            busy / (self.timing.compute_ms * self.timing.sm_times_ms.len().max(1) as f64)
+        } else {
+            0.0
+        };
+        self.timing.bound = if self.timing.compute_ms >= self.timing.memory_ms {
+            Boundedness::Compute
+        } else {
+            Boundedness::Memory
+        };
         self.mem = self.mem.merged(other.mem);
         self.host_wall_ms += other.host_wall_ms;
     }
@@ -126,5 +151,40 @@ mod tests {
         assert!((a.elapsed_ms() - (1.01 + 2.01)).abs() < 1e-12);
         assert_eq!(a.mem.read_bytes, 20);
         assert!((a.timing.total_units - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_merges_sm_times_element_wise() {
+        // Regression: accumulate used to keep only self's sm_times_ms,
+        // silently dropping the accumulated launch's per-SM profile.
+        let mut a = report(1.0);
+        let mut b = report(2.0);
+        b.timing.sm_times_ms = vec![2.0, 0.5, 2.0, 0.5, 3.0, 3.0]; // more SMs than a
+        a.accumulate(&b);
+        assert_eq!(a.timing.sm_times_ms, vec![3.0, 1.5, 3.0, 1.5, 3.0, 3.0]);
+        // Utilization recomputed over the merged profile: busy / (compute × SMs).
+        let busy = 3.0 + 1.5 + 3.0 + 1.5 + 3.0 + 3.0;
+        let expect = busy / (3.0 * 6.0);
+        assert!((a.timing.sm_utilization - expect).abs() < 1e-12);
+        assert_eq!(a.timing.bound, Boundedness::Compute);
+    }
+
+    #[test]
+    fn accumulate_recomputes_boundedness() {
+        let mut a = report(1.0);
+        let mut b = report(0.1);
+        b.timing.memory_ms = 50.0;
+        a.accumulate(&b);
+        assert_eq!(a.timing.bound, Boundedness::Memory);
+    }
+
+    #[test]
+    fn accumulate_with_zero_compute_yields_zero_utilization() {
+        let mut a = report(0.0);
+        a.timing.sm_times_ms = vec![0.0; 4];
+        let mut b = report(0.0);
+        b.timing.sm_times_ms = vec![0.0; 4];
+        a.accumulate(&b);
+        assert_eq!(a.timing.sm_utilization, 0.0);
     }
 }

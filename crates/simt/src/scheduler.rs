@@ -17,6 +17,22 @@ use crate::cost::{CostModel, MemSummary};
 use crate::occupancy::Occupancy;
 use crate::report::{Boundedness, TimingBreakdown};
 use crate::spec::GpuSpec;
+use trace::{KernelId, TraceEvent, TraceSink};
+
+/// Where a traced dispatch should send its per-block records.
+///
+/// Carries the identity that block/warp events need but the timing model
+/// itself doesn't: which kernel this dispatch belongs to and on which
+/// device it runs.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCtx<'a> {
+    /// The sink receiving events.
+    pub sink: &'a dyn TraceSink,
+    /// Kernel span these blocks belong to.
+    pub kernel: KernelId,
+    /// Device index (0 for single-device launches).
+    pub device: u32,
+}
 
 /// Compute the timing breakdown for a set of executed blocks.
 pub fn device_time(
@@ -24,6 +40,23 @@ pub fn device_time(
     model: &CostModel,
     blocks: &[BlockCost],
     occ: &Occupancy,
+) -> TimingBreakdown {
+    device_time_traced(spec, model, blocks, occ, None)
+}
+
+/// [`device_time`], optionally emitting per-block dispatch spans and
+/// per-warp divergence samples to `trace`.
+///
+/// The timing math is untouched by tracing — the sink only observes the
+/// greedy dispatcher's intermediate state (which SM each block lands on
+/// and the SM's queue depth before/after), so traced and untraced calls
+/// return identical breakdowns.
+pub fn device_time_traced(
+    spec: &GpuSpec,
+    model: &CostModel,
+    blocks: &[BlockCost],
+    occ: &Occupancy,
+    trace: Option<&TraceCtx<'_>>,
 ) -> TimingBreakdown {
     let hide = (f64::from(occ.resident_warps) / model.latency_hiding_warps).min(1.0);
     let eff_issue = (f64::from(spec.issue_width_per_sm) * hide).max(1e-9);
@@ -33,8 +66,9 @@ pub fn device_time(
     let mut critical = vec![0.0f64; num_sms]; // longest single warp seen
     let mut mem = MemSummary::default();
     let mut total_units = 0.0;
+    let cycles_to_ms = 1.0 / (spec.clock_ghz * 1e9) * 1e3;
 
-    for b in blocks {
+    for (bi, b) in blocks.iter().enumerate() {
         // Greedy: dispatch to the SM that currently finishes earliest.
         let (sm, _) = load
             .iter()
@@ -48,9 +82,34 @@ pub fn device_time(
             });
         let units = b.total_units();
         total_units += units;
+        let start = load[sm];
         load[sm] += units / eff_issue;
         critical[sm] = critical[sm].max(b.critical_warp());
         mem = mem.merged(b.mem);
+        if let Some(t) = trace {
+            t.sink.event(&TraceEvent::Block {
+                kernel: t.kernel,
+                device: t.device,
+                block: bi as u32,
+                sm: sm as u32,
+                start_ms: start * cycles_to_ms,
+                end_ms: load[sm] * cycles_to_ms,
+            });
+            for (w, (&cost, &active)) in b.warp_costs.iter().zip(&b.warp_active).enumerate() {
+                let frac = if cost > 0.0 {
+                    (active / (f64::from(spec.warp_size) * cost)).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                t.sink.event(&TraceEvent::Warp {
+                    kernel: t.kernel,
+                    block: bi as u32,
+                    warp: w as u32,
+                    units: cost,
+                    active_frac: frac,
+                });
+            }
+        }
     }
 
     // An SM's time: its throughput load, plus any critical-path excess —
@@ -62,7 +121,6 @@ pub fn device_time(
         .map(|(&l, &c)| l + (c - l).max(0.0) * model.latency_stall)
         .collect();
     let compute_cycles = sm_cycles.iter().copied().fold(0.0, f64::max);
-    let cycles_to_ms = 1.0 / (spec.clock_ghz * 1e9) * 1e3;
     let compute_ms = compute_cycles * cycles_to_ms;
     let overhead_ms = spec.launch_overhead_us * 1e-3;
     let busy: f64 = sm_cycles.iter().sum();
@@ -111,6 +169,7 @@ mod tests {
     fn block_of(warps: &[f64]) -> BlockCost {
         BlockCost {
             warp_costs: warps.to_vec(),
+            warp_active: Vec::new(),
             mem: MemSummary::default(),
         }
     }
@@ -157,6 +216,7 @@ mod tests {
         let blocks: Vec<_> = (0..160)
             .map(|_| BlockCost {
                 warp_costs: vec![1.0; 8],
+                warp_active: Vec::new(),
                 mem: MemSummary {
                     read_bytes: 9_000_000_000 / 160, // 10 ms total at 900 GB/s
                     ..Default::default()
@@ -177,6 +237,7 @@ mod tests {
         let balanced: Vec<_> = (0..160)
             .map(|_| BlockCost {
                 warp_costs: vec![100.0; 8],
+                warp_active: Vec::new(),
                 mem: MemSummary {
                     read_bytes: bytes_total / 160,
                     ..Default::default()
@@ -186,6 +247,7 @@ mod tests {
         // Same traffic, but one block does all the compute work → SMs idle.
         let mut skewed = vec![BlockCost {
             warp_costs: vec![1_000_000.0; 8],
+            warp_active: Vec::new(),
             mem: MemSummary {
                 read_bytes: bytes_total,
                 ..Default::default()
@@ -193,6 +255,7 @@ mod tests {
         }];
         skewed.extend((0..159).map(|_| BlockCost {
             warp_costs: vec![0.001; 8],
+            warp_active: Vec::new(),
             mem: MemSummary::default(),
         }));
         let t_bal = device_time(&spec, &model, &balanced, &occ(&spec));
@@ -222,6 +285,39 @@ mod tests {
         let t_full = device_time(&spec, &model, &blocks, &full);
         let t_starved = device_time(&spec, &model, &blocks, &starved);
         assert!(t_starved.compute_ms > t_full.compute_ms * 2.0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_timing_and_blocks_nest_in_compute() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let o = occ(&spec);
+        let blocks: Vec<_> = (0..100)
+            .map(|i| block_of(&[f64::from(i % 7 + 1) * 50.0; 8]))
+            .collect();
+        let plain = device_time(&spec, &model, &blocks, &o);
+        let rec = trace::Recorder::new();
+        let ctx = TraceCtx {
+            sink: &rec,
+            kernel: KernelId::next(),
+            device: 0,
+        };
+        let traced = device_time_traced(&spec, &model, &blocks, &o, Some(&ctx));
+        assert_eq!(plain, traced);
+        let data = rec.snapshot();
+        let spans: Vec<_> = data
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Block { .. }))
+            .collect();
+        assert_eq!(spans.len(), blocks.len());
+        for ev in spans {
+            if let TraceEvent::Block { start_ms, end_ms, sm, .. } = ev {
+                assert!(*start_ms <= *end_ms);
+                assert!(*end_ms <= traced.compute_ms + 1e-12);
+                assert!((*sm as usize) < spec.num_sms as usize);
+            }
+        }
     }
 
     #[test]

@@ -33,10 +33,19 @@ use crate::error::Result;
 use crate::launch::{run_blocks, validate, BlockKernel, LaunchConfig};
 use crate::report::{Boundedness, LaunchReport, TimingBreakdown};
 use crate::spec::GpuSpec;
+use std::sync::Arc;
+use trace::{KernelId, StreamOpKind, TraceEvent, TraceSink};
 
 /// Handle to one FIFO work queue on a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamId(u32);
+
+impl StreamId {
+    /// The stream's index on its device (the value trace events carry).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
 
 /// A recorded marker: "everything enqueued on stream S up to this point".
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +107,10 @@ pub struct DeviceSim {
     events: Vec<f64>,
     jobs_done: usize,
     makespan_ms: f64,
+    /// Attached trace sink; `None` keeps every path allocation-free.
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Device index stamped on emitted events.
+    device_id: u32,
 }
 
 impl DeviceSim {
@@ -118,12 +131,28 @@ impl DeviceSim {
             events: Vec::new(),
             jobs_done: 0,
             makespan_ms: 0.0,
+            sink: None,
+            device_id: 0,
         }
     }
 
     /// The device's architecture.
     pub fn spec(&self) -> &GpuSpec {
         &self.spec
+    }
+
+    /// Attach a trace sink; subsequent launches, replays, and stream ops
+    /// emit events stamped with `device_id`. Timing results are unchanged
+    /// — the sink only observes the shared-timeline placement the device
+    /// computes anyway.
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>, device_id: u32) {
+        self.sink = Some(sink);
+        self.device_id = device_id;
+    }
+
+    /// Detach any trace sink.
+    pub fn clear_trace(&mut self) {
+        self.sink = None;
     }
 
     /// Open a new stream (its FIFO starts empty and ready at t = 0).
@@ -158,8 +187,21 @@ impl DeviceSim {
         not_before_ms: f64,
     ) -> Result<JobReport> {
         let occ = validate(&self.spec, &cfg)?;
+        // Explicit sink wins; fall back to a thread-scoped one so
+        // `simt::tracing::scoped` also covers stream launches.
+        let scoped = if self.sink.is_none() {
+            crate::tracing::current()
+        } else {
+            None
+        };
+        let sink: Option<(&dyn TraceSink, &'static str)> = self
+            .sink
+            .as_deref()
+            .map(|s| (s, "kernel"))
+            .or(scoped.as_ref().map(|(s, l)| (s.as_ref(), *l)));
+        let kernel_id = sink.map(|_| KernelId::next());
         let t0 = std::time::Instant::now();
-        let blocks = run_blocks(&self.spec, &self.model, &cfg, kernel)?;
+        let blocks = run_blocks(&self.spec, &self.model, &cfg, kernel, sink.is_some())?;
         let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let s = stream.0 as usize;
@@ -180,7 +222,7 @@ impl DeviceSim {
         let mut used = vec![false; num_sms];
         let mut mem = MemSummary::default();
         let mut total_units = 0.0;
-        for b in &blocks {
+        for (bi, b) in blocks.iter().enumerate() {
             let (sm, _) = t
                 .iter()
                 .enumerate()
@@ -193,10 +235,35 @@ impl DeviceSim {
                 });
             let units = b.total_units();
             total_units += units;
+            let block_start = t[sm];
             t[sm] += units / eff_issue * cycles_to_ms;
             critical[sm] = critical[sm].max(b.critical_warp() * cycles_to_ms);
             used[sm] = true;
             mem = mem.merged(b.mem);
+            if let (Some((sink, _)), Some(kid)) = (sink, kernel_id) {
+                sink.event(&TraceEvent::Block {
+                    kernel: kid,
+                    device: self.device_id,
+                    block: bi as u32,
+                    sm: sm as u32,
+                    start_ms: block_start,
+                    end_ms: t[sm],
+                });
+                for (w, (&cost, &active)) in b.warp_costs.iter().zip(&b.warp_active).enumerate() {
+                    let frac = if cost > 0.0 {
+                        (active / (f64::from(self.spec.warp_size) * cost)).clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    };
+                    sink.event(&TraceEvent::Warp {
+                        kernel: kid,
+                        block: bi as u32,
+                        warp: w as u32,
+                        units: cost,
+                        active_frac: frac,
+                    });
+                }
+            }
         }
         // Latency-exposure: a warp outliving its SM's queued work stalls.
         let mut compute_end = start;
@@ -227,6 +294,19 @@ impl DeviceSim {
         let memory_ms = mem.total_bytes() as f64 / (self.spec.mem_bw_gbs * 1e9 * bw_frac) * 1e3;
         let overhead_ms = self.spec.launch_overhead_us * 1e-3;
         let end = compute_ms.max(memory_ms) + overhead_ms + start;
+
+        if let (Some((sink, label)), Some(kid)) = (sink, kernel_id) {
+            sink.event(&TraceEvent::Kernel {
+                id: kid,
+                name: label,
+                device: self.device_id,
+                stream: stream.0,
+                start_ms: start,
+                end_ms: end,
+                grid_dim: cfg.grid_dim,
+                block_dim: cfg.block_dim,
+            });
+        }
 
         // Commit: SMs stay reserved for their compute; the stream advances
         // to full completion.
@@ -299,6 +379,19 @@ impl DeviceSim {
         report: &LaunchReport,
         not_before_ms: f64,
     ) -> JobReport {
+        self.replay_named(stream, report, not_before_ms, "replay")
+    }
+
+    /// [`Self::replay`] with an explicit kernel name for the trace; the
+    /// serving runtime passes the schedule label here so the Perfetto
+    /// timeline reads "spmv/merge-path" instead of "replay".
+    pub fn replay_named(
+        &mut self,
+        stream: StreamId,
+        report: &LaunchReport,
+        not_before_ms: f64,
+        name: &'static str,
+    ) -> JobReport {
         let s = stream.0 as usize;
         assert!(s < self.streams.len(), "unknown stream {stream:?}");
         let start = self.streams[s].ready_ms.max(not_before_ms);
@@ -320,13 +413,24 @@ impl DeviceSim {
                 .expect("SM times are finite")
                 .then(a.cmp(&b))
         });
+        let kernel_id = self.sink.as_ref().map(|_| KernelId::next());
         let mut compute_end = start;
-        for &i in order.iter().take(k) {
+        for (bi, &i) in order.iter().take(k).enumerate() {
             let job_start_i = self.sm_free[i].max(start);
             let end_i = job_start_i + span;
             self.sm_busy[i] += span;
             self.sm_free[i] = self.sm_free[i].max(end_i);
             compute_end = compute_end.max(end_i);
+            if let (Some(sink), Some(kid)) = (&self.sink, kernel_id) {
+                sink.event(&TraceEvent::Block {
+                    kernel: kid,
+                    device: self.device_id,
+                    block: bi as u32,
+                    sm: i as u32,
+                    start_ms: job_start_i,
+                    end_ms: end_i,
+                });
+            }
         }
         let compute_ms = compute_end - start;
         let utilization = if num_sms > 0 {
@@ -343,6 +447,19 @@ impl DeviceSim {
             report.mem.total_bytes() as f64 / (self.spec.mem_bw_gbs * 1e9 * bw_frac) * 1e3;
         let overhead_ms = report.timing.overhead_ms;
         let end = compute_ms.max(memory_ms) + overhead_ms + start;
+
+        if let (Some(sink), Some(kid)) = (&self.sink, kernel_id) {
+            sink.event(&TraceEvent::Kernel {
+                id: kid,
+                name,
+                device: self.device_id,
+                stream: stream.0,
+                start_ms: start,
+                end_ms: end,
+                grid_dim: report.grid_dim,
+                block_dim: report.block_dim,
+            });
+        }
 
         let st = &mut self.streams[s];
         st.ready_ms = end;
@@ -369,6 +486,14 @@ impl DeviceSim {
     pub fn record_event(&mut self, stream: StreamId) -> Event {
         let t = self.streams[stream.0 as usize].ready_ms;
         self.events.push(t);
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::StreamOp {
+                device: self.device_id,
+                stream: stream.0,
+                op: StreamOpKind::RecordEvent,
+                ts_ms: t,
+            });
+        }
         Event(self.events.len() - 1)
     }
 
@@ -378,6 +503,14 @@ impl DeviceSim {
         let t = self.events[event.0];
         let st = &mut self.streams[stream.0 as usize];
         st.ready_ms = st.ready_ms.max(t);
+        if let Some(sink) = &self.sink {
+            sink.event(&TraceEvent::StreamOp {
+                device: self.device_id,
+                stream: stream.0,
+                op: StreamOpKind::WaitEvent,
+                ts_ms: t,
+            });
+        }
     }
 
     /// The time at which `stream`'s queue drains.
@@ -616,6 +749,91 @@ mod tests {
         }
         assert!(a.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
         assert!(b.iter().enumerate().all(|(i, &v)| v == i as u64 + 7));
+    }
+
+    #[test]
+    fn traced_device_matches_untraced_and_spans_nest() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        let k = charge_kernel(1_000.0);
+        let run = |sink: Option<Arc<trace::Recorder>>| {
+            let mut dev = DeviceSim::new(spec.clone());
+            if let Some(s) = &sink {
+                dev.set_trace(s.clone(), 2);
+            }
+            let (s1, s2) = (dev.create_stream(), dev.create_stream());
+            let j1 = dev.launch(s1, cfg, &k).unwrap();
+            let ev = dev.record_event(s1);
+            dev.wait_event(s2, ev);
+            let j2 = dev.launch_at(s2, cfg, &k, 0.5).unwrap();
+            (j1, j2, dev.makespan_ms())
+        };
+        let rec = Arc::new(trace::Recorder::new());
+        let (p1, p2, pm) = run(None);
+        let (t1, t2, tm) = run(Some(rec.clone()));
+        assert_eq!(p1.start_ms, t1.start_ms);
+        assert_eq!(p2.end_ms, t2.end_ms);
+        assert_eq!(pm, tm);
+        let mut rep_p = p2.report.clone();
+        let mut rep_t = t2.report.clone();
+        rep_p.host_wall_ms = 0.0;
+        rep_t.host_wall_ms = 0.0;
+        assert_eq!(rep_p, rep_t);
+
+        let data = rec.snapshot();
+        let kernels: Vec<_> = data.kernels().collect();
+        assert_eq!(kernels.len(), 2);
+        // Every block span sits inside its kernel's span.
+        for ev in &data.events {
+            if let TraceEvent::Block { kernel, start_ms, end_ms, .. } = ev {
+                let span = kernels
+                    .iter()
+                    .find_map(|k| match k {
+                        TraceEvent::Kernel { id, start_ms, end_ms, .. } if id == kernel => {
+                            Some((*start_ms, *end_ms))
+                        }
+                        _ => None,
+                    })
+                    .expect("block references a recorded kernel");
+                assert!(*start_ms >= span.0 - 1e-12 && *end_ms <= span.1 + 1e-12);
+            }
+        }
+        // Both stream ops were recorded.
+        let ops = data
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::StreamOp { .. }))
+            .count();
+        assert_eq!(ops, 2);
+    }
+
+    #[test]
+    fn replay_named_emits_kernel_and_footprint_blocks() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        let solo = crate::launch::launch_with_model(
+            &spec,
+            &CostModel::standard(),
+            cfg,
+            &charge_kernel(100_000.0),
+        )
+        .unwrap();
+        let rec = Arc::new(trace::Recorder::new());
+        let mut traced_dev = DeviceSim::new(spec.clone());
+        traced_dev.set_trace(rec.clone(), 0);
+        let s = traced_dev.create_stream();
+        let jt = traced_dev.replay_named(s, &solo, 0.0, "spmv/merge-path");
+        // Identical placement to an untraced device.
+        let mut plain_dev = DeviceSim::new(spec);
+        let sp = plain_dev.create_stream();
+        let jp = plain_dev.replay(sp, &solo, 0.0);
+        assert_eq!(jp.start_ms, jt.start_ms);
+        assert_eq!(jp.end_ms, jt.end_ms);
+        let data = rec.snapshot();
+        assert!(data
+            .kernels()
+            .any(|k| matches!(k, TraceEvent::Kernel { name: "spmv/merge-path", .. })));
+        assert!(data.blocks > 0, "footprint blocks recorded");
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Scoped tracing for the one-shot launch path.
+//!
+//! [`DeviceSim`](crate::stream::DeviceSim) carries its sink explicitly,
+//! but the one-shot launchers ([`launch`](crate::launch::launch) and
+//! friends) are free functions called from deep inside every kernel in
+//! the workspace — threading an `Option<&dyn TraceSink>` through all of
+//! them would put tracing in every kernel signature. Instead, a sink is
+//! installed for a lexical scope on the current thread:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use simt::{GpuSpec, LaunchConfig};
+//!
+//! let recorder = Arc::new(trace::Recorder::new());
+//! let report = simt::tracing::scoped(recorder.clone(), "saxpy", || {
+//!     simt::launch_threads(&GpuSpec::test_tiny(), LaunchConfig::new(4, 32), |t| {
+//!         t.charge(1.0);
+//!     })
+//! })
+//! .unwrap();
+//! assert!(!recorder.is_empty());
+//! assert!(report.elapsed_ms() > 0.0);
+//! ```
+//!
+//! The guarantee that matters: **tracing never perturbs results**. A
+//! sink only observes the timing model's intermediate values; when no
+//! sink is installed, the launch path performs one thread-local read
+//! per *launch* (not per block or lane), allocates nothing extra, and
+//! produces bit-identical [`LaunchReport`](crate::report::LaunchReport)s
+//! — `tests/trace_profile.rs` asserts exact equality.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use trace::TraceSink;
+
+type Entry = (Arc<dyn TraceSink>, &'static str);
+
+thread_local! {
+    static STACK: RefCell<Vec<Entry>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Guard;
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Run `f` with `sink` installed as the current thread's trace sink;
+/// kernel spans emitted inside the scope are labelled `label`. Scopes
+/// nest (the innermost wins) and are panic-safe.
+pub fn scoped<R>(sink: Arc<dyn TraceSink>, label: &'static str, f: impl FnOnce() -> R) -> R {
+    STACK.with(|s| s.borrow_mut().push((sink, label)));
+    let _guard = Guard;
+    f()
+}
+
+/// The innermost installed sink and label, if any.
+pub(crate) fn current() -> Option<Entry> {
+    STACK.with(|s| s.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace::NullSink;
+
+    #[test]
+    fn scope_installs_and_removes() {
+        assert!(current().is_none());
+        scoped(Arc::new(NullSink), "outer", || {
+            assert_eq!(current().unwrap().1, "outer");
+            scoped(Arc::new(NullSink), "inner", || {
+                assert_eq!(current().unwrap().1, "inner");
+            });
+            assert_eq!(current().unwrap().1, "outer");
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scope_is_panic_safe() {
+        let r = std::panic::catch_unwind(|| {
+            scoped(Arc::new(NullSink), "boom", || panic!("inside scope"));
+        });
+        assert!(r.is_err());
+        assert!(current().is_none(), "guard must pop on unwind");
+    }
+}

@@ -1,0 +1,227 @@
+//! The event taxonomy: everything the simulator and the serving runtime
+//! can tell an observer about one run.
+//!
+//! Events are small `Copy` values (kernel names are `&'static str`) so
+//! emitting one is a couple of stores — no allocation on the
+//! instrumented path. Each event carries *simulated* milliseconds; the
+//! Chrome exporter converts to microseconds at export time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique identifier of one kernel launch, used to correlate
+/// [`TraceEvent::Block`]/[`TraceEvent::Warp`] records with their
+/// [`TraceEvent::Kernel`] span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub u64);
+
+static NEXT_KERNEL: AtomicU64 = AtomicU64::new(1);
+
+impl KernelId {
+    /// Allocate the next process-unique id.
+    pub fn next() -> Self {
+        Self(NEXT_KERNEL.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Stream-ordering operations on a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOpKind {
+    /// `DeviceSim::record_event`: a completion marker was recorded.
+    RecordEvent,
+    /// `DeviceSim::wait_event`: a stream was held for an event.
+    WaitEvent,
+}
+
+impl StreamOpKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RecordEvent => "record_event",
+            Self::WaitEvent => "wait_event",
+        }
+    }
+}
+
+/// Lifecycle milestones of one serving-runtime request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPhase {
+    /// The request arrived at the runtime.
+    Enqueue,
+    /// The request joined a pending tiny-request batch.
+    BatchJoin,
+    /// Its matrix's plan was found in the plan cache.
+    CacheHit,
+    /// Its matrix's plan had to be prepared (and was inserted).
+    CacheMiss,
+    /// Admission control dropped the request.
+    Reject,
+    /// The request's job completed on a device.
+    Complete,
+}
+
+impl RequestPhase {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Enqueue => "enqueue",
+            Self::BatchJoin => "batch_join",
+            Self::CacheHit => "cache_hit",
+            Self::CacheMiss => "cache_miss",
+            Self::Reject => "reject",
+            Self::Complete => "complete",
+        }
+    }
+}
+
+/// Named time-series counters sampled by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// Jobs in the bounded in-flight window.
+    QueueDepth,
+    /// Live entries in the plan cache.
+    CacheOccupancy,
+}
+
+impl CounterKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::QueueDepth => "queue_depth",
+            Self::CacheOccupancy => "cache_occupancy",
+        }
+    }
+}
+
+/// One structured trace record.
+///
+/// Span events carry `[start_ms, end_ms]` on the simulated clock;
+/// instants carry a single `ts_ms`. The producer decides the clock's
+/// origin: solo launches start at 0, device-timeline events are
+/// absolute, runtime events use the serving clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// One kernel launch resolved on a device timeline.
+    Kernel {
+        /// Correlation id for this launch's block/warp records.
+        id: KernelId,
+        /// Human-readable kernel label.
+        name: &'static str,
+        /// Device (pool index; 0 for solo launches).
+        device: u32,
+        /// Stream the launch ran on (0 for solo launches).
+        stream: u32,
+        /// Launch start on the simulated clock.
+        start_ms: f64,
+        /// Launch end (includes memory roofline and launch overhead).
+        end_ms: f64,
+        /// Blocks launched.
+        grid_dim: u32,
+        /// Threads per block.
+        block_dim: u32,
+    },
+    /// One block's residency on one SM.
+    Block {
+        /// Owning kernel launch.
+        kernel: KernelId,
+        /// Device the SM belongs to.
+        device: u32,
+        /// Block index within the grid.
+        block: u32,
+        /// SM the dispatcher placed it on.
+        sm: u32,
+        /// Dispatch time.
+        start_ms: f64,
+        /// Drain time of the block's queued issue work.
+        end_ms: f64,
+    },
+    /// Per-warp cost statistics of one executed block (aggregated into
+    /// histograms by the recorder rather than buffered individually).
+    Warp {
+        /// Owning kernel launch.
+        kernel: KernelId,
+        /// Block index within the grid.
+        block: u32,
+        /// Warp index within the block.
+        warp: u32,
+        /// Work units charged to the warp (its lockstep maximum).
+        units: f64,
+        /// Mean lane activity relative to the warp's critical lane in
+        /// `[0, 1]`; `1.0` means no divergence, small values mean most
+        /// lanes idled while one lane worked.
+        active_frac: f64,
+    },
+    /// A stream-ordering operation.
+    StreamOp {
+        /// Device the stream belongs to.
+        device: u32,
+        /// The stream.
+        stream: u32,
+        /// What happened.
+        op: StreamOpKind,
+        /// When it resolved on the device clock.
+        ts_ms: f64,
+    },
+    /// A request lifecycle milestone.
+    Request {
+        /// Request id.
+        id: u64,
+        /// Which milestone.
+        phase: RequestPhase,
+        /// When it happened on the serving clock.
+        ts_ms: f64,
+    },
+    /// A request's whole lifetime: arrival to completion.
+    RequestSpan {
+        /// Request id.
+        id: u64,
+        /// Arrival time.
+        start_ms: f64,
+        /// Completion time.
+        end_ms: f64,
+        /// Device that served it.
+        device: u32,
+    },
+    /// A request's device dispatch: job start to job end.
+    Dispatch {
+        /// Request id.
+        id: u64,
+        /// Device that ran the job.
+        device: u32,
+        /// Stream the job ran on.
+        stream: u32,
+        /// Job start on the device timeline.
+        start_ms: f64,
+        /// Job end.
+        end_ms: f64,
+        /// True if the job was a fused batch launch.
+        batched: bool,
+    },
+    /// One sample of a named counter.
+    Counter {
+        /// Which counter.
+        counter: CounterKind,
+        /// Sample time.
+        ts_ms: f64,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_ids_are_unique_and_increasing() {
+        let a = KernelId::next();
+        let b = KernelId::next();
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(RequestPhase::CacheHit.name(), "cache_hit");
+        assert_eq!(StreamOpKind::WaitEvent.name(), "wait_event");
+        assert_eq!(CounterKind::QueueDepth.name(), "queue_depth");
+    }
+}

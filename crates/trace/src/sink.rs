@@ -1,0 +1,30 @@
+//! The sink trait: where instrumentation points deliver their events.
+
+use crate::event::TraceEvent;
+
+/// A consumer of [`TraceEvent`]s.
+///
+/// Instrumentation points hold an *optional* sink (`Option<&dyn
+/// TraceSink>` or `Option<Arc<dyn TraceSink>>`): when the option is
+/// `None` the instrumented code performs a single branch and nothing
+/// else — no allocation, no arithmetic, no change to simulated results.
+/// When a sink is present, events are delivered synchronously from the
+/// (single-threaded) timing-resolution code, so implementations need
+/// interior mutability but see no concurrent emission for one device.
+/// `Send + Sync` is required so one sink can be shared across a device
+/// pool; `Debug` keeps the holders' `#[derive(Debug)]` working.
+pub trait TraceSink: std::fmt::Debug + Send + Sync {
+    /// Deliver one event. Implementations must treat the event as
+    /// read-only observation: sinks can never influence simulation
+    /// results or timing.
+    fn event(&self, ev: &TraceEvent);
+}
+
+/// A sink that discards everything — useful as a stand-in in tests that
+/// only exercise the instrumented code path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&self, _ev: &TraceEvent) {}
+}

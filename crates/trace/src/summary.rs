@@ -1,0 +1,160 @@
+//! Plain-text profile rendering: a kernel table, divergence / idle-lane
+//! / block-duration histograms as ASCII bars, and the top-N
+//! long-pole-block report — the terminal-friendly view of the same data
+//! the Chrome exporter ships to Perfetto.
+
+use crate::event::TraceEvent;
+use crate::recorder::{Histogram, TraceData};
+
+fn bar(count: u64, max: u64, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let n = ((count as f64 / max as f64) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn histogram_block(out: &mut String, title: &str, h: &Histogram, unit: &str) {
+    out.push_str(&format!(
+        "\n{title}: {} samples, mean {:.4}{unit}, max {:.4}{unit}\n",
+        h.total,
+        h.mean(),
+        h.max
+    ));
+    if h.total == 0 {
+        out.push_str("  (empty)\n");
+        return;
+    }
+    let peak = h.counts.iter().copied().max().unwrap_or(0);
+    let mut lo = 0.0;
+    for (i, &c) in h.counts.iter().enumerate() {
+        let label = match h.edges.get(i) {
+            Some(&hi) => format!("{lo:>10.4} – {hi:<10.4}"),
+            None => format!("{:>10.4} – {:<10}", h.edges.last().copied().unwrap_or(0.0), "inf"),
+        };
+        if c > 0 {
+            out.push_str(&format!("  {label} {c:>8} |{}\n", bar(c, peak, 40)));
+        }
+        lo = h.edges.get(i).copied().unwrap_or(lo);
+    }
+}
+
+/// Render the whole profile as human-readable text.
+pub fn render(data: &TraceData) -> String {
+    let mut out = String::new();
+
+    // Kernel table.
+    let kernels: Vec<&TraceEvent> = data.kernels().collect();
+    out.push_str(&format!(
+        "== trace summary: {} kernels, {} blocks, {} warps, {} buffered events ({} dropped) ==\n",
+        kernels.len(),
+        data.blocks,
+        data.warps,
+        data.events.len(),
+        data.dropped
+    ));
+    if !kernels.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>4} {:>7} {:>6} {:>12} {:>12}\n",
+            "kernel", "dev", "stream", "grid", "start ms", "dur ms"
+        ));
+        for ev in &kernels {
+            if let TraceEvent::Kernel {
+                name,
+                device,
+                stream,
+                start_ms,
+                end_ms,
+                grid_dim,
+                ..
+            } = ev
+            {
+                out.push_str(&format!(
+                    "{name:<28} {device:>4} {stream:>7} {grid_dim:>6} {start_ms:>12.5} {:>12.5}\n",
+                    end_ms - start_ms
+                ));
+            }
+        }
+    }
+
+    histogram_block(
+        &mut out,
+        "warp lane activity (1.0 = no divergence)",
+        &data.divergence,
+        "",
+    );
+    histogram_block(&mut out, "idle-lane equivalents per warp", &data.idle_lanes, " lanes");
+    histogram_block(&mut out, "block busy durations", &data.block_durations, " ms");
+
+    // Long poles.
+    out.push_str(&format!("\ntop {} long-pole blocks:\n", data.long_poles.len()));
+    if data.long_poles.is_empty() {
+        out.push_str("  (none recorded)\n");
+    } else {
+        out.push_str(&format!(
+            "  {:<28} {:>8} {:>5} {:>12} {:>12}\n",
+            "kernel", "block", "sm", "start ms", "busy ms"
+        ));
+        for p in &data.long_poles {
+            let name = data.kernel_name(p.kernel).unwrap_or("<evicted>");
+            out.push_str(&format!(
+                "  {:<28} {:>8} {:>5} {:>12.5} {:>12.5}\n",
+                name, p.block, p.sm, p.start_ms, p.dur_ms
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::KernelId;
+    use crate::recorder::Recorder;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn renders_kernels_histograms_and_poles() {
+        let r = Recorder::new();
+        let k = KernelId::next();
+        r.event(&TraceEvent::Kernel {
+            id: k,
+            name: "spmv/merge-path",
+            device: 0,
+            stream: 0,
+            start_ms: 0.0,
+            end_ms: 2.0,
+            grid_dim: 4,
+            block_dim: 256,
+        });
+        for b in 0..4 {
+            r.event(&TraceEvent::Block {
+                kernel: k,
+                device: 0,
+                block: b,
+                sm: b,
+                start_ms: 0.0,
+                end_ms: 0.5 * f64::from(b + 1),
+            });
+            r.event(&TraceEvent::Warp {
+                kernel: k,
+                block: b,
+                warp: 0,
+                units: 10.0,
+                active_frac: 0.5,
+            });
+        }
+        let text = render(&r.snapshot());
+        assert!(text.contains("spmv/merge-path"));
+        assert!(text.contains("long-pole blocks"));
+        assert!(text.contains("warp lane activity"));
+        assert!(text.contains("block busy durations"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panic() {
+        let r = Recorder::new();
+        let text = render(&r.snapshot());
+        assert!(text.contains("0 kernels"));
+    }
+}

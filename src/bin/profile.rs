@@ -1,0 +1,8 @@
+//! Workspace-root alias for the trace/profile experiment, so
+//! `cargo run --release --bin profile` works without `-p bench`.
+//! See [`bench::profile`].
+
+fn main() {
+    let cli = bench::Cli::parse();
+    bench::profile::run(&cli).expect("profile run");
+}
