@@ -10,7 +10,13 @@
 //!   plan-cache counters;
 //! * `longpoles.csv` — the top-N longest-running blocks across both
 //!   traces (`trace,kernel,block,sm,start_ms,busy_ms`), the "where did
-//!   the makespan go" report.
+//!   the makespan go" report;
+//! * `chaos_serve.json` — the chaos scenario: the same serving stack
+//!   under a seeded [`simt::FaultPlan`] per device (flaky launches,
+//!   degraded SMs, a stall window, a mid-run device kill) plus tight
+//!   deadlines and chaos-injected plan failures. Every value in the
+//!   file derives from the simulated clock and seeded fault streams, so
+//!   two runs of the same build are byte-identical — CI diffs them.
 //!
 //! The logic lives in the library (rather than the binary) so the root
 //! package can re-export a `profile` binary that works from the
@@ -22,7 +28,7 @@ use crate::cli::Cli;
 use crate::csv::CsvWriter;
 use loops::schedule::ScheduleKind;
 use runtime::{zipf_workload, Runtime, RuntimeConfig, WorkloadSpec};
-use simt::GpuSpec;
+use simt::{FaultPlan, GpuSpec};
 use sparse::Csr;
 use trace::{Recorder, TraceData};
 
@@ -38,6 +44,8 @@ pub struct ProfileOutputs {
     pub serve_json: std::path::PathBuf,
     /// Top-N long-pole-block CSV over both traces.
     pub longpoles_csv: std::path::PathBuf,
+    /// Deterministic chaos-scenario report (seeded faults + deadlines).
+    pub chaos_json: std::path::PathBuf,
 }
 
 fn skewed_matrix(limit: Option<usize>) -> Csr<f32> {
@@ -132,8 +140,110 @@ fn trace_serve(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
     Ok((path, data))
 }
 
-/// Run both traced workloads, write the trace JSONs and the long-pole
-/// report, and print text summaries.
+fn chaos_serve(cli: &Cli) -> std::io::Result<std::path::PathBuf> {
+    // Same matrix mix as the clean serve trace, so the two runs are
+    // directly comparable in the counters.
+    let matrices: Vec<Arc<Csr<f32>>> = (0..4)
+        .map(|i| {
+            Arc::new(sparse::gen::powerlaw(
+                3_000 + 800 * i,
+                3_000 + 800 * i,
+                40_000 + 8_000 * i,
+                1.6,
+                100 + i as u64,
+            ))
+        })
+        .collect();
+    let requests = zipf_workload(
+        &matrices,
+        &WorkloadSpec {
+            requests: SERVE_REQUESTS,
+            zipf_s: 1.1,
+            mean_interarrival_ms: 0.004,
+            seed: 42,
+        },
+    );
+    let mut rt = Runtime::new(
+        GpuSpec::v100(),
+        RuntimeConfig {
+            devices: 3,
+            keep_results: true,
+            deadline_ms: 3.0,
+            plan_fail_prob: 0.15,
+            ..RuntimeConfig::default()
+        },
+    );
+    // One distinct failure mode per device: transient launch faults,
+    // SM degradation plus a stall window, and a mid-run kill.
+    rt.set_fault_plan(0, FaultPlan::healthy(0xC0FFEE).with_flaky_launches(0.15));
+    rt.set_fault_plan(
+        1,
+        FaultPlan::healthy(0xBEEF)
+            .with_degraded_sms(0.25, 0.4, 0.8)
+            .with_stall(0.3, 0.15),
+    );
+    rt.set_fault_plan(2, FaultPlan::healthy(0xDEAD).with_kill_at(0.5));
+    let out = rt.serve(&requests).expect("chaos serve");
+    let rep = &out.report;
+    assert!(rep.reconciles(), "request accounting must balance");
+    println!(
+        "chaos serve: {} served / {} submitted, {} retries, {} failovers, {} deadline-missed, {} failed",
+        rep.served, rep.submitted, rep.retries, rep.failovers, rep.deadline_missed, rep.failed
+    );
+
+    // Fold every served result into one order-independent checksum: the
+    // simulator computes results functionally, so this hash is the
+    // "faults never corrupt numerics" witness CI byte-compares.
+    let mut checksum: u64 = 0;
+    for c in &out.completions {
+        if let Some(y) = &c.y {
+            for v in y {
+                checksum = checksum.wrapping_add(u64::from(v.to_bits()));
+            }
+        }
+    }
+
+    let mut j = String::from("{\n");
+    j.push_str(&format!("  \"requests\": {},\n", rep.submitted));
+    j.push_str(&format!("  \"served\": {},\n", rep.served));
+    j.push_str(&format!("  \"rejected\": {},\n", rep.rejected));
+    j.push_str(&format!("  \"deadline_missed\": {},\n", rep.deadline_missed));
+    j.push_str(&format!("  \"failed\": {},\n", rep.failed));
+    j.push_str(&format!("  \"retries\": {},\n", rep.retries));
+    j.push_str(&format!("  \"failovers\": {},\n", rep.failovers));
+    j.push_str(&format!("  \"plan_fallbacks\": {},\n", rep.plan_fallbacks));
+    j.push_str(&format!("  \"device_evictions\": {},\n", rep.device_evictions));
+    j.push_str(&format!("  \"batches\": {},\n", rep.batches));
+    j.push_str(&format!("  \"cache_hits\": {},\n", rep.cache.hits));
+    j.push_str(&format!("  \"cache_misses\": {},\n", rep.cache.misses));
+    j.push_str(&format!("  \"latency_p50_ms\": {:.9},\n", rep.latency_p50_ms));
+    j.push_str(&format!("  \"latency_p99_ms\": {:.9},\n", rep.latency_p99_ms));
+    j.push_str(&format!("  \"makespan_ms\": {:.9},\n", rep.makespan_ms));
+    j.push_str(&format!("  \"result_checksum\": {checksum},\n"));
+    j.push_str("  \"devices\": [\n");
+    for (i, d) in rep.devices.iter().enumerate() {
+        let sep = if i + 1 == rep.devices.len() { "" } else { "," };
+        j.push_str(&format!(
+            "    {{\"device\": {}, \"jobs\": {}, \"transient_launch_failures\": {}, \"stalled_dispatches\": {}, \"lost_dispatches\": {}, \"degraded_sms\": {}}}{sep}\n",
+            d.device,
+            d.jobs,
+            d.faults.transient_launch_failures,
+            d.faults.stalled_dispatches,
+            d.faults.lost_dispatches,
+            d.faults.degraded_sms
+        ));
+    }
+    j.push_str("  ]\n}\n");
+
+    std::fs::create_dir_all(&cli.out_dir)?;
+    let path = std::path::Path::new(&cli.out_dir).join("chaos_serve.json");
+    std::fs::write(&path, j)?;
+    Ok(path)
+}
+
+/// Run both traced workloads plus the chaos scenario, write the trace
+/// JSONs, the long-pole report, and the chaos report, and print text
+/// summaries.
 pub fn run(cli: &Cli) -> std::io::Result<ProfileOutputs> {
     let (spmv_json, spmv_data) = trace_spmv(cli)?;
     let (serve_json, serve_data) = trace_serve(cli)?;
@@ -153,15 +263,18 @@ pub fn run(cli: &Cli) -> std::io::Result<ProfileOutputs> {
         }
     }
     let longpoles_csv = csv.finish()?;
+    let chaos_json = chaos_serve(cli)?;
 
     println!("\n---- SpMV trace ----\n{}", trace::summary::render(&spmv_data));
     println!("\n---- serve trace ----\n{}", trace::summary::render(&serve_data));
     println!("wrote {}", spmv_json.display());
     println!("wrote {}", serve_json.display());
     println!("wrote {}", longpoles_csv.display());
+    println!("wrote {}", chaos_json.display());
     Ok(ProfileOutputs {
         spmv_json,
         serve_json,
         longpoles_csv,
+        chaos_json,
     })
 }

@@ -94,6 +94,13 @@ impl PlanCache {
         }
     }
 
+    /// Drop a cached plan (a launch through it failed, so it is treated
+    /// as poisoned and the next request re-prepares). Not counted as an
+    /// eviction — those measure capacity pressure.
+    pub fn remove(&mut self, key: &Fingerprint) -> bool {
+        self.entries.remove(key).is_some()
+    }
+
     /// Live entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -159,6 +166,17 @@ mod tests {
         assert!(c.get(&key(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_drops_a_poisoned_entry_without_counting_eviction() {
+        let mut c = PlanCache::new(4);
+        c.insert(key(1), plan());
+        assert!(c.remove(&key(1)));
+        assert!(!c.remove(&key(1)), "second remove finds nothing");
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.is_empty());
     }
 
     #[test]

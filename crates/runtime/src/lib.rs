@@ -43,8 +43,8 @@ use kernels::plan::{self, SpmvPlan};
 use kernels::spmv::{spmv_with_model, spmv_with_plan, SpmvRun, DEFAULT_BLOCK};
 use loops::heuristic::Heuristic;
 use loops::schedule::ScheduleKind;
-use simt::{CostModel, DeviceSim, GpuSpec, StreamId};
-use sparse::Csr;
+use simt::{CostModel, DeviceSim, FaultCounters, FaultPlan, GpuSpec, SimError, StreamId};
+use sparse::{Csr, Prng};
 use trace::{CounterKind, RequestPhase, TraceEvent, TraceSink};
 
 pub use cache::{CacheStats, PlanCache};
@@ -84,6 +84,33 @@ pub struct RuntimeConfig {
     /// Keep each request's result vector in its [`Completion`] (memory
     /// for verification; benches turn this off).
     pub keep_results: bool,
+    /// Per-request deadline relative to arrival (simulated ms): a
+    /// request whose job cannot *start* by `arrival + deadline_ms` is
+    /// dropped and counted in [`RuntimeReport::deadline_missed`].
+    /// `INFINITY` (the default) disables deadlines.
+    pub deadline_ms: f64,
+    /// Failed dispatch attempts retried per request before giving up
+    /// (the request then counts in [`RuntimeReport::failed`]).
+    pub max_retries: u32,
+    /// Base retry backoff (simulated ms); attempt *n* waits
+    /// `retry_backoff_ms · 2^(n-1)`, scaled by jitter.
+    pub retry_backoff_ms: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is multiplied by
+    /// `1 + retry_jitter · u` with `u` drawn from the runtime's seeded
+    /// stream, decorrelating retry storms without losing determinism.
+    pub retry_jitter: f64,
+    /// Seed for the retry-jitter / chaos stream.
+    pub retry_seed: u64,
+    /// Consecutive dispatch failures after which a device is evicted
+    /// from the pool for [`Self::cooldown_ms`].
+    pub evict_after: u32,
+    /// How long an evicted device sits out before re-admission
+    /// (simulated ms). Devices lost to a kill fault never return.
+    pub cooldown_ms: f64,
+    /// Chaos knob: probability that preparing a [`SpmvPlan`] fails,
+    /// exercising the graceful-degradation path (serve via the
+    /// heuristic schedule, skip caching). 0.0 (the default) disables it.
+    pub plan_fail_prob: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -98,6 +125,14 @@ impl Default for RuntimeConfig {
             tiny_nnz: 4_096,
             plan_cache_capacity: 128,
             keep_results: false,
+            deadline_ms: f64::INFINITY,
+            max_retries: 3,
+            retry_backoff_ms: 0.05,
+            retry_jitter: 0.5,
+            retry_seed: 0x5eed,
+            evict_after: 3,
+            cooldown_ms: 5.0,
+            plan_fail_prob: 0.0,
         }
     }
 }
@@ -136,6 +171,9 @@ pub struct Completion {
     pub cache_hit: Option<bool>,
     /// Schedule the job ran under.
     pub schedule: ScheduleKind,
+    /// Dispatch attempts the job took (1 = first try succeeded; more
+    /// means faults were retried or failed over).
+    pub attempts: u32,
     /// The result vector, if [`RuntimeConfig::keep_results`] was set.
     pub y: Option<Vec<f32>>,
 }
@@ -147,8 +185,32 @@ impl Completion {
     }
 }
 
-/// Per-device serving totals.
+/// Why a request was dropped instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Admission control shed it ([`QueuePolicy::Reject`]).
+    Rejected,
+    /// It could not start before `arrival + deadline_ms`.
+    DeadlineMissed,
+    /// Every dispatch attempt failed (retries exhausted or no device
+    /// left alive).
+    Failed,
+}
+
+/// One dropped request: the runtime accounts for every submission, so
+/// `completions` plus `dropped` always partition the input stream.
 #[derive(Debug, Clone, Copy)]
+pub struct DroppedRequest {
+    /// The request's id.
+    pub id: u64,
+    /// When the drop decision was made (serving clock).
+    pub ts_ms: f64,
+    /// Why.
+    pub reason: DropReason,
+}
+
+/// Per-device serving totals.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceReport {
     /// Pool index.
     pub device: usize,
@@ -158,10 +220,13 @@ pub struct DeviceReport {
     pub sm_occupancy: f64,
     /// The device's completion time.
     pub makespan_ms: f64,
+    /// Injected faults this device has fired (all zero without a
+    /// [`FaultPlan`]).
+    pub faults: FaultCounters,
 }
 
 /// Aggregated metrics of one [`Runtime::serve`] call.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeReport {
     /// Requests in the input stream.
     pub submitted: usize,
@@ -169,6 +234,22 @@ pub struct RuntimeReport {
     pub served: usize,
     /// Requests dropped by [`QueuePolicy::Reject`].
     pub rejected: usize,
+    /// Requests dropped because they could not start by their deadline.
+    pub deadline_missed: usize,
+    /// Requests dropped after exhausting retries (or with no live
+    /// device left).
+    pub failed: usize,
+    /// Dispatch attempts that failed and were retried.
+    pub retries: usize,
+    /// Requests whose job completed on a different device than their
+    /// first dispatch attempt targeted.
+    pub failovers: usize,
+    /// Requests served via the heuristic path because plan construction
+    /// or a cached-plan launch failed (graceful degradation).
+    pub plan_fallbacks: usize,
+    /// Times a device was removed from the pool (cooldown eviction or
+    /// permanent loss).
+    pub device_evictions: usize,
     /// Fused launches issued by the batcher.
     pub batches: usize,
     /// Requests served inside those fused launches.
@@ -195,6 +276,14 @@ impl RuntimeReport {
         } else {
             self.served as f64 / (self.makespan_ms * 1e-3)
         }
+    }
+
+    /// Every submission is accounted for exactly once:
+    /// `submitted == served + rejected + deadline_missed + failed`.
+    /// The failover and chaos tests assert this reconciliation under
+    /// every fault plan.
+    pub fn reconciles(&self) -> bool {
+        self.submitted == self.served + self.rejected + self.deadline_missed + self.failed
     }
 }
 
@@ -227,8 +316,19 @@ impl fmt::Display for RuntimeReport {
             "batching: {} fused launches covering {} requests",
             self.batches, self.batched_requests
         )?;
+        writeln!(
+            f,
+            "resilience: {} retries, {} failovers, {} deadline-missed, {} failed, \
+             {} plan fallbacks, {} device evictions",
+            self.retries,
+            self.failovers,
+            self.deadline_missed,
+            self.failed,
+            self.plan_fallbacks,
+            self.device_evictions
+        )?;
         for d in &self.devices {
-            writeln!(
+            write!(
                 f,
                 "device {}: {} jobs, SM occupancy {:.1}%, busy until {:.3} ms",
                 d.device,
@@ -236,6 +336,20 @@ impl fmt::Display for RuntimeReport {
                 d.sm_occupancy * 100.0,
                 d.makespan_ms
             )?;
+            let fc = &d.faults;
+            if fc.transient_launch_failures + fc.stalled_dispatches + fc.lost_dispatches > 0
+                || fc.degraded_sms > 0
+            {
+                write!(
+                    f,
+                    " [faults: {} transient, {} stalled, {} lost, {} degraded SMs]",
+                    fc.transient_launch_failures,
+                    fc.stalled_dispatches,
+                    fc.lost_dispatches,
+                    fc.degraded_sms
+                )?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -246,8 +360,41 @@ impl fmt::Display for RuntimeReport {
 pub struct ServeResult {
     /// Per-request outcomes, in submission order.
     pub completions: Vec<Completion>,
+    /// Requests the runtime dropped (rejected, deadline-missed, or
+    /// failed), so every submission is accounted for.
+    pub dropped: Vec<DroppedRequest>,
     /// Aggregated metrics.
     pub report: RuntimeReport,
+}
+
+/// Health of one pool device as seen by the dispatcher.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceHealth {
+    /// Failures since the last success (reset on success or eviction).
+    consecutive_failures: u32,
+    /// The device sits out until this serving-clock time.
+    evicted_until_ms: f64,
+    /// Permanently lost (kill fault observed); never re-admitted.
+    dead: bool,
+}
+
+/// Counters one `serve` call accumulates across its submissions.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    retries: usize,
+    failovers: usize,
+    deadline_missed: usize,
+    failed: usize,
+    plan_fallbacks: usize,
+    device_evictions: usize,
+}
+
+/// How one submission (solo request or fused batch) resolved.
+enum SubmitOutcome {
+    /// The job ran; one completion per member.
+    Done(Vec<Completion>),
+    /// The whole job was dropped at `ts_ms` for this reason.
+    Dropped(DropReason, f64),
 }
 
 /// The serving runtime: device pool + plan cache + batcher + queue.
@@ -259,9 +406,14 @@ pub struct Runtime {
     heuristic: Heuristic,
     devices: Vec<DeviceSim>,
     streams: Vec<Vec<StreamId>>,
+    health: Vec<DeviceHealth>,
     cache: PlanCache,
     fp_memo: HashMap<usize, Fingerprint>,
     sink: Option<Arc<dyn TraceSink>>,
+    /// Seeded stream for retry jitter and chaos draws. Healthy serves
+    /// draw nothing from it, so fault-free behaviour is independent of
+    /// the seed.
+    rng: Prng,
 }
 
 /// The kernel name a schedule shows up as on the trace timeline.
@@ -303,6 +455,8 @@ impl Runtime {
         }
         Self {
             cache: PlanCache::new(cfg.plan_cache_capacity),
+            health: vec![DeviceHealth::default(); cfg.devices],
+            rng: Prng::seed_from_u64(cfg.retry_seed),
             cfg,
             spec,
             model,
@@ -312,6 +466,22 @@ impl Runtime {
             fp_memo: HashMap::new(),
             sink: None,
         }
+    }
+
+    /// Attach a [`FaultPlan`] to pool device `device`: its dispatches
+    /// run under the plan's degraded SMs, stall/kill windows, and
+    /// transient launch failures, and the runtime's retry / failover /
+    /// eviction machinery handles the fallout. Deterministic: the same
+    /// plans and request stream reproduce the same serve bitwise.
+    pub fn set_fault_plan(&mut self, device: usize, plan: FaultPlan) {
+        self.devices[device].set_fault_plan(plan);
+    }
+
+    /// Detach any fault plan from pool device `device` and clear its
+    /// health record (a fresh device in the same slot).
+    pub fn clear_fault_plan(&mut self, device: usize) {
+        self.devices[device].clear_fault_plan();
+        self.health[device] = DeviceHealth::default();
     }
 
     /// The pool's device architecture.
@@ -363,10 +533,12 @@ impl Runtime {
         });
 
         let mut completions: Vec<Completion> = Vec::with_capacity(order.len());
+        let mut dropped: Vec<DroppedRequest> = Vec::new();
         let mut in_flight: Vec<f64> = Vec::new(); // job end times
         let mut rejected = 0usize;
         let mut batches = 0usize;
         let mut batched_requests = 0usize;
+        let mut ctrs = ServeCounters::default();
         // Pending tiny requests: (request, effective submit time).
         let mut pending: Vec<(&Request, f64)> = Vec::new();
         let mut deadline = f64::INFINITY;
@@ -377,13 +549,44 @@ impl Runtime {
                     let at: f64 = $at;
                     let members = std::mem::take(&mut pending);
                     deadline = f64::INFINITY;
-                    if members.len() > 1 {
-                        batches += 1;
-                        batched_requests += members.len();
+                    // Members whose deadline already passed while waiting
+                    // for batch-mates are dropped before the launch forms
+                    // (a batch can time out whole if every member did).
+                    let mut live: Vec<(&Request, f64)> = Vec::with_capacity(members.len());
+                    for (r, pt) in members {
+                        if at > r.arrival_ms + self.cfg.deadline_ms {
+                            ctrs.deadline_missed += 1;
+                            dropped.push(DroppedRequest {
+                                id: r.id,
+                                ts_ms: at,
+                                reason: DropReason::DeadlineMissed,
+                            });
+                            self.emit(TraceEvent::Request {
+                                id: r.id,
+                                phase: RequestPhase::DeadlineMiss,
+                                ts_ms: at,
+                            });
+                        } else {
+                            live.push((r, pt));
+                        }
                     }
-                    let done = self.submit(&members, at)?;
-                    in_flight.push(done[0].end_ms);
-                    completions.extend(done);
+                    if !live.is_empty() {
+                        if live.len() > 1 {
+                            batches += 1;
+                            batched_requests += live.len();
+                        }
+                        match self.submit(&live, at, &mut ctrs)? {
+                            SubmitOutcome::Done(done) => {
+                                in_flight.push(done[0].end_ms);
+                                completions.extend(done);
+                            }
+                            SubmitOutcome::Dropped(reason, ts) => {
+                                for (r, _) in &live {
+                                    dropped.push(DroppedRequest { id: r.id, ts_ms: ts, reason });
+                                }
+                            }
+                        }
+                    }
                 }
             };
         }
@@ -417,6 +620,11 @@ impl Runtime {
                 match self.cfg.policy {
                     QueuePolicy::Reject => {
                         rejected += 1;
+                        dropped.push(DroppedRequest {
+                            id: r.id,
+                            ts_ms: t,
+                            reason: DropReason::Rejected,
+                        });
                         self.emit(TraceEvent::Request {
                             id: r.id,
                             phase: RequestPhase::Reject,
@@ -434,6 +642,22 @@ impl Runtime {
                     }
                 }
             }
+            // Deadline check at admission: a blocked queue may already
+            // have eaten the request's whole budget.
+            if t > r.arrival_ms + self.cfg.deadline_ms {
+                ctrs.deadline_missed += 1;
+                dropped.push(DroppedRequest {
+                    id: r.id,
+                    ts_ms: t,
+                    reason: DropReason::DeadlineMissed,
+                });
+                self.emit(TraceEvent::Request {
+                    id: r.id,
+                    phase: RequestPhase::DeadlineMiss,
+                    ts_ms: t,
+                });
+                continue;
+            }
             let tiny = self.cfg.batch_max > 1 && r.matrix.nnz() <= self.cfg.tiny_nnz;
             if tiny {
                 if pending.is_empty() {
@@ -449,9 +673,15 @@ impl Runtime {
                     flush_batch!(t);
                 }
             } else {
-                let done = self.submit(&[(r, t)], t)?;
-                in_flight.push(done[0].end_ms);
-                completions.extend(done);
+                match self.submit(&[(r, t)], t, &mut ctrs)? {
+                    SubmitOutcome::Done(done) => {
+                        in_flight.push(done[0].end_ms);
+                        completions.extend(done);
+                    }
+                    SubmitOutcome::Dropped(reason, ts) => {
+                        dropped.push(DroppedRequest { id: r.id, ts_ms: ts, reason });
+                    }
+                }
             }
         }
         if !pending.is_empty() {
@@ -483,6 +713,12 @@ impl Runtime {
             submitted: requests.len(),
             served: completions.len(),
             rejected,
+            deadline_missed: ctrs.deadline_missed,
+            failed: ctrs.failed,
+            retries: ctrs.retries,
+            failovers: ctrs.failovers,
+            plan_fallbacks: ctrs.plan_fallbacks,
+            device_evictions: ctrs.device_evictions,
             batches,
             batched_requests,
             cache: CacheStats {
@@ -503,22 +739,28 @@ impl Runtime {
                     jobs: d.jobs_done(),
                     sm_occupancy: d.sm_occupancy(),
                     makespan_ms: d.makespan_ms(),
+                    faults: d.fault_counters(),
                 })
                 .collect(),
         };
+        debug_assert!(report.reconciles(), "request accounting must balance");
         Ok(ServeResult {
             completions,
+            dropped,
             report,
         })
     }
 
     /// Run one job (solo request or fused batch) and place it on the
-    /// earliest-available stream at or after `submit_ms`.
+    /// earliest-available healthy stream at or after `submit_ms`,
+    /// retrying faulted dispatches with exponential backoff and failing
+    /// over across devices.
     fn submit(
         &mut self,
         members: &[(&Request, f64)],
         submit_ms: f64,
-    ) -> simt::Result<Vec<Completion>> {
+        ctrs: &mut ServeCounters,
+    ) -> simt::Result<SubmitOutcome> {
         // Execute functionally + time solo, via the plan cache for solo
         // requests; fused batches are one-off shapes and bypass it.
         let (run, cache_hit) = if members.len() == 1 {
@@ -529,16 +771,39 @@ impl Runtime {
                 .entry(Arc::as_ptr(a) as usize)
                 .or_insert_with(|| Fingerprint::of(a));
             let outcome = match self.cache.get(&fp) {
-                Some(plan) => (
-                    spmv_with_plan(&self.spec, &self.model, a, x, &plan)?,
-                    Some(true),
-                ),
+                // Graceful degradation: a cached plan whose launch fails
+                // is treated as poisoned — evict it and fall back to the
+                // heuristic path rather than failing the request.
+                Some(plan) => match spmv_with_plan(&self.spec, &self.model, a, x, &plan) {
+                    Ok(run) => (run, Some(true)),
+                    Err(_) => {
+                        self.cache.remove(&fp);
+                        ctrs.plan_fallbacks += 1;
+                        let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
+                        (
+                            spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?,
+                            Some(false),
+                        )
+                    }
+                },
                 None => {
                     let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
                     let run = spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?;
-                    let plan: SpmvPlan =
-                        plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)?;
-                    self.cache.insert(fp, Arc::new(plan));
+                    // Plan construction can fail (chaos-injected here;
+                    // in principle also a real setup failure): the
+                    // request is still served through the heuristic run
+                    // above — only the cache misses out.
+                    let prepared: simt::Result<SpmvPlan> = if self.cfg.plan_fail_prob > 0.0
+                        && self.rng.chance(self.cfg.plan_fail_prob)
+                    {
+                        Err(simt::LaunchError::EmptyLaunch)
+                    } else {
+                        plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)
+                    };
+                    match prepared {
+                        Ok(plan) => self.cache.insert(fp, Arc::new(plan)),
+                        Err(_) => ctrs.plan_fallbacks += 1,
+                    }
                     (run, Some(false))
                 }
             };
@@ -571,14 +836,108 @@ impl Runtime {
             )
         };
 
-        // Earliest-available stream; least-loaded device on ties.
-        let (dev_idx, stream) = self.pick_stream(submit_ms);
-        let job = self.devices[dev_idx].replay_named(
-            stream,
-            &run.report,
-            submit_ms,
-            schedule_label(run.schedule),
-        );
+        // Dispatch with bounded retry + failover. The job's deadline is
+        // the strictest member's (batches die whole once it passes —
+        // the fused launch cannot be split after the fact).
+        let job_deadline = members
+            .iter()
+            .fold(f64::INFINITY, |m, (r, _)| m.min(r.arrival_ms + self.cfg.deadline_ms));
+        let label = schedule_label(run.schedule);
+        let mut when = submit_ms;
+        let mut attempt = 0u32;
+        let mut first_device: Option<usize> = None;
+        let (dev_idx, stream, job) = loop {
+            let picked = self.pick_stream(when);
+            // The job must *start* by the deadline: check the earliest
+            // achievable start across the pool, not just the submit
+            // clock — a backed-up pool misses deadlines while idle
+            // clocks would not.
+            let earliest_start = picked
+                .map(|(di, s)| self.devices[di].stream_ready_ms(s).max(when))
+                .unwrap_or(when);
+            if earliest_start > job_deadline {
+                ctrs.deadline_missed += members.len();
+                for (r, _) in members {
+                    self.emit(TraceEvent::Request {
+                        id: r.id,
+                        phase: RequestPhase::DeadlineMiss,
+                        ts_ms: when,
+                    });
+                }
+                return Ok(SubmitOutcome::Dropped(DropReason::DeadlineMissed, when));
+            }
+            let Some((dev_idx, stream)) = picked else {
+                // No device admits work right now: jump to the earliest
+                // cooldown expiry, or give up if the pool is dead.
+                match self.earliest_readmission(when) {
+                    Some(at) => {
+                        when = at;
+                        continue;
+                    }
+                    None => {
+                        ctrs.failed += members.len();
+                        return Ok(SubmitOutcome::Dropped(DropReason::Failed, when));
+                    }
+                }
+            };
+            first_device.get_or_insert(dev_idx);
+            match self.devices[dev_idx].try_replay_named(stream, &run.report, when, label) {
+                Ok(mut job) => {
+                    self.health[dev_idx].consecutive_failures = 0;
+                    if first_device != Some(dev_idx) {
+                        ctrs.failovers += members.len();
+                    }
+                    // Failed attempts burned launch overhead; fold it
+                    // into the job's cumulative report without
+                    // re-charging SM time or traffic.
+                    for _ in 0..attempt {
+                        job.report
+                            .fold_failed_attempt(self.spec.launch_overhead_us * 1e-3);
+                    }
+                    break (dev_idx, stream, job);
+                }
+                Err(SimError::Launch(e)) => return Err(e),
+                Err(e) => {
+                    attempt += 1;
+                    ctrs.retries += 1;
+                    let at_ms = match e {
+                        SimError::DeviceLost { at_ms, .. }
+                        | SimError::TransientLaunch { at_ms, .. } => at_ms,
+                        SimError::Launch(_) => unreachable!("handled above"),
+                    };
+                    let h = &mut self.health[dev_idx];
+                    if matches!(e, SimError::DeviceLost { .. }) {
+                        if !h.dead {
+                            h.dead = true;
+                            ctrs.device_evictions += 1;
+                        }
+                    } else {
+                        h.consecutive_failures += 1;
+                        if h.consecutive_failures >= self.cfg.evict_after {
+                            h.evicted_until_ms = at_ms + self.cfg.cooldown_ms;
+                            h.consecutive_failures = 0;
+                            ctrs.device_evictions += 1;
+                        }
+                    }
+                    for (r, _) in members {
+                        self.emit(TraceEvent::Request {
+                            id: r.id,
+                            phase: RequestPhase::Retry,
+                            ts_ms: at_ms,
+                        });
+                    }
+                    if attempt > self.cfg.max_retries {
+                        ctrs.failed += members.len();
+                        return Ok(SubmitOutcome::Dropped(DropReason::Failed, at_ms));
+                    }
+                    // Exponential backoff with seeded jitter.
+                    let backoff = self.cfg.retry_backoff_ms
+                        * 2f64.powi(attempt as i32 - 1)
+                        * (1.0 + self.cfg.retry_jitter * self.rng.f64());
+                    when = when.max(at_ms) + backoff;
+                }
+            }
+        };
         if self.sink.is_some() {
             let batched = members.len() > 1;
             for (r, _) in members {
@@ -604,12 +963,32 @@ impl Runtime {
             }
         }
 
-        Ok(self.complete(members, &run, dev_idx, cache_hit, job.start_ms, job.end_ms))
+        Ok(SubmitOutcome::Done(self.complete(
+            members,
+            &run,
+            dev_idx,
+            cache_hit,
+            &job,
+            attempt + 1,
+        )))
     }
 
-    fn pick_stream(&self, submit_ms: f64) -> (usize, StreamId) {
+    /// Earliest-available stream among devices the runtime still
+    /// believes healthy; least-loaded device on ties. `None` if every
+    /// device is known-dead or cooling down at `submit_ms`.
+    ///
+    /// Deliberately *not* omniscient about injected kills: a dead device
+    /// is discovered by a failed dispatch (which marks
+    /// [`DeviceHealth::dead`] and counts an eviction), the way a real
+    /// scheduler learns from a lost launch rather than from the fault
+    /// injector.
+    fn pick_stream(&self, submit_ms: f64) -> Option<(usize, StreamId)> {
         let mut best: Option<(f64, f64, usize, StreamId)> = None;
         for (di, d) in self.devices.iter().enumerate() {
+            let h = &self.health[di];
+            if h.dead || h.evicted_until_ms > submit_ms {
+                continue;
+            }
             for &s in &self.streams[di] {
                 let start = d.stream_ready_ms(s).max(submit_ms);
                 let tie = d.makespan_ms();
@@ -624,8 +1003,19 @@ impl Runtime {
                 }
             }
         }
-        let (_, _, di, s) = best.expect("pool has at least one stream");
-        (di, s)
+        best.map(|(_, _, di, s)| (di, s))
+    }
+
+    /// The earliest time after `now` at which an evicted (but not dead)
+    /// device re-admits work; `None` if the whole pool is permanently
+    /// lost.
+    fn earliest_readmission(&self, now: f64) -> Option<f64> {
+        self.health
+            .iter()
+            .filter(|h| !h.dead)
+            .map(|h| h.evicted_until_ms)
+            .filter(|&t| t > now)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
     fn complete(
@@ -634,9 +1024,10 @@ impl Runtime {
         run: &SpmvRun,
         device: usize,
         cache_hit: Option<bool>,
-        start_ms: f64,
-        end_ms: f64,
+        job: &simt::JobReport,
+        attempts: u32,
     ) -> Vec<Completion> {
+        let (start_ms, end_ms) = (job.start_ms, job.end_ms);
         let batched = members.len() > 1;
         let ys: Vec<Option<Vec<f32>>> = if self.cfg.keep_results {
             if batched {
@@ -663,6 +1054,7 @@ impl Runtime {
                 batched,
                 cache_hit,
                 schedule: run.schedule,
+                attempts,
                 y,
             })
             .collect()
@@ -931,6 +1323,12 @@ mod tests {
             submitted: 5,
             served: 0,
             rejected: 5,
+            deadline_missed: 0,
+            failed: 0,
+            retries: 0,
+            failovers: 0,
+            plan_fallbacks: 0,
+            device_evictions: 0,
             batches: 0,
             batched_requests: 0,
             cache: CacheStats::default(),
@@ -1061,5 +1459,188 @@ mod tests {
         assert_eq!(out.report.cache.hits, 0);
         assert_eq!(out.report.cache.misses, 9);
         assert!(out.report.cache.evictions >= 6);
+    }
+
+    // ---- resilience ----------------------------------------------------
+
+    fn resilient_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            devices: 2,
+            keep_results: true,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_fault_plans_are_bitwise_transparent_to_serving() {
+        let m = corpus(3, 300);
+        let reqs = stream(&m, 80);
+        let serve = |plans: bool| {
+            let mut rt = Runtime::new(GpuSpec::v100(), resilient_cfg());
+            if plans {
+                for d in 0..2 {
+                    rt.set_fault_plan(d, FaultPlan::healthy(99));
+                }
+            }
+            rt.serve(&reqs).unwrap()
+        };
+        let base = serve(false);
+        let faulted = serve(true);
+        assert_eq!(base.report, faulted.report);
+        for (a, b) in base.completions.iter().zip(&faulted.completions) {
+            assert_eq!(a.y, b.y, "healthy plans must not perturb results");
+            assert_eq!(a.end_ms.to_bits(), b.end_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn flaky_launches_retry_and_still_serve_everything() {
+        let m = corpus(3, 310);
+        let reqs = stream(&m, 60);
+        let mut rt = Runtime::new(GpuSpec::v100(), resilient_cfg());
+        rt.set_fault_plan(0, FaultPlan::healthy(5).with_flaky_launches(0.3));
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(out.report.served, 60);
+        assert_eq!(out.report.failed, 0);
+        assert!(out.report.retries > 0, "30% flaky launches must trigger retries");
+        assert!(out.report.reconciles());
+        assert!(out.completions.iter().any(|c| c.attempts > 1));
+        assert!(out.report.devices[0].faults.transient_launch_failures > 0);
+    }
+
+    #[test]
+    fn killed_device_fails_over_without_losing_requests() {
+        let m = corpus(3, 320);
+        let reqs = stream(&m, 60);
+        let mut rt = Runtime::new(GpuSpec::v100(), resilient_cfg());
+        rt.set_fault_plan(0, FaultPlan::healthy(6).with_kill_at(0.3));
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(out.report.served, 60, "survivor absorbs all work");
+        assert_eq!(out.report.failed + out.report.rejected, 0);
+        assert!(out.report.device_evictions >= 1);
+        assert!(out.report.reconciles());
+        // No duplicated or lost ids.
+        let mut ids: Vec<u64> = out.completions.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 60);
+        // Work lands only on the survivor after the kill tick.
+        for c in &out.completions {
+            if c.start_ms >= 0.3 {
+                assert_eq!(c.device, 1, "dead device must not be scheduled");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_pool_dead_fails_requests_but_reconciles() {
+        let m = corpus(1, 330);
+        let reqs = stream(&m, 10);
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                devices: 1,
+                ..RuntimeConfig::default()
+            },
+        );
+        rt.set_fault_plan(0, FaultPlan::healthy(7).with_kill_at(0.0));
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(out.report.served, 0);
+        assert_eq!(out.report.failed, 10);
+        assert!(out.report.reconciles());
+        assert_eq!(out.dropped.len(), 10);
+        assert!(out
+            .dropped
+            .iter()
+            .all(|d| d.reason == DropReason::Failed));
+    }
+
+    #[test]
+    fn tight_deadlines_shed_late_requests() {
+        // A burst: every request arrives at t=0, so streams back up and
+        // late dispatches cannot start inside the deadline.
+        let m = corpus(2, 340);
+        let reqs: Vec<Request> = (0..80)
+            .map(|i| Request {
+                id: i,
+                matrix: Arc::clone(&m[(i % 2) as usize]),
+                x: Arc::from(
+                    sparse::dense::test_vector(m[(i % 2) as usize].cols()).into_boxed_slice(),
+                ),
+                arrival_ms: 0.0,
+            })
+            .collect();
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                deadline_ms: 0.05,
+                ..RuntimeConfig::default()
+            },
+        );
+        let out = rt.serve(&reqs).unwrap();
+        assert!(out.report.deadline_missed > 0, "0.05 ms deadline must shed load");
+        assert!(out.report.served > 0, "early requests still make it");
+        assert!(out.report.reconciles());
+        assert_eq!(
+            out.dropped
+                .iter()
+                .filter(|d| d.reason == DropReason::DeadlineMissed)
+                .count(),
+            out.report.deadline_missed
+        );
+    }
+
+    #[test]
+    fn plan_failures_degrade_to_heuristic_path() {
+        let m = corpus(3, 350);
+        let reqs = stream(&m, 30);
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                plan_fail_prob: 1.0,
+                batch_max: 1,
+                keep_results: true,
+                ..RuntimeConfig::default()
+            },
+        );
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(out.report.served, 30, "plan failures must not fail requests");
+        assert_eq!(out.report.plan_fallbacks, 30, "every prepare was chaos-failed");
+        assert_eq!(out.report.cache.hits, 0, "nothing ever cached");
+        assert!(out.report.reconciles());
+    }
+
+    #[test]
+    fn chaos_serving_is_seed_deterministic() {
+        let m = corpus(3, 360);
+        let reqs = stream(&m, 60);
+        let run = || {
+            let mut rt = Runtime::new(
+                GpuSpec::v100(),
+                RuntimeConfig {
+                    deadline_ms: 2.0,
+                    ..resilient_cfg()
+                },
+            );
+            rt.set_fault_plan(0, FaultPlan::healthy(11).with_flaky_launches(0.25));
+            rt.set_fault_plan(
+                1,
+                FaultPlan::healthy(12)
+                    .with_degraded_sms(0.2, 0.4, 0.8)
+                    .with_stall(0.5, 0.2),
+            );
+            rt.serve(&reqs).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.completions.len(), b.completions.len());
+        for (x, y) in a.completions.iter().zip(&b.completions) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.attempts, y.attempts);
+            assert_eq!(x.end_ms.to_bits(), y.end_ms.to_bits());
+            assert_eq!(x.y, y.y, "identical seeds must give identical results");
+        }
+        assert!(a.report.reconciles());
     }
 }

@@ -78,6 +78,80 @@ impl std::error::Error for LaunchError {}
 /// Convenience result alias for launch operations.
 pub type Result<T> = std::result::Result<T, LaunchError>;
 
+/// Errors produced when dispatching work onto a simulated device that may
+/// be running under an injected [`FaultPlan`](crate::fault::FaultPlan).
+///
+/// [`LaunchError`] covers *static* validation failures (a shape the device
+/// could never run); `SimError` adds the *dynamic* failures a resilient
+/// runtime must survive: devices dying mid-run and transient launch
+/// failures worth retrying. The fallible dispatch entry points
+/// ([`DeviceSim::try_launch_at`](crate::stream::DeviceSim::try_launch_at),
+/// [`DeviceSim::try_replay_named`](crate::stream::DeviceSim::try_replay_named))
+/// return this type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Static launch validation failed (never retryable).
+    Launch(LaunchError),
+    /// The device died (its [`FaultPlan`] kill tick passed); every future
+    /// dispatch to it fails too. Jobs whose execution would cross the
+    /// kill tick are lost and must be re-dispatched elsewhere.
+    DeviceLost {
+        /// Device index stamped on the device's trace events.
+        device: u32,
+        /// Device-clock time of the refused dispatch.
+        at_ms: f64,
+    },
+    /// A kernel launch failed transiently (driver hiccup, ECC retry);
+    /// the same dispatch may succeed if retried.
+    TransientLaunch {
+        /// Device index stamped on the device's trace events.
+        device: u32,
+        /// Device-clock time of the failed attempt.
+        at_ms: f64,
+    },
+}
+
+impl SimError {
+    /// True if retrying the same dispatch may succeed (on this device or
+    /// another): transient failures are retryable, a lost device is only
+    /// recoverable by failing over, and validation errors never are.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::TransientLaunch { .. } | Self::DeviceLost { .. })
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Launch(e) => write!(f, "launch validation failed: {e}"),
+            Self::DeviceLost { device, at_ms } => {
+                write!(f, "device {device} lost at {at_ms:.4} ms")
+            }
+            Self::TransientLaunch { device, at_ms } => {
+                write!(f, "transient launch failure on device {device} at {at_ms:.4} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Launch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LaunchError> for SimError {
+    fn from(e: LaunchError) -> Self {
+        Self::Launch(e)
+    }
+}
+
+/// Result alias for fault-aware dispatch operations.
+pub type SimResult<T> = std::result::Result<T, SimError>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +175,19 @@ mod tests {
     fn error_implements_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&LaunchError::EmptyLaunch);
+        takes_err(&SimError::DeviceLost { device: 0, at_ms: 1.0 });
+    }
+
+    #[test]
+    fn sim_errors_render_and_classify() {
+        let lost = SimError::DeviceLost { device: 2, at_ms: 1.25 };
+        assert!(lost.to_string().contains("device 2"));
+        assert!(lost.is_retryable(), "failover to another device can recover");
+        let transient = SimError::TransientLaunch { device: 0, at_ms: 0.5 };
+        assert!(transient.to_string().contains("transient"));
+        assert!(transient.is_retryable());
+        let bad = SimError::from(LaunchError::EmptyLaunch);
+        assert!(!bad.is_retryable());
+        assert!(std::error::Error::source(&bad).is_some());
     }
 }

@@ -1,0 +1,315 @@
+//! Deterministic fault injection — degraded, flaky, and dying devices.
+//!
+//! The paper's dynamic schedules exist because real work arrives skewed
+//! and unpredictable; real *hardware* is no kinder. A serving runtime
+//! must survive SMs that clock down, drivers that transiently refuse a
+//! launch, and devices that disappear mid-run. This module makes all of
+//! that injectable **deterministically**: a [`FaultPlan`] is a seeded
+//! description of what goes wrong, and identical seeds produce bitwise-
+//! identical fault sequences — every chaos run is replayable.
+//!
+//! Three injection surfaces:
+//!
+//! * **Per-SM throughput degradation** — each SM's multiplier is derived
+//!   statelessly from `(seed, sm)` ([`FaultPlan::sm_multiplier`]), so it
+//!   is identical no matter how many dispatches preceded it. Degradation
+//!   changes *timing only*: kernels execute functionally before timing
+//!   resolution, so results are bitwise unchanged (the schedule-oracle
+//!   tests assert this).
+//! * **Stall and kill windows** — a device refuses new work during
+//!   `[stall_at_ms, stall_at_ms + stall_ms)` (dispatches are pushed past
+//!   the window) and dies permanently at `kill_at_ms` (dispatches fail
+//!   with [`SimError::DeviceLost`](crate::error::SimError), and a replayed
+//!   job whose execution would cross the kill tick is lost mid-run).
+//! * **Transient launch failures** — each dispatch attempt draws from the
+//!   device's sequential fault stream; a failure surfaces as
+//!   [`SimError::TransientLaunch`](crate::error::SimError) and charges the
+//!   stream the launch overhead it wasted.
+//!
+//! Attach a plan to a device with
+//! [`DeviceSim::set_fault_plan`](crate::stream::DeviceSim::set_fault_plan)
+//! (stall/kill/transient + degrade), or scope one over the one-shot
+//! launch path with [`scoped`] (degrade only — the free launchers have no
+//! retry loop above them, so they only take the timing faults).
+//!
+//! Every fired fault is emitted as a [`TraceEvent::Fault`](trace::TraceEvent)
+//! through the device's attached sink, so chaos runs are observable on
+//! the same timeline as everything else.
+
+use std::cell::RefCell;
+
+/// Seeded description of everything that goes wrong on one device.
+///
+/// The default plan is healthy (all faults off); set individual knobs or
+/// use the builder-style helpers. All draws derive from `seed`, so two
+/// devices given the same plan fail identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every derived draw (per-SM multipliers, the per-dispatch
+    /// transient-failure stream).
+    pub seed: u64,
+    /// Probability that any given SM is degraded.
+    pub sm_degrade_prob: f64,
+    /// Throughput multiplier range `[lo, hi)` for degraded SMs; values
+    /// in `(0, 1]` (0.5 = the SM runs at half speed).
+    pub sm_degrade_range: (f64, f64),
+    /// Probability that any dispatch attempt fails transiently at launch.
+    pub launch_fail_prob: f64,
+    /// Start of a window during which the device accepts no new work.
+    pub stall_at_ms: Option<f64>,
+    /// Length of the stall window (ignored without `stall_at_ms`).
+    pub stall_ms: f64,
+    /// Device-clock time at which the device dies permanently.
+    pub kill_at_ms: Option<f64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::healthy(0)
+    }
+}
+
+impl FaultPlan {
+    /// A plan with every fault disabled.
+    pub fn healthy(seed: u64) -> Self {
+        Self {
+            seed,
+            sm_degrade_prob: 0.0,
+            sm_degrade_range: (0.5, 1.0),
+            launch_fail_prob: 0.0,
+            stall_at_ms: None,
+            stall_ms: 0.0,
+            kill_at_ms: None,
+        }
+    }
+
+    /// Degrade a fraction of SMs to multipliers drawn from `[lo, hi)`.
+    pub fn with_degraded_sms(mut self, prob: f64, lo: f64, hi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability in [0, 1]");
+        assert!(0.0 < lo && lo < hi && hi <= 1.0, "multipliers in (0, 1]");
+        self.sm_degrade_prob = prob;
+        self.sm_degrade_range = (lo, hi);
+        self
+    }
+
+    /// Fail each dispatch attempt transiently with probability `prob`.
+    pub fn with_flaky_launches(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability in [0, 1]");
+        self.launch_fail_prob = prob;
+        self
+    }
+
+    /// Refuse new work during `[at_ms, at_ms + for_ms)`.
+    pub fn with_stall(mut self, at_ms: f64, for_ms: f64) -> Self {
+        assert!(at_ms >= 0.0 && for_ms >= 0.0, "stall window must be non-negative");
+        self.stall_at_ms = Some(at_ms);
+        self.stall_ms = for_ms;
+        self
+    }
+
+    /// Kill the device permanently at `at_ms`.
+    pub fn with_kill_at(mut self, at_ms: f64) -> Self {
+        assert!(at_ms >= 0.0, "kill tick must be non-negative");
+        self.kill_at_ms = Some(at_ms);
+        self
+    }
+
+    /// True if the plan can permanently lose work (a kill tick is set).
+    /// Non-fatal plans may change timing but never results — the
+    /// invariant the schedule-oracle harness checks.
+    pub fn is_fatal(&self) -> bool {
+        self.kill_at_ms.is_some()
+    }
+
+    /// True if every fault is disabled.
+    pub fn is_healthy(&self) -> bool {
+        self.sm_degrade_prob <= 0.0
+            && self.launch_fail_prob <= 0.0
+            && self.stall_at_ms.is_none()
+            && self.kill_at_ms.is_none()
+    }
+
+    /// The throughput multiplier of SM `sm` under this plan (1.0 =
+    /// healthy). Derived statelessly from `(seed, sm)`, so the answer
+    /// does not depend on how many dispatches came before — the property
+    /// that keeps whole chaos runs replayable.
+    pub fn sm_multiplier(&self, sm: u32) -> f64 {
+        if self.sm_degrade_prob <= 0.0 {
+            return 1.0;
+        }
+        let mut rng = FaultRng::seed_from_u64(
+            self.seed ^ (u64::from(sm).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1),
+        );
+        if rng.f64() >= self.sm_degrade_prob {
+            return 1.0;
+        }
+        let (lo, hi) = self.sm_degrade_range;
+        rng.f64_range(lo, hi)
+    }
+}
+
+/// Counters of faults a device has actually fired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Dispatch attempts that failed transiently at launch.
+    pub transient_launch_failures: u64,
+    /// Dispatches delayed past a stall window.
+    pub stalled_dispatches: u64,
+    /// Dispatches refused (or jobs lost mid-run) because the device died.
+    pub lost_dispatches: u64,
+    /// SMs running degraded under the attached plan.
+    pub degraded_sms: u32,
+}
+
+/// Self-contained xoshiro256++ stream (seeded via SplitMix64) — the same
+/// generator as `sparse::Prng`, duplicated here because `simt` sits below
+/// `sparse` in the dependency graph and the workspace is offline-only.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRng {
+    s: [u64; 4],
+}
+
+impl FaultRng {
+    pub(crate) fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    pub(crate) fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub(crate) fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    pub(crate) fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+thread_local! {
+    static SCOPE: RefCell<Vec<FaultPlan>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Guard;
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Run `f` with `plan` installed as the current thread's fault context
+/// for the one-shot launch path ([`launch`](crate::launch::launch) and
+/// friends): per-SM degradation applies to their timing resolution.
+/// Stall/kill/transient faults need a dispatch clock and a retry policy
+/// above them, so they only fire on the
+/// [`DeviceSim`](crate::stream::DeviceSim) path. Scopes nest (innermost
+/// wins) and are panic-safe. Results are never affected — kernels
+/// execute functionally before timing, so a scoped plan changes the
+/// reported milliseconds and nothing else.
+pub fn scoped<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    SCOPE.with(|s| s.borrow_mut().push(plan));
+    let _guard = Guard;
+    f()
+}
+
+/// The innermost scoped fault plan, if any.
+pub(crate) fn current() -> Option<FaultPlan> {
+    SCOPE.with(|s| s.borrow().last().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_healthy_and_non_fatal() {
+        let p = FaultPlan::default();
+        assert!(p.is_healthy());
+        assert!(!p.is_fatal());
+        for sm in 0..128 {
+            assert_eq!(p.sm_multiplier(sm), 1.0);
+        }
+    }
+
+    #[test]
+    fn sm_multipliers_are_deterministic_and_stateless() {
+        let p = FaultPlan::healthy(42).with_degraded_sms(0.5, 0.3, 0.9);
+        let a: Vec<f64> = (0..80).map(|i| p.sm_multiplier(i)).collect();
+        let b: Vec<f64> = (0..80).map(|i| p.sm_multiplier(i)).collect();
+        assert_eq!(a, b, "same (seed, sm) → same multiplier, bitwise");
+        let degraded = a.iter().filter(|&&m| m < 1.0).count();
+        assert!(degraded > 10 && degraded < 70, "~half degraded, got {degraded}");
+        for &m in &a {
+            assert!((0.3..=1.0).contains(&m), "multiplier {m} out of range");
+        }
+        // A different seed draws a different degradation pattern.
+        let q = FaultPlan::healthy(43).with_degraded_sms(0.5, 0.3, 0.9);
+        let c: Vec<f64> = (0..80).map(|i| q.sm_multiplier(i)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fatal_plans_are_flagged() {
+        assert!(FaultPlan::healthy(1).with_kill_at(5.0).is_fatal());
+        assert!(!FaultPlan::healthy(1).with_flaky_launches(0.5).is_fatal());
+        assert!(!FaultPlan::healthy(1).with_stall(1.0, 2.0).is_fatal());
+    }
+
+    #[test]
+    fn scoped_installs_nests_and_unwinds() {
+        assert!(current().is_none());
+        let outer = FaultPlan::healthy(1).with_degraded_sms(0.9, 0.4, 0.5);
+        let inner = FaultPlan::healthy(2).with_degraded_sms(0.1, 0.4, 0.5);
+        scoped(outer, || {
+            assert_eq!(current().unwrap().seed, 1);
+            scoped(inner, || assert_eq!(current().unwrap().seed, 2));
+            assert_eq!(current().unwrap().seed, 1);
+        });
+        assert!(current().is_none());
+        let r = std::panic::catch_unwind(|| scoped(outer, || panic!("boom")));
+        assert!(r.is_err());
+        assert!(current().is_none(), "guard must pop on unwind");
+    }
+
+    #[test]
+    fn fault_rng_matches_xoshiro_reference_behaviour() {
+        // Same determinism contract as sparse::Prng: one seed, one stream.
+        let mut a = FaultRng::seed_from_u64(7);
+        let mut b = FaultRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut r = FaultRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03, "hits = {hits}");
+    }
+}

@@ -72,6 +72,7 @@ pub mod block;
 pub mod cache;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod group;
 pub mod lane;
 pub mod launch;
@@ -88,7 +89,8 @@ pub mod tracing;
 pub use block::BlockCtx;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use cost::{CostModel, MemCounters};
-pub use error::{LaunchError, Result};
+pub use error::{LaunchError, Result, SimError, SimResult};
+pub use fault::{FaultCounters, FaultPlan};
 pub use group::GroupCtx;
 pub use lane::LaneCtx;
 pub use launch::{

@@ -67,6 +67,13 @@ pub fn device_time_traced(
     let mut mem = MemSummary::default();
     let mut total_units = 0.0;
     let cycles_to_ms = 1.0 / (spec.clock_ghz * 1e9) * 1e3;
+    // A thread-scoped fault plan (`fault::scoped`) degrades individual
+    // SMs' issue throughput. Timing-only: results were computed before
+    // this function runs. Without a degrading plan nothing is even
+    // touched, keeping the healthy path bitwise identical.
+    let fault_mults: Option<Vec<f64>> = crate::fault::current()
+        .filter(|p| p.sm_degrade_prob > 0.0)
+        .map(|p| (0..num_sms).map(|i| p.sm_multiplier(i as u32)).collect());
 
     for (bi, b) in blocks.iter().enumerate() {
         // Greedy: dispatch to the SM that currently finishes earliest.
@@ -83,8 +90,9 @@ pub fn device_time_traced(
         let units = b.total_units();
         total_units += units;
         let start = load[sm];
-        load[sm] += units / eff_issue;
-        critical[sm] = critical[sm].max(b.critical_warp());
+        let m = fault_mults.as_ref().map_or(1.0, |v| v[sm]);
+        load[sm] += units / eff_issue / m;
+        critical[sm] = critical[sm].max(b.critical_warp() / m);
         mem = mem.merged(b.mem);
         if let Some(t) = trace {
             t.sink.event(&TraceEvent::Block {
@@ -318,6 +326,29 @@ mod tests {
                 assert!((*sm as usize) < spec.num_sms as usize);
             }
         }
+    }
+
+    #[test]
+    fn scoped_fault_plan_degrades_timing_deterministically() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let o = occ(&spec);
+        let blocks: Vec<_> = (0..160).map(|_| block_of(&[100.0; 8])).collect();
+        let healthy = device_time(&spec, &model, &blocks, &o);
+        let plan = crate::fault::FaultPlan::healthy(5).with_degraded_sms(0.5, 0.25, 0.75);
+        let degraded = crate::fault::scoped(plan, || device_time(&spec, &model, &blocks, &o));
+        assert!(
+            degraded.compute_ms > healthy.compute_ms,
+            "degraded {} vs healthy {}",
+            degraded.compute_ms,
+            healthy.compute_ms
+        );
+        let again = crate::fault::scoped(plan, || device_time(&spec, &model, &blocks, &o));
+        assert_eq!(degraded, again, "same plan, bitwise-identical timing");
+        let noop = crate::fault::scoped(crate::fault::FaultPlan::healthy(5), || {
+            device_time(&spec, &model, &blocks, &o)
+        });
+        assert_eq!(noop, healthy, "non-degrading plan is bitwise transparent");
     }
 
     #[test]

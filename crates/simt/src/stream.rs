@@ -29,12 +29,13 @@
 //! schedules — what the serving experiments report — are unaffected.
 
 use crate::cost::{CostModel, MemSummary};
-use crate::error::Result;
+use crate::error::{Result, SimError, SimResult};
+use crate::fault::{FaultCounters, FaultPlan, FaultRng};
 use crate::launch::{run_blocks, validate, BlockKernel, LaunchConfig};
 use crate::report::{Boundedness, LaunchReport, TimingBreakdown};
 use crate::spec::GpuSpec;
 use std::sync::Arc;
-use trace::{KernelId, StreamOpKind, TraceEvent, TraceSink};
+use trace::{FaultKind, KernelId, StreamOpKind, TraceEvent, TraceSink};
 
 /// Handle to one FIFO work queue on a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,6 +93,17 @@ struct StreamState {
     busy_ms: f64,
 }
 
+/// Live fault-injection state of one device: the attached plan, the
+/// per-SM multipliers derived from it, the sequential per-dispatch
+/// transient-failure stream, and counters of what actually fired.
+#[derive(Debug, Clone)]
+struct DeviceFaults {
+    plan: FaultPlan,
+    multipliers: Vec<f64>,
+    rng: FaultRng,
+    counters: FaultCounters,
+}
+
 /// One simulated device with a shared SM timeline, multiple streams, and
 /// events. The in-flight-kernel counterpart of [`GpuSpec`] +
 /// [`launch`](crate::launch::launch).
@@ -111,6 +123,9 @@ pub struct DeviceSim {
     sink: Option<Arc<dyn TraceSink>>,
     /// Device index stamped on emitted events.
     device_id: u32,
+    /// Injected fault state; `None` keeps every path bitwise identical
+    /// to a healthy device.
+    faults: Option<DeviceFaults>,
 }
 
 impl DeviceSim {
@@ -133,6 +148,7 @@ impl DeviceSim {
             makespan_ms: 0.0,
             sink: None,
             device_id: 0,
+            faults: None,
         }
     }
 
@@ -153,6 +169,135 @@ impl DeviceSim {
     /// Detach any trace sink.
     pub fn clear_trace(&mut self) {
         self.sink = None;
+    }
+
+    /// Attach a fault plan: subsequent dispatches run under the plan's
+    /// degraded SMs, stall/kill windows, and transient launch failures.
+    /// Derives the per-SM multipliers now (emitting one
+    /// [`TraceEvent::Fault`] per degraded SM) and resets the plan's
+    /// per-dispatch failure stream, so attaching the same plan twice
+    /// reproduces the same fault sequence bitwise. Use the `try_*`
+    /// dispatch entry points after this — the infallible ones panic if a
+    /// fault fires.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let multipliers: Vec<f64> = (0..self.sm_free.len())
+            .map(|i| plan.sm_multiplier(i as u32))
+            .collect();
+        let mut counters = FaultCounters::default();
+        for &m in &multipliers {
+            if m < 1.0 {
+                counters.degraded_sms += 1;
+                if let Some(sink) = &self.sink {
+                    sink.event(&TraceEvent::Fault {
+                        device: self.device_id,
+                        kind: FaultKind::SmDegraded,
+                        ts_ms: 0.0,
+                        value: m,
+                    });
+                }
+            }
+        }
+        self.faults = Some(DeviceFaults {
+            rng: FaultRng::seed_from_u64(plan.seed),
+            plan,
+            multipliers,
+            counters,
+        });
+    }
+
+    /// Detach any fault plan; the device is healthy again (counters are
+    /// discarded — read [`Self::fault_counters`] first if needed).
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Counters of faults that have actually fired (all zero without a
+    /// plan).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.as_ref().map(|f| f.counters).unwrap_or_default()
+    }
+
+    /// True if the attached plan's kill tick has passed at `t_ms`: every
+    /// dispatch at or after that time fails with
+    /// [`SimError::DeviceLost`].
+    pub fn is_dead_at(&self, t_ms: f64) -> bool {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.plan.kill_at_ms)
+            .is_some_and(|k| t_ms >= k)
+    }
+
+    /// The throughput multiplier of SM `sm` under the attached plan
+    /// (1.0 when healthy). Dividing a time by 1.0 is bit-exact, so the
+    /// no-plan and healthy-plan paths stay bitwise identical.
+    fn sm_mult(&self, sm: usize) -> f64 {
+        match &self.faults {
+            Some(f) => f.multipliers[sm],
+            None => 1.0,
+        }
+    }
+
+    /// Run one dispatch attempt through the attached plan's fault
+    /// sequence: push the start past any stall window, refuse it if the
+    /// device is dead, then draw from the transient-failure stream. A
+    /// transient failure still burns the launch overhead at the head of
+    /// `stream_idx`, so a retry on the same stream starts later. Returns
+    /// the (possibly stalled) start time.
+    fn fault_gate(&mut self, stream_idx: usize, mut start: f64) -> SimResult<f64> {
+        let device = self.device_id;
+        let overhead_ms = self.spec.launch_overhead_us * 1e-3;
+        let Some(f) = self.faults.as_mut() else {
+            return Ok(start);
+        };
+        if let Some(at) = f.plan.stall_at_ms {
+            let window_end = at + f.plan.stall_ms;
+            if start >= at && start < window_end {
+                f.counters.stalled_dispatches += 1;
+                if let Some(sink) = &self.sink {
+                    sink.event(&TraceEvent::Fault {
+                        device,
+                        kind: FaultKind::Stall,
+                        ts_ms: start,
+                        value: window_end,
+                    });
+                }
+                start = window_end;
+            }
+        }
+        if let Some(kill) = f.plan.kill_at_ms {
+            if start >= kill {
+                f.counters.lost_dispatches += 1;
+                if let Some(sink) = &self.sink {
+                    sink.event(&TraceEvent::Fault {
+                        device,
+                        kind: FaultKind::DeviceLost,
+                        ts_ms: start,
+                        value: start,
+                    });
+                }
+                return Err(SimError::DeviceLost { device, at_ms: start });
+            }
+        }
+        if f.plan.launch_fail_prob > 0.0 && f.rng.chance(f.plan.launch_fail_prob) {
+            f.counters.transient_launch_failures += 1;
+            if let Some(sink) = &self.sink {
+                sink.event(&TraceEvent::Fault {
+                    device,
+                    kind: FaultKind::TransientLaunch,
+                    ts_ms: start,
+                    value: start,
+                });
+            }
+            let st = &mut self.streams[stream_idx];
+            st.ready_ms = st.ready_ms.max(start + overhead_ms);
+            return Err(SimError::TransientLaunch { device, at_ms: start });
+        }
+        Ok(start)
     }
 
     /// Open a new stream (its FIFO starts empty and ready at t = 0).
@@ -179,6 +324,12 @@ impl DeviceSim {
     /// `not_before_ms` on the device clock (an arrival time in a serving
     /// workload). Executes the kernel functionally now; resolves its
     /// timing against the shared SM timeline and returns the placement.
+    ///
+    /// Infallible with respect to injected faults: if the device has a
+    /// [`FaultPlan`] and a dynamic fault fires, this panics — callers
+    /// that attach plans must use [`Self::try_launch_at`] and handle
+    /// [`SimError`]. (Degraded SMs never fail a dispatch, so plans that
+    /// only degrade are safe on this path.)
     pub fn launch_at<K: BlockKernel>(
         &mut self,
         stream: StreamId,
@@ -186,7 +337,32 @@ impl DeviceSim {
         kernel: &K,
         not_before_ms: f64,
     ) -> Result<JobReport> {
+        match self.try_launch_at(stream, cfg, kernel, not_before_ms) {
+            Ok(j) => Ok(j),
+            Err(SimError::Launch(e)) => Err(e),
+            Err(e) => panic!("injected fault on infallible dispatch path: {e}; use try_launch_at"),
+        }
+    }
+
+    /// [`Self::launch_at`] for devices running under a [`FaultPlan`]:
+    /// surfaces dynamic faults ([`SimError::DeviceLost`],
+    /// [`SimError::TransientLaunch`]) instead of panicking, so a runtime
+    /// can retry or fail over. Stall windows delay the start; degraded
+    /// SMs stretch per-SM drain times (timing only — functional results
+    /// are computed before timing resolution and are never affected).
+    pub fn try_launch_at<K: BlockKernel>(
+        &mut self,
+        stream: StreamId,
+        cfg: LaunchConfig,
+        kernel: &K,
+        not_before_ms: f64,
+    ) -> SimResult<JobReport> {
         let occ = validate(&self.spec, &cfg)?;
+        let s = stream.0 as usize;
+        assert!(s < self.streams.len(), "unknown stream {stream:?}");
+        let start = self.streams[s].ready_ms.max(not_before_ms);
+        let start = self.fault_gate(s, start)?;
+
         // Explicit sink wins; fall back to a thread-scoped one so
         // `simt::tracing::scoped` also covers stream launches.
         let scoped = if self.sink.is_none() {
@@ -203,10 +379,6 @@ impl DeviceSim {
         let t0 = std::time::Instant::now();
         let blocks = run_blocks(&self.spec, &self.model, &cfg, kernel, sink.is_some())?;
         let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-        let s = stream.0 as usize;
-        assert!(s < self.streams.len(), "unknown stream {stream:?}");
-        let start = self.streams[s].ready_ms.max(not_before_ms);
 
         // Greedy block dispatch against the shared per-SM timeline,
         // mirroring `scheduler::device_time` but with non-zero SM start
@@ -235,9 +407,13 @@ impl DeviceSim {
                 });
             let units = b.total_units();
             total_units += units;
+            // A degraded SM drains its queue slower (÷ its throughput
+            // multiplier); ÷1.0 is bit-exact, so healthy paths are
+            // bitwise unchanged.
+            let m = self.sm_mult(sm);
             let block_start = t[sm];
-            t[sm] += units / eff_issue * cycles_to_ms;
-            critical[sm] = critical[sm].max(b.critical_warp() * cycles_to_ms);
+            t[sm] += units / eff_issue * cycles_to_ms / m;
+            critical[sm] = critical[sm].max(b.critical_warp() * cycles_to_ms / m);
             used[sm] = true;
             mem = mem.merged(b.mem);
             if let (Some((sink, _)), Some(kid)) = (sink, kernel_id) {
@@ -385,6 +561,10 @@ impl DeviceSim {
     /// [`Self::replay`] with an explicit kernel name for the trace; the
     /// serving runtime passes the schedule label here so the Perfetto
     /// timeline reads "spmv/merge-path" instead of "replay".
+    ///
+    /// Infallible with respect to injected faults: panics if a dynamic
+    /// fault fires — devices with a [`FaultPlan`] attached must use
+    /// [`Self::try_replay_named`].
     pub fn replay_named(
         &mut self,
         stream: StreamId,
@@ -392,9 +572,31 @@ impl DeviceSim {
         not_before_ms: f64,
         name: &'static str,
     ) -> JobReport {
+        match self.try_replay_named(stream, report, not_before_ms, name) {
+            Ok(j) => j,
+            Err(e) => panic!("injected fault on infallible replay path: {e}; use try_replay_named"),
+        }
+    }
+
+    /// [`Self::replay_named`] for devices running under a [`FaultPlan`]:
+    /// surfaces dynamic faults instead of panicking. Beyond the dispatch
+    /// gate (stall / dead device / transient launch failure), a replayed
+    /// job whose execution would still be running at the plan's kill
+    /// tick is **lost mid-run**: the call fails with
+    /// [`SimError::DeviceLost`] and commits *nothing* — no SM time, no
+    /// stream advance, no trace spans — so the caller re-dispatches the
+    /// whole job on a surviving device without double-charging this one.
+    pub fn try_replay_named(
+        &mut self,
+        stream: StreamId,
+        report: &LaunchReport,
+        not_before_ms: f64,
+        name: &'static str,
+    ) -> SimResult<JobReport> {
         let s = stream.0 as usize;
         assert!(s < self.streams.len(), "unknown stream {stream:?}");
         let start = self.streams[s].ready_ms.max(not_before_ms);
+        let start = self.fault_gate(s, start)?;
 
         let num_sms = self.sm_free.len();
         let solo_sms = report.timing.sm_times_ms.len().max(1);
@@ -405,7 +607,9 @@ impl DeviceSim {
             0
         };
 
-        // Occupy the k least-loaded SMs for `span` each.
+        // Plan the placement first (k least-loaded SMs, `span` each on
+        // the SM's own clock, stretched on degraded SMs); commit only
+        // after the kill check below so a lost job leaves no trace.
         let mut order: Vec<usize> = (0..num_sms).collect();
         order.sort_by(|&a, &b| {
             self.sm_free[a]
@@ -413,24 +617,14 @@ impl DeviceSim {
                 .expect("SM times are finite")
                 .then(a.cmp(&b))
         });
-        let kernel_id = self.sink.as_ref().map(|_| KernelId::next());
+        order.truncate(k);
+        let mut placements: Vec<(usize, f64, f64)> = Vec::with_capacity(k);
         let mut compute_end = start;
-        for (bi, &i) in order.iter().take(k).enumerate() {
+        for &i in &order {
             let job_start_i = self.sm_free[i].max(start);
-            let end_i = job_start_i + span;
-            self.sm_busy[i] += span;
-            self.sm_free[i] = self.sm_free[i].max(end_i);
+            let end_i = job_start_i + span / self.sm_mult(i);
+            placements.push((i, job_start_i, end_i));
             compute_end = compute_end.max(end_i);
-            if let (Some(sink), Some(kid)) = (&self.sink, kernel_id) {
-                sink.event(&TraceEvent::Block {
-                    kernel: kid,
-                    device: self.device_id,
-                    block: bi as u32,
-                    sm: i as u32,
-                    start_ms: job_start_i,
-                    end_ms: end_i,
-                });
-            }
         }
         let compute_ms = compute_end - start;
         let utilization = if num_sms > 0 {
@@ -447,6 +641,46 @@ impl DeviceSim {
             report.mem.total_bytes() as f64 / (self.spec.mem_bw_gbs * 1e9 * bw_frac) * 1e3;
         let overhead_ms = report.timing.overhead_ms;
         let end = compute_ms.max(memory_ms) + overhead_ms + start;
+
+        // Mid-run kill: the job started before the kill tick but would
+        // still be running when the device dies — it is lost, and
+        // nothing above was committed.
+        if let Some(f) = self.faults.as_mut() {
+            if let Some(kill) = f.plan.kill_at_ms {
+                if end > kill {
+                    f.counters.lost_dispatches += 1;
+                    if let Some(sink) = &self.sink {
+                        sink.event(&TraceEvent::Fault {
+                            device: self.device_id,
+                            kind: FaultKind::DeviceLost,
+                            ts_ms: kill,
+                            value: start,
+                        });
+                    }
+                    return Err(SimError::DeviceLost {
+                        device: self.device_id,
+                        at_ms: kill,
+                    });
+                }
+            }
+        }
+
+        // Commit the planned placement.
+        let kernel_id = self.sink.as_ref().map(|_| KernelId::next());
+        for (bi, &(i, job_start_i, end_i)) in placements.iter().enumerate() {
+            self.sm_busy[i] += end_i - job_start_i;
+            self.sm_free[i] = self.sm_free[i].max(end_i);
+            if let (Some(sink), Some(kid)) = (&self.sink, kernel_id) {
+                sink.event(&TraceEvent::Block {
+                    kernel: kid,
+                    device: self.device_id,
+                    block: bi as u32,
+                    sm: i as u32,
+                    start_ms: job_start_i,
+                    end_ms: end_i,
+                });
+            }
+        }
 
         if let (Some(sink), Some(kid)) = (&self.sink, kernel_id) {
             sink.event(&TraceEvent::Kernel {
@@ -473,12 +707,12 @@ impl DeviceSim {
         rep.timing.memory_ms = memory_ms;
         rep.timing.elapsed_ms = end - start;
         rep.timing.sm_utilization = utilization;
-        JobReport {
+        Ok(JobReport {
             stream,
             start_ms: start,
             end_ms: end,
             report: rep,
-        }
+        })
     }
 
     /// Record an event on `stream`: it resolves when everything enqueued
@@ -834,6 +1068,177 @@ mod tests {
             .kernels()
             .any(|k| matches!(k, TraceEvent::Kernel { name: "spmv/merge-path", .. })));
         assert!(data.blocks > 0, "footprint blocks recorded");
+    }
+
+    fn solo_report(spec: &GpuSpec, cfg: LaunchConfig, units: f64) -> LaunchReport {
+        crate::launch::launch_with_model(spec, &CostModel::standard(), cfg, &charge_kernel(units))
+            .unwrap()
+    }
+
+    #[test]
+    fn healthy_fault_plan_is_bitwise_transparent() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        let solo = solo_report(&spec, cfg, 50_000.0);
+        let run = |plan: Option<FaultPlan>| {
+            let mut dev = DeviceSim::new(spec.clone());
+            if let Some(p) = plan {
+                dev.set_fault_plan(p);
+            }
+            let s = dev.create_stream();
+            let j1 = dev.try_launch_at(s, cfg, &charge_kernel(1_000.0), 0.0).unwrap();
+            let j2 = dev.try_replay_named(s, &solo, 0.0, "replay").unwrap();
+            (j1.start_ms, j1.end_ms, j2.start_ms, j2.end_ms, dev.makespan_ms())
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::healthy(99))));
+        assert_eq!(
+            DeviceSim::new(spec).fault_counters(),
+            FaultCounters::default()
+        );
+    }
+
+    #[test]
+    fn degraded_sms_stretch_timing_but_never_results() {
+        let spec = GpuSpec::v100();
+        let plan = FaultPlan::healthy(11).with_degraded_sms(0.6, 0.3, 0.7);
+        let n = 512usize;
+        let run = |plan: Option<FaultPlan>| {
+            let mut dev = DeviceSim::new(spec.clone());
+            if let Some(p) = plan {
+                dev.set_fault_plan(p);
+            }
+            let s = dev.create_stream();
+            let mut out = vec![0u64; n];
+            let end = {
+                let g = crate::memory::GlobalMem::new(&mut out);
+                dev.try_launch_at(
+                    s,
+                    LaunchConfig::over_threads(n as u64, 64),
+                    &|blk: &mut BlockCtx<'_>| {
+                        blk.for_each_thread(|t| {
+                            let i = t.global_thread_id() as usize;
+                            if i < n {
+                                g.store(i, i as u64 * 5);
+                                t.charge(200.0);
+                            }
+                        });
+                    },
+                    0.0,
+                )
+                .unwrap()
+                .end_ms
+            };
+            (out, end)
+        };
+        let (healthy_out, healthy_end) = run(None);
+        let (degraded_out, degraded_end) = run(Some(plan));
+        assert_eq!(healthy_out, degraded_out, "degradation is timing-only");
+        assert!(
+            degraded_end > healthy_end,
+            "degraded {degraded_end} vs healthy {healthy_end}"
+        );
+        let mut dev = DeviceSim::new(spec);
+        dev.set_fault_plan(plan);
+        assert!(dev.fault_counters().degraded_sms > 0);
+    }
+
+    #[test]
+    fn stall_window_pushes_dispatches_past_it() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        let solo = solo_report(&spec, cfg, 50_000.0);
+        let mut dev = DeviceSim::new(spec);
+        dev.set_fault_plan(FaultPlan::healthy(1).with_stall(2.0, 3.0));
+        let s = dev.create_stream();
+        let j = dev.try_replay_named(s, &solo, 2.5, "replay").unwrap();
+        assert_eq!(j.start_ms, 5.0, "start pushed to the stall window's end");
+        assert_eq!(dev.fault_counters().stalled_dispatches, 1);
+        // Dispatches outside the window are untouched.
+        let j2 = dev.try_replay_named(s, &solo, 0.0, "replay").unwrap();
+        assert_eq!(j2.start_ms, j.end_ms);
+    }
+
+    #[test]
+    fn killed_device_refuses_work_and_loses_mid_run_jobs_without_commit() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(40, 256);
+        let solo = solo_report(&spec, cfg, 200_000.0);
+        assert!(solo.elapsed_ms() > 0.05, "need a job long enough to cross the kill tick");
+        let mut dev = DeviceSim::new(spec);
+        dev.set_fault_plan(FaultPlan::healthy(1).with_kill_at(solo.elapsed_ms() * 0.5));
+        let s = dev.create_stream();
+        // Starts before the kill tick but would finish after it: lost.
+        let err = dev.try_replay_named(s, &solo, 0.0, "replay").unwrap_err();
+        assert!(matches!(err, SimError::DeviceLost { .. }));
+        assert!(err.is_retryable());
+        // Nothing committed: the device looks untouched.
+        assert_eq!(dev.jobs_done(), 0);
+        assert_eq!(dev.stream_ready_ms(s), 0.0);
+        assert_eq!(dev.makespan_ms(), 0.0);
+        // At/after the kill tick the device is dead to new work too.
+        assert!(dev.is_dead_at(solo.elapsed_ms()));
+        let err = dev
+            .try_replay_named(s, &solo, solo.elapsed_ms(), "replay")
+            .unwrap_err();
+        assert!(matches!(err, SimError::DeviceLost { .. }));
+        assert_eq!(dev.fault_counters().lost_dispatches, 2);
+        // A short job that completes before the kill tick still runs.
+        let quick = solo_report(dev.spec(), LaunchConfig::new(8, 64), 10.0);
+        let j = dev.try_replay_named(s, &quick, 0.0, "replay").unwrap();
+        assert!(j.end_ms < solo.elapsed_ms() * 0.5);
+        assert_eq!(dev.jobs_done(), 1);
+    }
+
+    #[test]
+    fn transient_failures_are_seed_deterministic_and_burn_overhead() {
+        let spec = GpuSpec::v100();
+        let cfg = LaunchConfig::new(8, 64);
+        let solo = solo_report(&spec, cfg, 100.0);
+        let plan = FaultPlan::healthy(21).with_flaky_launches(0.4);
+        let run = |plan: FaultPlan| {
+            let mut dev = DeviceSim::new(spec.clone());
+            dev.set_fault_plan(plan);
+            let s = dev.create_stream();
+            let pattern: Vec<bool> = (0..32)
+                .map(|_| dev.try_replay_named(s, &solo, 0.0, "replay").is_ok())
+                .collect();
+            (pattern, dev.stream_ready_ms(s), dev.fault_counters())
+        };
+        let (pat_a, ready_a, counters_a) = run(plan);
+        let (pat_b, ready_b, counters_b) = run(plan);
+        assert_eq!(pat_a, pat_b, "same seed, same failure sequence");
+        assert_eq!(ready_a, ready_b, "bitwise-identical timelines");
+        assert_eq!(counters_a, counters_b);
+        let fails = pat_a.iter().filter(|ok| !**ok).count();
+        assert!(fails > 3 && fails < 29, "~40% failures, got {fails}/32");
+        assert_eq!(counters_a.transient_launch_failures, fails as u64);
+        // A failed attempt burned launch overhead at the stream head.
+        let mut healthy = DeviceSim::new(spec.clone());
+        let hs = healthy.create_stream();
+        for _ in pat_a.iter().filter(|ok| **ok) {
+            healthy.replay_named(hs, &solo, 0.0, "replay");
+        }
+        assert!(
+            ready_a > healthy.stream_ready_ms(hs),
+            "flaky stream {ready_a} should trail healthy {}",
+            healthy.stream_ready_ms(hs)
+        );
+        // A different seed draws a different sequence.
+        let (pat_c, _, _) = run(FaultPlan::healthy(22).with_flaky_launches(0.4));
+        assert_ne!(pat_a, pat_c);
+    }
+
+    #[test]
+    fn infallible_paths_panic_on_injected_faults() {
+        let spec = GpuSpec::v100();
+        let solo = solo_report(&spec, LaunchConfig::new(8, 64), 100.0);
+        let mut dev = DeviceSim::new(spec);
+        dev.set_fault_plan(FaultPlan::healthy(1).with_kill_at(0.0));
+        let s = dev.create_stream();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.replay_named(s, &solo, 0.0, "replay");
+        }));
+        assert!(r.is_err(), "replay_named must panic on a dead device");
     }
 
     #[test]

@@ -221,6 +221,22 @@ fn render(ev: &TraceEvent) -> Option<String> {
                 .num_field("tid", 0.0)
                 .raw_field("args", &args(&[("value", value)]));
         }
+        TraceEvent::Fault {
+            device,
+            kind,
+            ts_ms,
+            value,
+        } => {
+            o.str_field("name", kind.name())
+                .str_field("cat", "fault")
+                .str_field("ph", "i")
+                .str_field("s", "g")
+                .num_field("ts", ts_ms * MS_TO_US)
+                .num_field("dur", 0.0)
+                .num_field("pid", f64::from(device))
+                .num_field("tid", 0.0)
+                .raw_field("args", &args(&[("value", value)]));
+        }
         TraceEvent::Warp { .. } => return None,
     }
     Some(o.finish())

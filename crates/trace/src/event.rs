@@ -55,6 +55,11 @@ pub enum RequestPhase {
     CacheMiss,
     /// Admission control dropped the request.
     Reject,
+    /// A dispatch attempt failed and the request is being retried.
+    Retry,
+    /// The request was dropped because it could not start before its
+    /// deadline.
+    DeadlineMiss,
     /// The request's job completed on a device.
     Complete,
 }
@@ -68,7 +73,36 @@ impl RequestPhase {
             Self::CacheHit => "cache_hit",
             Self::CacheMiss => "cache_miss",
             Self::Reject => "reject",
+            Self::Retry => "retry",
+            Self::DeadlineMiss => "deadline_miss",
             Self::Complete => "complete",
+        }
+    }
+}
+
+/// Kinds of injected hardware faults (see `simt::fault::FaultPlan`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// An SM runs at a reduced throughput multiplier for the whole run.
+    SmDegraded,
+    /// The device refused new work during a stall window; the dispatch
+    /// was pushed past the window's end.
+    Stall,
+    /// The device died; the dispatch (and any job that would still be
+    /// running) was lost.
+    DeviceLost,
+    /// A kernel launch failed transiently; a retry may succeed.
+    TransientLaunch,
+}
+
+impl FaultKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SmDegraded => "sm_degraded",
+            Self::Stall => "stall",
+            Self::DeviceLost => "device_lost",
+            Self::TransientLaunch => "transient_launch",
         }
     }
 }
@@ -205,6 +239,20 @@ pub enum TraceEvent {
         /// Sample value.
         value: f64,
     },
+    /// An injected fault fired on a device.
+    Fault {
+        /// Device the fault hit.
+        device: u32,
+        /// What kind of fault.
+        kind: FaultKind,
+        /// When it fired on the device clock.
+        ts_ms: f64,
+        /// Fault-specific payload: the throughput multiplier for
+        /// `SmDegraded` (with the SM id unavailable here, emitted once
+        /// per degraded SM), the stall-window end for `Stall`, and the
+        /// dispatch's attempted start time otherwise.
+        value: f64,
+    },
 }
 
 #[cfg(test)]
@@ -221,7 +269,13 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(RequestPhase::CacheHit.name(), "cache_hit");
+        assert_eq!(RequestPhase::Retry.name(), "retry");
+        assert_eq!(RequestPhase::DeadlineMiss.name(), "deadline_miss");
         assert_eq!(StreamOpKind::WaitEvent.name(), "wait_event");
         assert_eq!(CounterKind::QueueDepth.name(), "queue_depth");
+        assert_eq!(FaultKind::DeviceLost.name(), "device_lost");
+        assert_eq!(FaultKind::TransientLaunch.name(), "transient_launch");
+        assert_eq!(FaultKind::SmDegraded.name(), "sm_degraded");
+        assert_eq!(FaultKind::Stall.name(), "stall");
     }
 }

@@ -1,0 +1,333 @@
+//! The schedule oracle under fault injection: faults change *timing*,
+//! never *results*.
+//!
+//! The simulator computes kernel results functionally and times them
+//! analytically, so any non-fatal [`simt::FaultPlan`] — degraded SMs,
+//! stall windows, transient launch failures — must leave every output
+//! vector bitwise identical to the fault-free run, across all six
+//! schedules and three kernels (SpMV, SpMM, BFS). These tests are the
+//! witness: if a fault path ever leaks into the functional side, the
+//! bitwise comparison here fails.
+//!
+//! Also here: failover integration (a device killed at a seeded tick
+//! mid-workload loses zero requests) and the batcher's fault/deadline
+//! edge cases.
+
+use std::sync::Arc;
+
+use kernels::{reference, Graph};
+use loops::schedule::ScheduleKind;
+use runtime::{DropReason, Request, Runtime, RuntimeConfig};
+use simt::{fault, FaultPlan, GpuSpec};
+use sparse::Csr;
+
+const SCHEDULES: [ScheduleKind; 6] = [
+    ScheduleKind::ThreadMapped,
+    ScheduleKind::WarpMapped,
+    ScheduleKind::BlockMapped,
+    ScheduleKind::MergePath,
+    ScheduleKind::WorkQueue(256),
+    ScheduleKind::Lrb,
+];
+
+/// Every non-fatal fault shape the plan can express. Fatal plans
+/// (device kills) are excluded by construction: they refuse work rather
+/// than complete it, so "same results" is not a meaningful contract.
+fn non_fatal_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("healthy", FaultPlan::healthy(1)),
+        ("degraded", FaultPlan::healthy(2).with_degraded_sms(1.0, 0.3, 0.9)),
+        ("flaky", FaultPlan::healthy(3).with_flaky_launches(0.5)),
+        ("stalled", FaultPlan::healthy(4).with_stall(0.0, 10.0)),
+        (
+            "everything",
+            FaultPlan::healthy(5)
+                .with_degraded_sms(0.5, 0.2, 0.95)
+                .with_flaky_launches(0.3)
+                .with_stall(0.1, 5.0),
+        ),
+    ]
+}
+
+fn matrices() -> Vec<(&'static str, Csr<f32>)> {
+    vec![
+        ("powerlaw", sparse::gen::powerlaw(2_000, 2_000, 30_000, 1.8, 11)),
+        ("uniform", sparse::gen::uniform(800, 900, 12_000, 12)),
+        ("hub", sparse::gen::hub_rows(600, 600, 3, 400, 2, 13)),
+        ("banded", sparse::gen::banded(500, 4, 14)),
+    ]
+}
+
+fn bits(y: &[f32]) -> Vec<u32> {
+    y.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn spmv_results_are_bitwise_fault_invariant_across_all_schedules() {
+    let spec = GpuSpec::v100();
+    for (mname, a) in matrices() {
+        let x = sparse::dense::test_vector(a.cols());
+        let want = a.spmv_ref(&x);
+        for kind in SCHEDULES {
+            let clean = kernels::spmv(&spec, &a, &x, kind).expect("clean run");
+            // Sanity: the clean run is actually correct, so bitwise
+            // equality below is equality to a *right* answer.
+            let err = kernels::spmv::max_rel_error(&clean.y, &want);
+            assert!(err < 2e-3, "{mname} {kind}: clean err {err}");
+            for (pname, plan) in non_fatal_plans() {
+                let faulted =
+                    fault::scoped(plan, || kernels::spmv(&spec, &a, &x, kind)).expect("faulted run");
+                assert_eq!(
+                    bits(&clean.y),
+                    bits(&faulted.y),
+                    "{mname} {kind} plan={pname}: faults must not change results"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spmm_results_are_bitwise_fault_invariant() {
+    let spec = GpuSpec::v100();
+    let a = sparse::gen::powerlaw(600, 500, 9_000, 1.7, 21);
+    let b = sparse::DenseMatrix::from_fn(500, 8, |r, c| ((r * 7 + c * 3) % 13) as f32 * 0.25 - 1.0);
+    for kind in [ScheduleKind::ThreadMapped, ScheduleKind::MergePath] {
+        let clean = kernels::spmm::spmm(&spec, &a, &b, kind).expect("clean spmm");
+        for (pname, plan) in non_fatal_plans() {
+            let faulted =
+                fault::scoped(plan, || kernels::spmm::spmm(&spec, &a, &b, kind)).expect("spmm");
+            assert_eq!(
+                bits(clean.c.as_slice()),
+                bits(faulted.c.as_slice()),
+                "spmm {kind} plan={pname}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bfs_levels_are_exactly_fault_invariant_across_all_schedules() {
+    let spec = GpuSpec::v100();
+    let g = Graph::from_generator(sparse::gen::rmat(10, 8, (0.57, 0.19, 0.19), 31));
+    let src = 0usize;
+    let want = reference::bfs_ref(g.adjacency(), src);
+    for kind in SCHEDULES {
+        let clean = kernels::bfs::bfs(&spec, &g, src, kind).expect("clean bfs");
+        assert_eq!(clean.depth, want, "clean {kind} matches reference");
+        for (pname, plan) in non_fatal_plans() {
+            let faulted =
+                fault::scoped(plan, || kernels::bfs::bfs(&spec, &g, src, kind)).expect("bfs");
+            assert_eq!(faulted.depth, want, "bfs {kind} plan={pname}");
+            assert_eq!(faulted.iterations, clean.iterations, "bfs {kind} plan={pname}");
+        }
+    }
+}
+
+#[test]
+fn degraded_sms_stretch_timing_without_touching_results() {
+    let spec = GpuSpec::v100();
+    let a = sparse::gen::powerlaw(3_000, 3_000, 50_000, 1.8, 41);
+    let x = sparse::dense::test_vector(a.cols());
+    for kind in SCHEDULES {
+        let clean = kernels::spmv(&spec, &a, &x, kind).expect("clean");
+        let plan = FaultPlan::healthy(7).with_degraded_sms(1.0, 0.25, 0.5);
+        let slow = fault::scoped(plan, || kernels::spmv(&spec, &a, &x, kind)).expect("slow");
+        assert_eq!(bits(&clean.y), bits(&slow.y), "{kind}");
+        assert!(
+            slow.report.elapsed_ms() > clean.report.elapsed_ms(),
+            "{kind}: every SM at 2-4x slower must stretch elapsed ({} vs {})",
+            slow.report.elapsed_ms(),
+            clean.report.elapsed_ms()
+        );
+        // Determinism: the same plan reproduces the same stretched time.
+        let again = fault::scoped(plan, || kernels::spmv(&spec, &a, &x, kind)).expect("again");
+        assert_eq!(
+            again.report.elapsed_ms().to_bits(),
+            slow.report.elapsed_ms().to_bits(),
+            "{kind}: seeded faults are bitwise repeatable"
+        );
+    }
+}
+
+// ---- failover integration -------------------------------------------
+
+fn request_stream(matrices: &[Arc<Csr<f32>>], n: usize, interarrival: f64) -> Vec<Request> {
+    (0..n)
+        .map(|i| {
+            let m = &matrices[i % matrices.len()];
+            Request {
+                id: i as u64,
+                matrix: Arc::clone(m),
+                x: Arc::from(sparse::dense::test_vector(m.cols()).into_boxed_slice()),
+                arrival_ms: i as f64 * interarrival,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn device_killed_mid_workload_loses_nothing_and_answers_correctly() {
+    let matrices: Vec<Arc<Csr<f32>>> = (0..3)
+        .map(|i| Arc::new(sparse::gen::powerlaw(1_500 + 300 * i, 1_500 + 300 * i, 20_000, 1.6, 60 + i as u64)))
+        .collect();
+    let reqs = request_stream(&matrices, 50, 0.02);
+    let cfg = RuntimeConfig {
+        devices: 2,
+        keep_results: true,
+        ..RuntimeConfig::default()
+    };
+
+    // Fault-free baseline for the answers.
+    let mut clean_rt = Runtime::new(GpuSpec::v100(), cfg);
+    let clean = clean_rt.serve(&reqs).expect("clean serve");
+
+    // Kill device 0 at a seeded tick in the middle of the workload.
+    let mut rt = Runtime::new(GpuSpec::v100(), cfg);
+    rt.set_fault_plan(0, FaultPlan::healthy(61).with_kill_at(0.4));
+    let out = rt.serve(&reqs).expect("chaos serve");
+
+    // Zero lost, zero duplicated: every id completes exactly once.
+    assert_eq!(out.report.served, 50);
+    assert_eq!(out.report.failed + out.report.rejected + out.report.deadline_missed, 0);
+    assert!(out.report.reconciles(), "accounting balances");
+    let mut ids: Vec<u64> = out.completions.iter().map(|c| c.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..50).collect::<Vec<u64>>());
+
+    // Responses are correct: bitwise identical to the fault-free serve
+    // (faults reroute and retime work; the numerics never move).
+    for c in &out.completions {
+        let baseline = clean
+            .completions
+            .iter()
+            .find(|b| b.id == c.id)
+            .expect("id served in baseline");
+        assert_eq!(
+            bits(c.y.as_ref().expect("kept")),
+            bits(baseline.y.as_ref().expect("kept")),
+            "request {} answer must survive failover",
+            c.id
+        );
+    }
+
+    // The dead device was discovered (counted as an eviction) and no
+    // work landed on it after the kill tick.
+    assert!(out.report.device_evictions >= 1);
+    for c in &out.completions {
+        if c.start_ms >= 0.4 {
+            assert_eq!(c.device, 1, "request {} ran on the dead device", c.id);
+        }
+    }
+
+    // Determinism: the same seed reproduces the same chaos byte-for-byte.
+    let mut rt2 = Runtime::new(GpuSpec::v100(), cfg);
+    rt2.set_fault_plan(0, FaultPlan::healthy(61).with_kill_at(0.4));
+    let out2 = rt2.serve(&reqs).expect("chaos serve 2");
+    assert_eq!(out.report, out2.report);
+    for (a, b) in out.completions.iter().zip(&out2.completions) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.end_ms.to_bits(), b.end_ms.to_bits());
+        assert_eq!(a.attempts, b.attempts);
+    }
+}
+
+// ---- batcher edge cases ---------------------------------------------
+
+fn tiny_matrices(n: usize) -> Vec<Arc<Csr<f32>>> {
+    (0..n)
+        .map(|i| Arc::new(sparse::gen::uniform(64, 64, 500, 300 + i as u64)) as Arc<Csr<f32>>)
+        .collect()
+}
+
+#[test]
+fn batch_survives_mid_batch_device_eviction() {
+    // Tiny requests join a batch; by the time the window closes, the
+    // preferred device is dead. The whole fused launch must fail over
+    // intact — no member lost, none duplicated.
+    let ms = tiny_matrices(4);
+    let reqs = request_stream(&ms, 8, 0.001); // all inside one window
+    let mut rt = Runtime::new(
+        GpuSpec::v100(),
+        RuntimeConfig {
+            devices: 2,
+            keep_results: true,
+            ..RuntimeConfig::default()
+        },
+    );
+    // Dead before the 0.05 ms batch window can close.
+    rt.set_fault_plan(0, FaultPlan::healthy(70).with_kill_at(0.0));
+    let out = rt.serve(&reqs).expect("serve");
+    assert_eq!(out.report.served, 8);
+    assert!(out.report.batches >= 1, "tiny requests still coalesce");
+    assert!(out.report.reconciles());
+    let mut ids: Vec<u64> = out.completions.iter().map(|c| c.id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..8).collect::<Vec<u64>>());
+    assert!(
+        out.completions.iter().all(|c| c.device == 1),
+        "every member of the batch landed on the survivor"
+    );
+    // Correct answers even through the failover.
+    for c in &out.completions {
+        let r = &reqs[c.id as usize];
+        let want = r.matrix.spmv_ref(&r.x);
+        let got = c.y.as_ref().expect("kept");
+        let err = kernels::spmv::max_rel_error(got, &want);
+        assert!(err < 2e-3, "request {} err {err}", c.id);
+    }
+}
+
+#[test]
+fn batch_can_time_out_whole() {
+    // Every member's deadline expires inside the batch window: the batch
+    // dissolves without launching anything, and each member is
+    // accounted a deadline miss.
+    let ms = tiny_matrices(2);
+    let reqs = request_stream(&ms, 4, 0.0); // all arrive at t=0
+    let mut rt = Runtime::new(
+        GpuSpec::v100(),
+        RuntimeConfig {
+            batch_window_ms: 0.5,
+            batch_max: 16, // window, not capacity, closes the batch
+            deadline_ms: 0.1,
+            ..RuntimeConfig::default()
+        },
+    );
+    let out = rt.serve(&reqs).expect("serve");
+    assert_eq!(out.report.served, 0);
+    assert_eq!(out.report.deadline_missed, 4);
+    assert_eq!(out.report.batches, 0, "a fully-expired batch never launches");
+    assert!(out.report.reconciles());
+    assert_eq!(out.dropped.len(), 4);
+    assert!(out
+        .dropped
+        .iter()
+        .all(|d| d.reason == DropReason::DeadlineMissed));
+}
+
+#[test]
+fn single_member_batch_serves_as_solo_launch() {
+    // One tiny request with no batch-mates: the window closes on a
+    // "batch" of one, which must serve correctly and not be counted as
+    // a batch.
+    let ms = tiny_matrices(1);
+    let reqs = request_stream(&ms, 1, 0.0);
+    let mut rt = Runtime::new(
+        GpuSpec::v100(),
+        RuntimeConfig {
+            keep_results: true,
+            ..RuntimeConfig::default()
+        },
+    );
+    let out = rt.serve(&reqs).expect("serve");
+    assert_eq!(out.report.served, 1);
+    assert_eq!(out.report.batches, 0, "one member is not a batch");
+    assert_eq!(out.report.batched_requests, 0);
+    assert!(out.report.reconciles());
+    let c = &out.completions[0];
+    assert!(!c.batched);
+    let want = reqs[0].matrix.spmv_ref(&reqs[0].x);
+    let err = kernels::spmv::max_rel_error(c.y.as_ref().expect("kept"), &want);
+    assert!(err < 2e-3, "solo tiny request err {err}");
+}

@@ -163,6 +163,59 @@ fn spmv_schedules_agree_on_random_matrices() {
 }
 
 #[test]
+fn random_fault_plans_never_perturb_spmv_results() {
+    // Property: for ANY non-fatal fault plan — random seed, degrade
+    // probability/range, launch-failure rate, stall window — and any
+    // schedule, SpMV under `fault::scoped` is bitwise identical to the
+    // fault-free run. Faults may stretch simulated time; results are
+    // computed functionally and must not move.
+    let mut rng = Prng::seed_from_u64(0x6661_756c);
+    let schedules = [
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::WarpMapped,
+        ScheduleKind::BlockMapped,
+        ScheduleKind::MergePath,
+        ScheduleKind::WorkQueue(256),
+        ScheduleKind::Lrb,
+    ];
+    for case in 0..CASES {
+        let rows = rng.index(1, 150);
+        let cols = rng.index(1, 150);
+        let nnz = rows * cols * rng.index(0, 30) / 100;
+        let mseed = rng.index(0, 1000) as u64;
+        let a = sparse::gen::uniform(rows, cols, nnz, mseed);
+        let x = sparse::dense::test_vector(cols);
+        let kind = schedules[rng.index(0, schedules.len())];
+
+        let mut plan = simt::FaultPlan::healthy(rng.index(0, 1 << 30) as u64);
+        if rng.chance(0.7) {
+            let lo = rng.f64_range(0.05, 0.6);
+            let hi = rng.f64_range(lo, 1.0);
+            plan = plan.with_degraded_sms(rng.f64(), lo, hi);
+        }
+        if rng.chance(0.5) {
+            plan = plan.with_flaky_launches(rng.f64_range(0.0, 0.8));
+        }
+        if rng.chance(0.5) {
+            plan = plan.with_stall(rng.f64_range(0.0, 1.0), rng.f64_range(0.0, 5.0));
+        }
+        assert!(!plan.is_fatal());
+
+        let spec = GpuSpec::test_tiny();
+        let clean = kernels::spmv(&spec, &a, &x, kind).unwrap();
+        let faulted = simt::fault::scoped(plan, || kernels::spmv(&spec, &a, &x, kind)).unwrap();
+        let (cb, fb): (Vec<u32>, Vec<u32>) = (
+            clean.y.iter().map(|v| v.to_bits()).collect(),
+            faulted.y.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(
+            cb, fb,
+            "case {case}: {kind} {rows}x{cols} nnz={nnz} mseed={mseed} plan={plan:?}"
+        );
+    }
+}
+
+#[test]
 fn row_stats_invariants() {
     let mut rng = Prng::seed_from_u64(0x7374_6174);
     for _ in 0..CASES {
