@@ -72,10 +72,15 @@ fn main() {
             let speedups: Vec<f64> = entries
                 .iter()
                 .map(|e| {
-                    let t = match h.select(e.rows, e.cols, e.nnz) {
-                        loops::schedule::ScheduleKind::MergePath => e.t_merge,
-                        loops::schedule::ScheduleKind::ThreadMapped => e.t_thread,
-                        _ => e.t_group,
+                    // Look up the pre-measured time for the schedule the
+                    // candidate thresholds would pick.
+                    let pick = h.select(e.rows, e.cols, e.nnz);
+                    let t = if pick == loops::schedule::ScheduleKind::MergePath {
+                        e.t_merge
+                    } else if pick == loops::schedule::ScheduleKind::ThreadMapped {
+                        e.t_thread
+                    } else {
+                        e.t_group
                     };
                     e.t_base / t
                 })

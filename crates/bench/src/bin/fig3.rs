@@ -18,9 +18,9 @@ fn main() {
     let mut csv = CsvWriter::create(&cli.out_dir, "fig3.csv", "kernel,dataset,rows,cols,nnzs,elapsed")
         .expect("create fig3.csv");
     let schedules = [
-        ("thread-mapped", ScheduleKind::ThreadMapped),
-        ("merge-path", ScheduleKind::MergePath),
-        ("group-mapped", ScheduleKind::GroupMapped(32)),
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::MergePath,
+        ScheduleKind::GroupMapped(32),
     ];
     // speedup-vs-cusparse samples per schedule, plus win counts.
     let mut speedups: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
@@ -38,7 +38,8 @@ fn main() {
             .unwrap();
         let mut best: Option<&str> = None;
         let mut best_t = f64::INFINITY;
-        for (name, kind) in schedules {
+        for kind in schedules {
+            let name = kind.base_name();
             let run = kernels::spmv(&spec, a, x, kind).expect("framework spmv");
             if cli.validate {
                 bench::validate_against_reference(&ds.name, a, x, &run.y);

@@ -49,11 +49,11 @@ fn main() {
     );
     let mut csv = CsvWriter::create(&cli.out_dir, "timeline.csv", "schedule,sm_id,busy_ms")
         .expect("create timeline.csv");
-    for kind in [
-        ScheduleKind::ThreadMapped,
-        ScheduleKind::WarpMapped,
-        ScheduleKind::MergePath,
-    ] {
+    // Schedules arrive as names and round-trip through `FromStr` — the
+    // same parsing any CLI flag or config file would use.
+    for kind in ["thread-mapped", "warp-mapped", "merge-path"]
+        .map(|s| s.parse::<ScheduleKind>().expect("valid schedule name"))
+    {
         let run = kernels::spmv(&spec, &a, &x, kind).expect("spmv");
         bar_chart(
             &kind.to_string(),

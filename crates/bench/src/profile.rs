@@ -72,11 +72,12 @@ fn trace_spmv(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
         sparse::RowStats::of(&a).cv
     );
     let rec = Arc::new(Recorder::new());
-    for (kind, label) in [
-        (ScheduleKind::ThreadMapped, "spmv/thread-mapped"),
-        (ScheduleKind::MergePath, "spmv/merge-path"),
-        (ScheduleKind::WorkQueue(256), "spmv/work-queue"),
+    for kind in [
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::MergePath,
+        ScheduleKind::WorkQueue(256),
     ] {
+        let label = loops::dispatch::trace_label("spmv", kind);
         let run = simt::tracing::scoped(rec.clone() as Arc<dyn trace::TraceSink>, label, || {
             kernels::spmv(&spec, &a, &x, kind)
         })

@@ -1,0 +1,691 @@
+//! The schedule-polymorphic dispatch engine: one executor for every
+//! kernel and every [`ScheduleKind`].
+//!
+//! The paper's promise (§4–§6) is that the *schedule* is a one-identifier
+//! swap while the *computation* is written once. This module is where the
+//! repo keeps that promise structurally: a [`BalancedLaunch`] owns — in
+//! exactly one place — schedule construction, block-dim clamping,
+//! launch-config derivation, plan artifacts ([`KernelPlan`]), and trace
+//! span labels ([`trace_label`]), while the kernel supplies only its
+//! computation through the small [`TileExec`] interface.
+//!
+//! A computation is consumed in at most three shapes, and `TileExec` has
+//! one hook per shape:
+//!
+//! * **flat spans** ([`TileExec::span`]) — one thread owns a contiguous
+//!   run of one tile's atoms. Thread-mapped and work-queue hand out whole
+//!   tiles (`complete == true`); merge-path also hands out *partial*
+//!   spans whose results must be combined (`complete == false`). This is
+//!   the paper's Listing 3 loop with the span boundary made explicit.
+//! * **cooperative reduce** ([`TileExec::atom_value`] +
+//!   [`TileExec::tile_done`]) — group/warp/block-mapped schedules compute
+//!   a value per atom, segment-reduce by owning tile in scratchpad, and
+//!   finalize each tile exactly once (SpMV-shaped kernels).
+//! * **cooperative visit** ([`TileExec::visit`]) — the same schedules,
+//!   but with an arbitrary per-atom side effect and no reduction
+//!   (traversal-shaped kernels). [`TileExec::COOPERATIVE_REDUCE`] selects
+//!   between the two cooperative shapes.
+//!
+//! LRB composes the flat and cooperative shapes over
+//! [`SubsetTiles`] size classes; the engine
+//! owns that composition too, so every kernel gets the binned schedule
+//! (and its cached [`LrbPlan`] warm path) for free.
+
+use crate::schedule::{
+    bin_of, GroupMappedSchedule, LrbPlan, LrbSchedule, MergePathSchedule, ScheduleKind,
+    ThreadMappedSchedule, TileSpan, WorkQueueSchedule, LRB_NUM_BINS,
+};
+use crate::ranges::{step_range, Charged, StepRange};
+use crate::work::{SubsetTiles, TileSet};
+use simt::{CostModel, GpuSpec, LaneCtx, LaunchConfig, LaunchReport};
+
+/// Default threads per block (the paper's Listing 3 uses 256).
+pub const DEFAULT_BLOCK: u32 = 256;
+
+/// Items per thread for merge-path, following CUB's V100 tuning.
+pub const MERGE_ITEMS_PER_THREAD: usize = 7;
+
+/// A computation expressed against the engine's consumption shapes.
+///
+/// Implementations own the kernel boundary (§4.3): what to do with a
+/// span of atoms, and where results go. They never see a schedule — the
+/// engine decides which hooks run, with which spans, on which simulated
+/// processing elements.
+pub trait TileExec: Sync {
+    /// Whether cooperative schedules run the segment-reduced
+    /// ([`Self::atom_value`]/[`Self::tile_done`]) shape (`true`) or the
+    /// plain per-atom [`Self::visit`] shape (`false`).
+    const COOPERATIVE_REDUCE: bool;
+
+    /// Flat shape: process one thread's contiguous `span` of one tile.
+    /// Iterate the atoms through [`span_atoms`] so the framework's range
+    /// overheads are charged exactly as the schedules do.
+    fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan);
+
+    /// Cooperative reduce shape, per atom: the value to accumulate into
+    /// `tile`'s segment sum. Only called when
+    /// [`Self::COOPERATIVE_REDUCE`] is `true`.
+    fn atom_value(&self, _lane: &LaneCtx<'_>, _tile: usize, _atom: usize) -> f32 {
+        unreachable!("kernel does not use the cooperative reduce shape")
+    }
+
+    /// Cooperative reduce shape, per tile: finalize `tile`'s segment
+    /// `sum` (called exactly once per tile). Only called when
+    /// [`Self::COOPERATIVE_REDUCE`] is `true`.
+    fn tile_done(&self, _lane: &LaneCtx<'_>, _tile: usize, _sum: f32) {
+        unreachable!("kernel does not use the cooperative reduce shape")
+    }
+
+    /// Cooperative visit shape: arbitrary side effect per atom. Only
+    /// called when [`Self::COOPERATIVE_REDUCE`] is `false`.
+    fn visit(&self, _lane: &LaneCtx<'_>, _tile: usize, _atom: usize) {
+        unreachable!("kernel does not use the cooperative visit shape")
+    }
+}
+
+/// Charged iterator over a flat span's atoms — the same consumption the
+/// schedules hand out, so [`TileExec::span`] implementations charge
+/// identically to hand-written kernels.
+pub fn span_atoms<'l, 'm>(span: &TileSpan, lane: &'l LaneCtx<'m>) -> Charged<'l, 'm, StepRange> {
+    Charged::atoms(step_range(span.atoms.start, span.atoms.end, 1), lane)
+}
+
+/// Largest divisor of `n` that is ≤ `k` (≥ 1). Keeps arbitrary group
+/// sizes legal for any block size.
+pub fn largest_divisor_leq(n: u32, k: u32) -> u32 {
+    (1..=k.min(n)).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
+}
+
+/// The interned trace span label for `kernel` under `kind`:
+/// `"{kernel}/{family}"`, e.g. `"spmv/merge-path"` — parameterless, so a
+/// timeline row groups all group sizes / chunk widths of one family.
+/// This is also the kernel component serving-runtime plan-cache keys are
+/// derived from.
+pub fn trace_label(kernel: &str, kind: ScheduleKind) -> &'static str {
+    trace::label::intern(&format!("{kernel}/{}", kind.base_name()))
+}
+
+/// Result of one engine dispatch.
+#[derive(Debug, Clone)]
+pub struct Dispatch {
+    /// Simulated launch report (accumulated over passes for LRB).
+    pub report: LaunchReport,
+    /// The schedule that actually ran, after clamping — e.g.
+    /// `WarpMapped` resolves to `GroupMapped(warp_size)`.
+    pub schedule: ScheduleKind,
+}
+
+/// A prepared, pattern-specific execution plan — the unit a serving
+/// runtime caches per (kernel, matrix fingerprint).
+///
+/// A plan freezes everything about a launch that depends only on the
+/// tile set's shape, not on the input values: the schedule choice, the
+/// block size, and any precomputed setup artifacts —
+///
+/// * **merge-path**: the per-thread partition table the cold kernel
+///   otherwise derives with two in-kernel diagonal searches per thread;
+/// * **LRB**: the log₂ binning of tiles ([`LrbPlan`]), which the cold
+///   path pays two extra launches to build.
+///
+/// [`BalancedLaunch::run_planned`] replays a plan against any input.
+/// Results are **bitwise identical** to the cold path for the same
+/// schedule: artifacts only change where work is *found*, never the
+/// order in which results accumulate.
+#[derive(Debug, Clone)]
+pub struct KernelPlan {
+    /// Schedule the plan was prepared for.
+    pub schedule: ScheduleKind,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Merge-path partition table (`num_threads + 1` boundary tile
+    /// indices; the atom coordinate is derivable from the diagonal),
+    /// present iff `schedule == MergePath`.
+    pub merge_starts: Option<Vec<u32>>,
+    /// LRB binning artifacts, present iff `schedule == Lrb`.
+    pub lrb: Option<LrbPlan>,
+    /// Simulated one-time cost of building the *separable* artifacts
+    /// (the LRB binning launches). Merge-path setup is charged inside
+    /// the cold kernel itself, so on a cache hit its saving shows up as
+    /// lower kernel elapsed rather than in this field.
+    pub setup_ms: f64,
+}
+
+impl KernelPlan {
+    /// Approximate device memory the cached artifacts would occupy.
+    pub fn artifact_bytes(&self) -> usize {
+        let merge = self.merge_starts.as_ref().map_or(0, |s| s.len() * 4);
+        let lrb = self.lrb.as_ref().map_or(0, |p| {
+            p.order.len() * 4 + p.bin_offsets.len() * std::mem::size_of::<usize>()
+        });
+        merge + lrb
+    }
+}
+
+/// The schedule-polymorphic executor: a tile set plus launch policy,
+/// ready to run any [`TileExec`] under any [`ScheduleKind`].
+///
+/// ```
+/// use loops::adapters::CsrTiles;
+/// use loops::dispatch::{span_atoms, BalancedLaunch, TileExec};
+/// use loops::schedule::{ScheduleKind, TileSpan};
+/// use simt::{CostModel, GlobalMem, GpuSpec, LaneCtx};
+///
+/// // The computation, written once (SpMV's Listing 3 body):
+/// struct Spmv<'a> {
+///     a: &'a sparse::Csr<f32>,
+///     x: &'a [f32],
+///     y: GlobalMem<'a, f32>,
+/// }
+/// impl TileExec for Spmv<'_> {
+///     const COOPERATIVE_REDUCE: bool = true;
+///     fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+///         let mut sum = 0.0;
+///         for nz in span_atoms(span, lane) {
+///             sum += self.a.values()[nz] * self.x[self.a.col_indices()[nz] as usize];
+///         }
+///         if span.complete {
+///             self.y.store(span.tile, sum);
+///             lane.write_bytes(4);
+///         } else if !span.atoms.is_empty() {
+///             self.y.fetch_add(span.tile, sum);
+///             lane.charge_atomic();
+///         }
+///     }
+///     fn atom_value(&self, _: &LaneCtx<'_>, _: usize, nz: usize) -> f32 {
+///         self.a.values()[nz] * self.x[self.a.col_indices()[nz] as usize]
+///     }
+///     fn tile_done(&self, lane: &LaneCtx<'_>, tile: usize, sum: f32) {
+///         self.y.store(tile, sum);
+///         lane.write_bytes(4);
+///     }
+/// }
+///
+/// let (spec, model) = (GpuSpec::v100(), CostModel::standard());
+/// let a = sparse::gen::uniform(256, 256, 2048, 1);
+/// let x = sparse::dense::test_vector(256);
+/// let work = CsrTiles::new(&a);
+/// let mut y = vec![0.0f32; 256];
+/// // The schedule swap is one identifier — same exec, any schedule:
+/// for kind in [ScheduleKind::ThreadMapped, ScheduleKind::MergePath, ScheduleKind::WarpMapped] {
+///     y.fill(0.0);
+///     let exec = Spmv { a: &a, x: &x, y: GlobalMem::new(&mut y) };
+///     BalancedLaunch::new(&spec, &model, &work).run(kind, &exec).unwrap();
+///     let want = a.spmv_ref(&x);
+///     assert!(y.iter().zip(&want).all(|(g, w)| (g - w).abs() < 1e-3));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BalancedLaunch<'a, W> {
+    spec: &'a GpuSpec,
+    model: &'a CostModel,
+    work: &'a W,
+    block_dim: u32,
+    merge_items: usize,
+}
+
+impl<'a, W: TileSet> BalancedLaunch<'a, W> {
+    /// An executor over `work` with the default block size
+    /// ([`DEFAULT_BLOCK`], clamped to the device) and merge-path tuning.
+    pub fn new(spec: &'a GpuSpec, model: &'a CostModel, work: &'a W) -> Self {
+        Self {
+            spec,
+            model,
+            work,
+            block_dim: DEFAULT_BLOCK.min(spec.max_threads_per_block),
+            merge_items: MERGE_ITEMS_PER_THREAD,
+        }
+    }
+
+    /// Set threads per block. The engine owns the device clamp: a value
+    /// above `spec.max_threads_per_block` is silently reduced, so no
+    /// call site can launch an illegal block.
+    pub fn block_dim(mut self, block_dim: u32) -> Self {
+        self.block_dim = block_dim.min(self.spec.max_threads_per_block);
+        self
+    }
+
+    /// Set merge-path items per thread (default
+    /// [`MERGE_ITEMS_PER_THREAD`]).
+    pub fn merge_items(mut self, items: usize) -> Self {
+        self.merge_items = items;
+        self
+    }
+
+    /// The block size this launch will use (post-clamp).
+    pub fn effective_block_dim(&self) -> u32 {
+        self.block_dim
+    }
+
+    /// Run `exec` under `kind` — the single schedule switch every kernel
+    /// dispatches through.
+    pub fn run<E: TileExec>(&self, kind: ScheduleKind, exec: &E) -> simt::Result<Dispatch> {
+        match kind {
+            ScheduleKind::ThreadMapped => self.thread_mapped(exec),
+            ScheduleKind::MergePath => self.merge_path(exec, None),
+            ScheduleKind::WarpMapped => self.group_mapped(self.spec.warp_size, exec),
+            ScheduleKind::BlockMapped => self.group_mapped(self.block_dim, exec),
+            ScheduleKind::GroupMapped(g) => self.group_mapped(g, exec),
+            ScheduleKind::WorkQueue(chunk) => self.work_queue(chunk, exec),
+            ScheduleKind::Lrb => self.lrb(exec, None),
+        }
+    }
+
+    /// Prepare a [`KernelPlan`] for `kind`: compute the pattern-only
+    /// setup artifacts once, host-side, so repeated launches skip them.
+    pub fn prepare(&self, kind: ScheduleKind) -> simt::Result<KernelPlan> {
+        let mut plan = KernelPlan {
+            schedule: kind,
+            block_dim: self.block_dim,
+            merge_starts: None,
+            lrb: None,
+            setup_ms: 0.0,
+        };
+        match kind {
+            ScheduleKind::MergePath => {
+                let sched = MergePathSchedule::new(self.work, self.merge_items);
+                plan.merge_starts = Some(sched.partition());
+            }
+            ScheduleKind::Lrb => {
+                let sched = LrbSchedule {
+                    block_dim: self.block_dim,
+                    ..LrbSchedule::default()
+                };
+                let lrb = sched.bin_tiles(self.spec, self.model, self.work)?;
+                plan.setup_ms = lrb.binning_report.elapsed_ms();
+                plan.lrb = Some(lrb);
+            }
+            // The remaining schedules have no pattern-dependent setup to
+            // cache; the plan still pins the schedule + block size.
+            _ => {}
+        }
+        Ok(plan)
+    }
+
+    /// Run `exec` under a prepared plan: the schedule choice and any
+    /// setup artifacts come from the plan, so a cached plan skips the
+    /// setup work a cold launch pays. Bitwise identical to
+    /// [`Self::run`] with the plan's schedule. The plan's `block_dim` is
+    /// *not* applied automatically — callers set it via
+    /// [`Self::block_dim`] so the clamp stays in one place.
+    pub fn run_planned<E: TileExec>(&self, plan: &KernelPlan, exec: &E) -> simt::Result<Dispatch> {
+        match plan.schedule {
+            ScheduleKind::MergePath => self.merge_path(exec, plan.merge_starts.as_deref()),
+            ScheduleKind::Lrb => self.lrb(exec, plan.lrb.as_ref()),
+            kind => self.run(kind, exec),
+        }
+    }
+
+    /// Listing 2/3: tile per thread, grid-strided; every span complete.
+    fn thread_mapped<E: TileExec>(&self, exec: &E) -> simt::Result<Dispatch> {
+        let sched = ThreadMappedSchedule::new(self.work);
+        let cfg = LaunchConfig::over_threads(self.work.num_tiles().max(1) as u64, self.block_dim);
+        let report = simt::launch_threads_with_model(self.spec, self.model, cfg, |t| {
+            for tile in sched.tiles(t) {
+                exec.span(
+                    t,
+                    &TileSpan {
+                        tile,
+                        atoms: self.work.tile_atoms(tile),
+                        complete: true,
+                    },
+                );
+            }
+        })?;
+        Ok(Dispatch {
+            report,
+            schedule: ScheduleKind::ThreadMapped,
+        })
+    }
+
+    /// §5.2.1: merge-path, optionally driven by a cached partition table.
+    fn merge_path<E: TileExec>(&self, exec: &E, starts: Option<&[u32]>) -> simt::Result<Dispatch> {
+        let sched = MergePathSchedule::new(self.work, self.merge_items);
+        if let Some(s) = starts {
+            assert_eq!(
+                s.len(),
+                sched.num_threads() + 1,
+                "merge-path partition table does not match this matrix"
+            );
+        }
+        let cfg = sched.launch_config(self.block_dim);
+        let report = simt::launch_threads_with_model(self.spec, self.model, cfg, |t| {
+            // With a precomputed partition table each thread loads its
+            // span bounds instead of running two diagonal searches.
+            let spans = match starts {
+                Some(s) => sched.spans_prepartitioned(t, s),
+                None => sched.spans(t),
+            };
+            for span in spans {
+                exec.span(t, &span);
+            }
+        })?;
+        Ok(Dispatch {
+            report,
+            schedule: ScheduleKind::MergePath,
+        })
+    }
+
+    /// §5.2.2/§5.2.3: group-mapped (warp- and block-mapped are the same
+    /// code at fixed group sizes). The engine owns the legality clamp: a
+    /// group cannot exceed its block and must tile it evenly.
+    fn group_mapped<E: TileExec>(&self, group_size: u32, exec: &E) -> simt::Result<Dispatch> {
+        let group_size = group_size.clamp(1, self.block_dim);
+        let group_size = largest_divisor_leq(self.block_dim, group_size);
+        let sched = GroupMappedSchedule::new(self.work, group_size);
+        // Oversubscribe ~8 blocks per SM; rounds absorb the remainder.
+        let cfg = sched.launch_config(self.block_dim, self.spec.num_sms * 8);
+        let report = if E::COOPERATIVE_REDUCE {
+            simt::launch_groups_with_model(self.spec, self.model, cfg, group_size, |g| {
+                sched.process_batches(
+                    g,
+                    |lane, tile, atom| exec.atom_value(lane, tile, atom),
+                    |lane, tile, sum| exec.tile_done(lane, tile, sum),
+                );
+            })?
+        } else {
+            simt::launch_groups_with_model(self.spec, self.model, cfg, group_size, |g| {
+                sched.process(g, |lane, tile, atom| exec.visit(lane, tile, atom));
+            })?
+        };
+        Ok(Dispatch {
+            report,
+            schedule: ScheduleKind::GroupMapped(group_size),
+        })
+    }
+
+    /// Dynamic: persistent threads claiming tile chunks from a global
+    /// atomic queue; every claimed tile is a complete flat span.
+    fn work_queue<E: TileExec>(&self, chunk: u32, exec: &E) -> simt::Result<Dispatch> {
+        let sched = WorkQueueSchedule::new(self.work, chunk as usize);
+        let cfg = sched.launch_config(self.spec, self.block_dim);
+        let report = simt::launch_threads_with_model(self.spec, self.model, cfg, |t| {
+            sched.process_tiles(t, |lane, tile| {
+                exec.span(
+                    lane,
+                    &TileSpan {
+                        tile,
+                        atoms: self.work.tile_atoms(tile),
+                        complete: true,
+                    },
+                );
+            });
+        })?;
+        Ok(Dispatch {
+            report,
+            schedule: ScheduleKind::WorkQueue(sched.chunk() as u32),
+        })
+    }
+
+    /// §7's Logarithmic Radix Binning, composed from the other shapes: a
+    /// binning pass (or a cached [`LrbPlan`]) groups tiles by log₂ size;
+    /// small tiles run as flat spans one-per-thread, medium tiles
+    /// cooperative at warp width, large tiles cooperative at block width.
+    fn lrb<E: TileExec>(&self, exec: &E, cached: Option<&LrbPlan>) -> simt::Result<Dispatch> {
+        let cfg_sched = LrbSchedule {
+            block_dim: self.block_dim,
+            ..LrbSchedule::default()
+        };
+        // A cached plan skips the binning launches entirely (the bins
+        // only depend on the tile-set shape, not on input values); its
+        // cost was paid once at prepare time.
+        let owned;
+        let (plan, mut report) = match cached {
+            Some(p) => (p, None),
+            None => {
+                owned = cfg_sched.bin_tiles(self.spec, self.model, self.work)?;
+                let r = owned.binning_report.clone();
+                (&owned, Some(r))
+            }
+        };
+        let small_hi = bin_of(cfg_sched.small_limit) + 1;
+        let medium_hi = bin_of(cfg_sched.medium_limit) + 1;
+        let class = |lo: usize, hi: usize| &plan.order[plan.bin_offsets[lo]..plan.bin_offsets[hi]];
+        // Small tiles: flat spans, one tile per thread.
+        let small = class(0, small_hi);
+        if !small.is_empty() {
+            let view = SubsetTiles::new(self.work, small);
+            let sched = ThreadMappedSchedule::new(&view);
+            let cfg = LaunchConfig::over_threads(small.len() as u64, self.block_dim);
+            let r = simt::launch_threads_with_model(self.spec, self.model, cfg, |t| {
+                for local in sched.tiles(t) {
+                    exec.span(
+                        t,
+                        &TileSpan {
+                            tile: view.global_tile(local),
+                            atoms: view.tile_atoms(local),
+                            complete: true,
+                        },
+                    );
+                }
+            })?;
+            match report {
+                Some(ref mut rep) => rep.accumulate(&r),
+                None => report = Some(r),
+            }
+        }
+        // Medium and large classes: cooperative at warp / block width.
+        for (lo, hi, group) in [
+            (small_hi, medium_hi, self.spec.warp_size),
+            (medium_hi, LRB_NUM_BINS, self.block_dim),
+        ] {
+            let tiles = class(lo, hi.max(lo));
+            if tiles.is_empty() {
+                continue;
+            }
+            let view = SubsetTiles::new(self.work, tiles);
+            let sched = GroupMappedSchedule::new(&view, group);
+            let cfg = sched.launch_config(self.block_dim, self.spec.num_sms * 8);
+            let r = if E::COOPERATIVE_REDUCE {
+                simt::launch_groups_with_model(self.spec, self.model, cfg, group, |g| {
+                    sched.process_batches(
+                        g,
+                        |lane, local, atom| exec.atom_value(lane, view.global_tile(local), atom),
+                        |lane, local, sum| exec.tile_done(lane, view.global_tile(local), sum),
+                    );
+                })?
+            } else {
+                simt::launch_groups_with_model(self.spec, self.model, cfg, group, |g| {
+                    sched.process(g, |lane, local, atom| {
+                        exec.visit(lane, view.global_tile(local), atom)
+                    });
+                })?
+            };
+            match report {
+                Some(ref mut rep) => rep.accumulate(&r),
+                None => report = Some(r),
+            }
+        }
+        let report = match report {
+            Some(r) => r,
+            // Fully empty tile set on the cached path: synthesize a
+            // minimal launch so the run still carries a valid report.
+            None => simt::launch_threads_with_model(
+                self.spec,
+                self.model,
+                LaunchConfig::over_threads(1, self.block_dim),
+                |_t| {},
+            )?,
+        };
+        Ok(Dispatch {
+            report,
+            schedule: ScheduleKind::Lrb,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::CountedTiles;
+    use simt::GlobalMem;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A visit-shaped exec that counts (tile, atom) hits.
+    struct CountExec<'a> {
+        work: &'a CountedTiles,
+        hits: &'a AtomicU64,
+    }
+
+    impl TileExec for CountExec<'_> {
+        const COOPERATIVE_REDUCE: bool = false;
+        fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+            for atom in span_atoms(span, lane) {
+                assert!(self.work.tile_atoms(span.tile).contains(&atom));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        fn visit(&self, _lane: &LaneCtx<'_>, tile: usize, atom: usize) {
+            assert!(self.work.tile_atoms(tile).contains(&atom));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn every_schedule_covers_every_atom_exactly_once() {
+        let work = CountedTiles::from_counts((0..200).map(|i| (i * 7) % 60).collect::<Vec<_>>());
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        for kind in [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::MergePath,
+            ScheduleKind::WarpMapped,
+            ScheduleKind::BlockMapped,
+            ScheduleKind::GroupMapped(4),
+            ScheduleKind::WorkQueue(3),
+            ScheduleKind::Lrb,
+        ] {
+            let hits = AtomicU64::new(0);
+            let exec = CountExec {
+                work: &work,
+                hits: &hits,
+            };
+            let d = BalancedLaunch::new(&spec, &model, &work)
+                .block_dim(16)
+                .run(kind, &exec)
+                .unwrap();
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                work.num_atoms() as u64,
+                "{kind}"
+            );
+            assert!(d.report.elapsed_ms() > 0.0, "{kind}");
+        }
+    }
+
+    /// A reduce-shaped exec summing atom ids per tile.
+    struct SumExec<'a> {
+        out: GlobalMem<'a, f32>,
+    }
+
+    impl TileExec for SumExec<'_> {
+        const COOPERATIVE_REDUCE: bool = true;
+        fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+            let mut sum = 0.0f32;
+            for atom in span_atoms(span, lane) {
+                sum += atom as f32;
+            }
+            if span.complete {
+                self.out.store(span.tile, sum);
+                lane.write_bytes(4);
+            } else if !span.atoms.is_empty() {
+                self.out.fetch_add(span.tile, sum);
+                lane.charge_atomic();
+            }
+        }
+        fn atom_value(&self, _lane: &LaneCtx<'_>, _tile: usize, atom: usize) -> f32 {
+            atom as f32
+        }
+        fn tile_done(&self, lane: &LaneCtx<'_>, tile: usize, sum: f32) {
+            self.out.store(tile, sum);
+            lane.write_bytes(4);
+        }
+        fn visit(&self, _lane: &LaneCtx<'_>, _tile: usize, _atom: usize) {
+            unreachable!("reduce-shaped exec never visits")
+        }
+    }
+
+    #[test]
+    fn reduce_shape_agrees_across_schedules_and_plans() {
+        let work = CountedTiles::from_counts(vec![3usize, 0, 40, 1, 7, 120, 2, 2]);
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        let want: Vec<f32> = (0..work.num_tiles())
+            .map(|t| work.tile_atoms(t).map(|a| a as f32).sum())
+            .collect();
+        for kind in [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::MergePath,
+            ScheduleKind::GroupMapped(8),
+            ScheduleKind::WorkQueue(2),
+            ScheduleKind::Lrb,
+        ] {
+            let engine = BalancedLaunch::new(&spec, &model, &work).block_dim(16);
+            let mut cold = vec![0.0f32; work.num_tiles()];
+            {
+                let exec = SumExec {
+                    out: GlobalMem::new(&mut cold),
+                };
+                engine.run(kind, &exec).unwrap();
+            }
+            assert_eq!(cold, want, "{kind}");
+            // Planned path must be bitwise identical.
+            let plan = engine.prepare(kind).unwrap();
+            let mut warm = vec![0.0f32; work.num_tiles()];
+            {
+                let exec = SumExec {
+                    out: GlobalMem::new(&mut warm),
+                };
+                engine.run_planned(&plan, &exec).unwrap();
+            }
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&cold), bits(&warm), "{kind}: plan changed results");
+        }
+    }
+
+    #[test]
+    fn engine_owns_the_clamps() {
+        let work = CountedTiles::from_counts(vec![2usize; 10]);
+        let spec = GpuSpec::test_tiny();
+        let model = CostModel::standard();
+        let engine = BalancedLaunch::new(&spec, &model, &work).block_dim(1 << 20);
+        assert_eq!(engine.effective_block_dim(), spec.max_threads_per_block);
+        // Zero work-queue chunk and absurd group sizes are legalized, not
+        // panics.
+        let hits = AtomicU64::new(0);
+        let exec = CountExec {
+            work: &work,
+            hits: &hits,
+        };
+        let d = engine.run(ScheduleKind::WorkQueue(0), &exec).unwrap();
+        assert_eq!(d.schedule, ScheduleKind::WorkQueue(1));
+        let d = engine.run(ScheduleKind::GroupMapped(1 << 20), &exec).unwrap();
+        assert_eq!(
+            d.schedule,
+            ScheduleKind::GroupMapped(spec.max_threads_per_block)
+        );
+    }
+
+    #[test]
+    fn trace_labels_are_parameterless_and_interned() {
+        assert_eq!(
+            trace_label("spmv", ScheduleKind::WorkQueue(256)),
+            "spmv/work-queue"
+        );
+        assert_eq!(
+            trace_label("bfs", ScheduleKind::GroupMapped(64)),
+            "bfs/group-mapped"
+        );
+        let a = trace_label("spmm", ScheduleKind::MergePath);
+        let b = trace_label("spmm", ScheduleKind::MergePath);
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn largest_divisor_behaves() {
+        assert_eq!(largest_divisor_leq(256, 32), 32);
+        assert_eq!(largest_divisor_leq(256, 3), 2);
+        assert_eq!(largest_divisor_leq(256, 1), 1);
+        assert_eq!(largest_divisor_leq(96, 64), 48);
+        assert_eq!(largest_divisor_leq(7, 7), 7);
+    }
+}

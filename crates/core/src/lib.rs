@@ -23,49 +23,68 @@
 //!    block-level schedules for free.
 //!
 //! 3. **Define the work execution** (your kernel): the user owns the
-//!    kernel boundary (§4.3) — schedules are consumed *inside* kernels
-//!    launched through [`simt`], typically as a nested range-based loop:
+//!    kernel boundary (§4.3). A computation is written once against the
+//!    small [`dispatch::TileExec`] interface and dispatched through the
+//!    schedule-polymorphic engine, [`dispatch::BalancedLaunch`] — the one
+//!    place that constructs schedules, clamps block dims, derives launch
+//!    configs, and caches plan artifacts:
 //!
 //! ```
 //! use loops::adapters::CsrTiles;
-//! use loops::schedule::ThreadMappedSchedule;
-//! use simt::{GpuSpec, LaunchConfig, GlobalMem};
+//! use loops::dispatch::{span_atoms, BalancedLaunch, TileExec};
+//! use loops::schedule::{ScheduleKind, TileSpan};
+//! use simt::{CostModel, GlobalMem, GpuSpec, LaneCtx};
+//!
+//! // The paper's Listing 3 (SpMV), written once:
+//! struct Spmv<'a> {
+//!     a: &'a sparse::Csr<f32>,
+//!     x: &'a [f32],
+//!     y: GlobalMem<'a, f32>,
+//! }
+//! impl TileExec for Spmv<'_> {
+//!     const COOPERATIVE_REDUCE: bool = true;
+//!     fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+//!         let mut sum = 0.0f32;
+//!         for nz in span_atoms(span, lane) {
+//!             sum += self.a.values()[nz] * self.x[self.a.col_indices()[nz] as usize];
+//!         }
+//!         if span.complete {
+//!             self.y.store(span.tile, sum);
+//!         } else if !span.atoms.is_empty() {
+//!             self.y.fetch_add(span.tile, sum);
+//!         }
+//!     }
+//!     fn atom_value(&self, _: &LaneCtx<'_>, _: usize, nz: usize) -> f32 {
+//!         self.a.values()[nz] * self.x[self.a.col_indices()[nz] as usize]
+//!     }
+//!     fn tile_done(&self, _: &LaneCtx<'_>, tile: usize, sum: f32) {
+//!         self.y.store(tile, sum);
+//!     }
+//! }
 //!
 //! let a = sparse::gen::uniform(256, 256, 2048, 1);
 //! let x = sparse::dense::test_vector(256);
 //! let mut y = vec![0.0f32; 256];
 //! let work = CsrTiles::new(&a);
-//! let sched = ThreadMappedSchedule::new(&work);
-//! {
-//!     let gy = GlobalMem::new(&mut y);
-//!     simt::launch_threads(
-//!         &GpuSpec::v100(),
-//!         LaunchConfig::over_threads(256, 128),
-//!         |t| {
-//!             // the paper's Listing 3, in Rust:
-//!             for row in sched.tiles(t) {
-//!                 let mut sum = 0.0f32;
-//!                 for nz in sched.atoms(row, t) {
-//!                     sum += a.values()[nz] * x[a.col_indices()[nz] as usize];
-//!                 }
-//!                 gy.store(row, sum);
-//!             }
-//!         },
-//!     )
+//! let exec = Spmv { a: &a, x: &x, y: GlobalMem::new(&mut y) };
+//! // Switching the schedule — the whole point — is one identifier:
+//! BalancedLaunch::new(&GpuSpec::v100(), &CostModel::standard(), &work)
+//!     .run(ScheduleKind::MergePath, &exec)
 //!     .unwrap();
-//! }
 //! let want = a.spmv_ref(&x);
 //! assert!(y.iter().zip(&want).all(|(a, b)| (a - b).abs() < 1e-3));
 //! ```
 //!
-//! Switching the schedule — the whole point of the abstraction — is a
-//! one-identifier change ([`schedule::ScheduleKind`], §6.2), or letting
-//! the [`heuristic::Heuristic`] pick per dataset.
+//! Schedules remain directly consumable for custom kernels (nested
+//! range-based loops, as in the paper's listings), but every built-in
+//! kernel dispatches through the engine, and the
+//! [`heuristic::Heuristic`] can pick the schedule per dataset.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod adapters;
+pub mod dispatch;
 pub mod heuristic;
 pub mod iterators;
 pub mod ranges;
@@ -73,6 +92,7 @@ pub mod schedule;
 pub mod work;
 
 pub use adapters::{CooTiles, CscTiles, CsrTiles, EllTiles};
+pub use dispatch::{BalancedLaunch, Dispatch, KernelPlan, TileExec};
 pub use heuristic::Heuristic;
 pub use ranges::{
     block_stride_range, grid_stride_range, infinite_range, step_range, warp_stride_range,

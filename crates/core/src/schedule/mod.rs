@@ -48,16 +48,87 @@ pub enum ScheduleKind {
     Lrb,
 }
 
+impl ScheduleKind {
+    /// The schedule *family* name, without parameters: `"group-mapped"`
+    /// for any group size, `"work-queue"` for any chunk. This is the
+    /// stable identifier trace span labels and plan-cache keys are built
+    /// from (see [`crate::dispatch::trace_label`]); the `Display` form
+    /// round-trips the parameterized form through [`std::str::FromStr`].
+    pub fn base_name(&self) -> &'static str {
+        match self {
+            Self::ThreadMapped => "thread-mapped",
+            Self::WarpMapped => "warp-mapped",
+            Self::BlockMapped => "block-mapped",
+            Self::GroupMapped(_) => "group-mapped",
+            Self::MergePath => "merge-path",
+            Self::WorkQueue(_) => "work-queue",
+            Self::Lrb => "lrb",
+        }
+    }
+}
+
 impl std::fmt::Display for ScheduleKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::ThreadMapped => write!(f, "thread-mapped"),
-            Self::WarpMapped => write!(f, "warp-mapped"),
-            Self::BlockMapped => write!(f, "block-mapped"),
-            Self::GroupMapped(n) => write!(f, "group-mapped({n})"),
-            Self::MergePath => write!(f, "merge-path"),
-            Self::WorkQueue(c) => write!(f, "work-queue({c})"),
-            Self::Lrb => write!(f, "lrb"),
+            Self::GroupMapped(n) => write!(f, "{}({n})", self.base_name()),
+            Self::WorkQueue(c) => write!(f, "{}({c})", self.base_name()),
+            _ => f.write_str(self.base_name()),
+        }
+    }
+}
+
+/// Error returned when a string names no [`ScheduleKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError(String);
+
+impl std::fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown schedule {:?} (expected thread-mapped, warp-mapped, block-mapped, \
+             group-mapped(N), merge-path, work-queue(C), or lrb)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl std::str::FromStr for ScheduleKind {
+    type Err = ParseScheduleError;
+
+    /// Parse the [`Display`](std::fmt::Display) form back into a kind —
+    /// the CSV/CLI side of the "single identifier" switch. Parameterized
+    /// families accept both the explicit form (`group-mapped(64)`,
+    /// `work-queue(128)`) and the bare family name, which takes the
+    /// conventional default (warp-width 32 groups; 256-tile chunks).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parse_param = |prefix: &str| -> Option<Result<u32, ParseScheduleError>> {
+            let rest = s.strip_prefix(prefix)?;
+            let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+            Some(
+                inner
+                    .parse::<u32>()
+                    .map_err(|_| ParseScheduleError(s.to_owned())),
+            )
+        };
+        match s {
+            "thread-mapped" => Ok(Self::ThreadMapped),
+            "warp-mapped" => Ok(Self::WarpMapped),
+            "block-mapped" => Ok(Self::BlockMapped),
+            "merge-path" => Ok(Self::MergePath),
+            "lrb" => Ok(Self::Lrb),
+            "group-mapped" => Ok(Self::GroupMapped(32)),
+            "work-queue" => Ok(Self::WorkQueue(256)),
+            _ => {
+                if let Some(n) = parse_param("group-mapped") {
+                    return Ok(Self::GroupMapped(n?));
+                }
+                if let Some(c) = parse_param("work-queue") {
+                    return Ok(Self::WorkQueue(c?));
+                }
+                Err(ParseScheduleError(s.to_owned()))
+            }
         }
     }
 }
@@ -75,5 +146,44 @@ mod tests {
         assert_eq!(ScheduleKind::BlockMapped.to_string(), "block-mapped");
         assert_eq!(ScheduleKind::WorkQueue(16).to_string(), "work-queue(16)");
         assert_eq!(ScheduleKind::Lrb.to_string(), "lrb");
+    }
+
+    #[test]
+    fn from_str_round_trips_display_for_every_kind() {
+        for kind in [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::WarpMapped,
+            ScheduleKind::BlockMapped,
+            ScheduleKind::GroupMapped(8),
+            ScheduleKind::GroupMapped(64),
+            ScheduleKind::MergePath,
+            ScheduleKind::WorkQueue(1),
+            ScheduleKind::WorkQueue(4096),
+            ScheduleKind::Lrb,
+        ] {
+            let parsed: ScheduleKind = kind.to_string().parse().expect("round-trip");
+            assert_eq!(parsed, kind, "{kind}");
+        }
+    }
+
+    #[test]
+    fn bare_parameterized_families_take_defaults() {
+        assert_eq!("group-mapped".parse(), Ok(ScheduleKind::GroupMapped(32)));
+        assert_eq!("work-queue".parse(), Ok(ScheduleKind::WorkQueue(256)));
+    }
+
+    #[test]
+    fn junk_strings_are_rejected_with_context() {
+        for bad in ["thread", "group-mapped(", "group-mapped(x)", "work-queue(-1)", ""] {
+            let err = bad.parse::<ScheduleKind>().unwrap_err();
+            assert!(err.to_string().contains("unknown schedule"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn base_names_drop_parameters() {
+        assert_eq!(ScheduleKind::GroupMapped(64).base_name(), "group-mapped");
+        assert_eq!(ScheduleKind::WorkQueue(16).base_name(), "work-queue");
+        assert_eq!(ScheduleKind::MergePath.base_name(), "merge-path");
     }
 }

@@ -36,10 +36,14 @@ pub struct WorkQueueSchedule<'w, W> {
 
 impl<'w, W: TileSet> WorkQueueSchedule<'w, W> {
     /// Create a schedule claiming `chunk` consecutive tiles per grab
-    /// (larger chunks amortize the atomic; smaller chunks balance better).
+    /// (larger chunks amortize the atomic; smaller chunks balance
+    /// better). A zero chunk is clamped to 1 here — the guard every call
+    /// site used to carry — so `WorkQueue(0)` can never panic or spin.
     pub fn new(work: &'w W, chunk: usize) -> Self {
-        assert!(chunk >= 1, "chunk must be ≥ 1");
-        Self { work, chunk }
+        Self {
+            work,
+            chunk: chunk.max(1),
+        }
     }
 
     /// A launch sized like a persistent kernel: enough blocks to fill
@@ -199,9 +203,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "≥ 1")]
-    fn zero_chunk_rejected() {
+    fn zero_chunk_clamps_to_one() {
         let w = CountedTiles::from_counts([1]);
-        let _ = WorkQueueSchedule::new(&w, 0);
+        assert_eq!(WorkQueueSchedule::new(&w, 0).chunk(), 1);
+        assert_eq!(WorkQueueSchedule::new(&w, 5).chunk(), 5);
     }
 }

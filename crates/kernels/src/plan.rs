@@ -1,14 +1,13 @@
-//! Prepared SpMV plans — the unit a serving runtime caches per matrix.
+//! Prepared execution plans — the unit a serving runtime caches per
+//! matrix.
 //!
-//! A *plan* freezes everything about an SpMV launch that depends only on
-//! the matrix's sparsity pattern, not on the input vector: the schedule
-//! choice (from the paper's §6.2 heuristic or pinned by the caller), the
-//! block size, and any precomputed setup artifacts —
-//!
-//! * **merge-path**: the per-thread partition table that the cold kernel
-//!   otherwise derives with two in-kernel diagonal searches per thread;
-//! * **LRB**: the log₂-binning of rows ([`LrbPlan`]), which the cold path
-//!   pays two extra launches to build.
+//! The plan type itself is the engine's kernel-agnostic
+//! [`loops::dispatch::KernelPlan`] (re-exported here as [`SpmvPlan`] for
+//! the benchmark code that grew up against SpMV): schedule choice, block
+//! size, and the pattern-only setup artifacts (merge-path partition
+//! table, LRB bins). This module keeps the CSR-flavoured conveniences —
+//! [`prepare`] from a matrix, [`prepare_auto`] via the paper's §6.2
+//! heuristic, and [`run`] to replay a plan against a vector.
 //!
 //! [`spmv::spmv_with_plan`] replays a plan against any `x`. Results are
 //! **bitwise identical** to the cold path for the same schedule: artifacts
@@ -16,43 +15,18 @@
 //! products are accumulated.
 
 use loops::adapters::CsrTiles;
+use loops::dispatch::BalancedLaunch;
 use loops::heuristic::Heuristic;
-use loops::schedule::{LrbPlan, LrbSchedule, MergePathSchedule, ScheduleKind};
+use loops::schedule::ScheduleKind;
 use simt::{CostModel, GpuSpec};
 use sparse::Csr;
 
-use crate::spmv::{self, SpmvRun, DEFAULT_BLOCK, MERGE_ITEMS_PER_THREAD};
+use crate::spmv::{self, SpmvRun, DEFAULT_BLOCK};
 
-/// A prepared, matrix-specific SpMV execution plan.
-#[derive(Debug, Clone)]
-pub struct SpmvPlan {
-    /// Schedule the plan was prepared for.
-    pub schedule: ScheduleKind,
-    /// Threads per block.
-    pub block_dim: u32,
-    /// Merge-path partition table (`num_threads + 1` boundary tile
-    /// indices; the atom coordinate is derivable from the diagonal),
-    /// present iff `schedule == MergePath`.
-    pub merge_starts: Option<Vec<u32>>,
-    /// LRB binning artifacts, present iff `schedule == Lrb`.
-    pub lrb: Option<LrbPlan>,
-    /// Simulated one-time cost of building the *separable* artifacts (the
-    /// LRB binning launches). Merge-path setup is charged inside the cold
-    /// kernel itself, so on a cache hit its saving shows up as lower
-    /// kernel elapsed rather than in this field.
-    pub setup_ms: f64,
-}
-
-impl SpmvPlan {
-    /// Approximate device memory the cached artifacts would occupy.
-    pub fn artifact_bytes(&self) -> usize {
-        let merge = self.merge_starts.as_ref().map_or(0, |s| s.len() * 4);
-        let lrb = self.lrb.as_ref().map_or(0, |p| {
-            p.order.len() * 4 + p.bin_offsets.len() * std::mem::size_of::<usize>()
-        });
-        merge + lrb
-    }
-}
+/// A prepared, pattern-specific execution plan (see
+/// [`loops::dispatch::KernelPlan`]). The alias survives from when plans
+/// were SpMV-only; the same type now serves every engine kernel.
+pub type SpmvPlan = loops::dispatch::KernelPlan;
 
 /// Prepare a plan for a fixed schedule.
 pub fn prepare(
@@ -62,35 +36,10 @@ pub fn prepare(
     kind: ScheduleKind,
     block_dim: u32,
 ) -> simt::Result<SpmvPlan> {
-    let block_dim = block_dim.min(spec.max_threads_per_block);
-    let mut plan = SpmvPlan {
-        schedule: kind,
-        block_dim,
-        merge_starts: None,
-        lrb: None,
-        setup_ms: 0.0,
-    };
-    match kind {
-        ScheduleKind::MergePath => {
-            let work = CsrTiles::new(a);
-            let sched = MergePathSchedule::new(&work, MERGE_ITEMS_PER_THREAD);
-            plan.merge_starts = Some(sched.partition());
-        }
-        ScheduleKind::Lrb => {
-            let work = CsrTiles::new(a);
-            let sched = LrbSchedule {
-                block_dim,
-                ..LrbSchedule::default()
-            };
-            let lrb = sched.bin_tiles(spec, model, &work)?;
-            plan.setup_ms = lrb.binning_report.elapsed_ms();
-            plan.lrb = Some(lrb);
-        }
-        // The remaining schedules have no pattern-dependent setup to
-        // cache; the plan still pins the schedule + block size decision.
-        _ => {}
-    }
-    Ok(plan)
+    let work = CsrTiles::new(a);
+    BalancedLaunch::new(spec, model, &work)
+        .block_dim(block_dim)
+        .prepare(kind)
 }
 
 /// Prepare a plan with the schedule chosen by the paper's heuristic.

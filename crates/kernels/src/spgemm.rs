@@ -3,14 +3,16 @@
 //! in §5.3: the first kernel computes each output row's size, the host
 //! allocates, and the second kernel performs the multiply-accumulate.
 //!
-//! Both kernels are scheduled over the tile set of `A`'s rows with the
-//! thread-mapped schedule (each output row needs an exclusive accumulator,
-//! so tile-per-processing-element is the natural mapping; the imbalance
+//! Both kernels are flat-span [`TileExec`]s dispatched through the engine
+//! over the tile set of `A`'s rows with the thread-mapped schedule (each
+//! output row needs an exclusive accumulator, so
+//! tile-per-processing-element is the natural mapping; the imbalance
 //! story is identical to SpMV's and is measured there).
 
 use loops::adapters::CsrTiles;
-use loops::schedule::ThreadMappedSchedule;
-use simt::{CostModel, GlobalMem, GpuSpec, LaunchConfig, LaunchReport};
+use loops::dispatch::{span_atoms, BalancedLaunch, TileExec};
+use loops::schedule::{ScheduleKind, TileSpan};
+use simt::{CostModel, GlobalMem, GpuSpec, LaneCtx, LaunchReport};
 use sparse::Csr;
 use std::cell::RefCell;
 
@@ -59,6 +61,76 @@ thread_local! {
     static ACC: RefCell<RowAcc> = RefCell::new(RowAcc::default());
 }
 
+/// Kernel 1: count each output row's distinct column count.
+struct CountExec<'a> {
+    a: &'a Csr<f32>,
+    b: &'a Csr<f32>,
+    n_out_cols: usize,
+    sizes: GlobalMem<'a, u64>,
+}
+
+impl TileExec for CountExec<'_> {
+    const COOPERATIVE_REDUCE: bool = false;
+
+    fn span(&self, t: &LaneCtx<'_>, span: &TileSpan) {
+        let row = span.tile;
+        let distinct = ACC.with(|acc| {
+            let acc = &mut *acc.borrow_mut();
+            acc.begin_row(self.n_out_cols);
+            for nz in span_atoms(span, t) {
+                let k = self.a.col_indices()[nz] as usize;
+                let (bcols, _) = self.b.row(k);
+                for &j in bcols {
+                    // Each B-row entry is a secondary atom.
+                    t.charge_atom();
+                    acc.add(j, 1.0);
+                }
+            }
+            acc.touched.len()
+        });
+        self.sizes.store(row, distinct as u64);
+        t.write_bytes(8);
+    }
+}
+
+/// Kernel 2: multiply-accumulate into the allocated rows.
+struct FillExec<'a> {
+    a: &'a Csr<f32>,
+    b: &'a Csr<f32>,
+    n_out_cols: usize,
+    offsets: &'a [usize],
+    cols: GlobalMem<'a, u32>,
+    vals: GlobalMem<'a, f32>,
+}
+
+impl TileExec for FillExec<'_> {
+    const COOPERATIVE_REDUCE: bool = false;
+
+    fn span(&self, t: &LaneCtx<'_>, span: &TileSpan) {
+        let row = span.tile;
+        ACC.with(|acc| {
+            let acc = &mut *acc.borrow_mut();
+            acc.begin_row(self.n_out_cols);
+            for nz in span_atoms(span, t) {
+                let k = self.a.col_indices()[nz] as usize;
+                let av = self.a.values()[nz];
+                let (bcols, bvals) = self.b.row(k);
+                for (&j, &bv) in bcols.iter().zip(bvals) {
+                    t.charge_atom();
+                    acc.add(j, av * bv);
+                }
+            }
+            acc.touched.sort_unstable();
+            let base = self.offsets[row];
+            for (slot, &j) in acc.touched.iter().enumerate() {
+                self.cols.store(base + slot, j);
+                self.vals.store(base + slot, acc.dense[j as usize]);
+                t.write_bytes(8);
+            }
+        });
+    }
+}
+
 /// Run SpGEMM: `C = A · B`.
 pub fn spgemm(spec: &GpuSpec, a: &Csr<f32>, b: &Csr<f32>) -> simt::Result<SpgemmRun> {
     spgemm_with_model(spec, &CostModel::standard(), a, b)
@@ -72,36 +144,20 @@ pub fn spgemm_with_model(
     b: &Csr<f32>,
 ) -> simt::Result<SpgemmRun> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let block = crate::spmv::DEFAULT_BLOCK.min(spec.max_threads_per_block);
     let work = CsrTiles::new(a);
-    let sched = ThreadMappedSchedule::new(&work);
-    let cfg = LaunchConfig::over_threads(a.rows().max(1) as u64, block);
+    let engine = BalancedLaunch::new(spec, model, &work);
     let n_out_cols = b.cols();
 
     // ---- Kernel 1: count output row sizes --------------------------------
     let mut row_sizes = vec![0u64; a.rows()];
     let count_report = {
-        let gsizes = GlobalMem::new(&mut row_sizes);
-        simt::launch_threads_with_model(spec, model, cfg, |t| {
-            for row in sched.tiles(t) {
-                let distinct = ACC.with(|acc| {
-                    let acc = &mut *acc.borrow_mut();
-                    acc.begin_row(n_out_cols);
-                    for nz in sched.atoms(row, t) {
-                        let k = a.col_indices()[nz] as usize;
-                        let (bcols, _) = b.row(k);
-                        for &j in bcols {
-                            // Each B-row entry is a secondary atom.
-                            t.charge_atom();
-                            acc.add(j, 1.0);
-                        }
-                    }
-                    acc.touched.len()
-                });
-                gsizes.store(row, distinct as u64);
-                t.write_bytes(8);
-            }
-        })?
+        let exec = CountExec {
+            a,
+            b,
+            n_out_cols,
+            sizes: GlobalMem::new(&mut row_sizes),
+        };
+        engine.run(ScheduleKind::ThreadMapped, &exec)?.report
     };
 
     // ---- Allocation stage (host) ------------------------------------------
@@ -115,32 +171,15 @@ pub fn spgemm_with_model(
 
     // ---- Kernel 2: multiply-accumulate into the allocated rows ------------
     let fill_report = {
-        let gcols = GlobalMem::new(&mut out_cols);
-        let gvals = GlobalMem::new(&mut out_vals);
-        simt::launch_threads_with_model(spec, model, cfg, |t| {
-            for row in sched.tiles(t) {
-                ACC.with(|acc| {
-                    let acc = &mut *acc.borrow_mut();
-                    acc.begin_row(n_out_cols);
-                    for nz in sched.atoms(row, t) {
-                        let k = a.col_indices()[nz] as usize;
-                        let av = a.values()[nz];
-                        let (bcols, bvals) = b.row(k);
-                        for (&j, &bv) in bcols.iter().zip(bvals) {
-                            t.charge_atom();
-                            acc.add(j, av * bv);
-                        }
-                    }
-                    acc.touched.sort_unstable();
-                    let base = offsets[row];
-                    for (slot, &j) in acc.touched.iter().enumerate() {
-                        gcols.store(base + slot, j);
-                        gvals.store(base + slot, acc.dense[j as usize]);
-                        t.write_bytes(8);
-                    }
-                });
-            }
-        })?
+        let exec = FillExec {
+            a,
+            b,
+            n_out_cols,
+            offsets: &offsets,
+            cols: GlobalMem::new(&mut out_cols),
+            vals: GlobalMem::new(&mut out_vals),
+        };
+        engine.run(ScheduleKind::ThreadMapped, &exec)?.report
     };
 
     let mut report = count_report;

@@ -3,12 +3,15 @@
 //! "A simple loop wrapped around SpMV": the kernel body is Listing 3 plus
 //! one loop over the columns of `B` — and because the schedule is
 //! decoupled, the *same* merge-path/thread-mapped machinery balances it
-//! (the rewrite Yang et al. had to do by hand, for free).
+//! (the rewrite Yang et al. had to do by hand, for free). The body is a
+//! flat-span [`TileExec`] dispatched through the engine, so SpMM also
+//! inherits plan-cached warm launches ([`spmm_with_plan`]).
 
 use loops::adapters::CsrTiles;
+use loops::dispatch::{span_atoms, BalancedLaunch, KernelPlan, TileExec};
 use loops::ranges::step_range;
-use loops::schedule::{MergePathSchedule, ScheduleKind, ThreadMappedSchedule};
-use simt::{CostModel, GlobalMem, GpuSpec, LaunchConfig, LaunchReport};
+use loops::schedule::{ScheduleKind, TileSpan};
+use simt::{CostModel, GlobalMem, GpuSpec, LaneCtx, LaunchReport};
 use sparse::{Csr, DenseMatrix};
 
 /// Result of one simulated SpMM.
@@ -18,10 +21,57 @@ pub struct SpmmRun {
     pub c: DenseMatrix<f32>,
     /// Simulated launch report.
     pub report: LaunchReport,
+    /// The schedule the engine actually ran (after the flat-span
+    /// coercion).
+    pub schedule: ScheduleKind,
 }
 
-/// Run SpMM with the given schedule (thread-mapped or merge-path; the
-/// cooperative schedules reduce by tile and are exposed through SpMV).
+/// Listing 4's body: per span, loop over `B`'s columns; per column,
+/// accumulate the span's products. Complete tiles store directly;
+/// partial merge-path tiles combine through `atomicAdd`.
+struct SpmmExec<'a> {
+    values: &'a [f32],
+    col_indices: &'a [u32],
+    b: &'a DenseMatrix<f32>,
+    c: GlobalMem<'a, f32>,
+    n_cols: usize,
+}
+
+impl TileExec for SpmmExec<'_> {
+    const COOPERATIVE_REDUCE: bool = false;
+
+    fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+        // Listing 4: the new loop over B's columns.
+        for col in step_range(0, self.n_cols, 1) {
+            let mut sum = 0.0f32;
+            for nz in span_atoms(span, lane) {
+                sum += self.values[nz] * self.b.get(self.col_indices[nz] as usize, col);
+            }
+            let out = span.tile * self.n_cols + col;
+            if span.complete {
+                self.c.store(out, sum);
+                lane.write_bytes(4);
+            } else if !span.atoms.is_empty() {
+                self.c.fetch_add(out, sum);
+                lane.charge_atomic();
+            }
+        }
+    }
+}
+
+/// SpMM supports the flat-span schedules; the cooperative schedules
+/// reduce a single scalar per tile and are exposed through SpMV, so
+/// anything else falls back to thread-mapped (Listing 4's default).
+fn coerce(kind: ScheduleKind) -> ScheduleKind {
+    if kind == ScheduleKind::MergePath {
+        kind
+    } else {
+        ScheduleKind::ThreadMapped
+    }
+}
+
+/// Run SpMM with the given schedule (thread-mapped or merge-path; any
+/// other kind falls back to thread-mapped).
 pub fn spmm(
     spec: &GpuSpec,
     a: &Csr<f32>,
@@ -40,60 +90,69 @@ pub fn spmm_with_model(
     kind: ScheduleKind,
 ) -> simt::Result<SpmmRun> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let block = crate::spmv::DEFAULT_BLOCK.min(spec.max_threads_per_block);
     let work = CsrTiles::new(a);
     let mut c = DenseMatrix::zeros(a.rows(), b.cols());
-    let (values, col_indices) = (a.values(), a.col_indices());
-    let n_cols = b.cols();
-    let report = {
-        let gc = GlobalMem::new(c.as_mut_slice());
-        match kind {
-            ScheduleKind::MergePath => {
-                let sched = MergePathSchedule::new(&work, crate::spmv::MERGE_ITEMS_PER_THREAD);
-                let cfg = sched.launch_config(block);
-                simt::launch_threads_with_model(spec, model, cfg, |t| {
-                    for span in sched.spans(t) {
-                        // Listing 4: the new loop over B's columns.
-                        for col in step_range(0, n_cols, 1) {
-                            let mut sum = 0.0f32;
-                            for nz in sched.atoms(&span, t) {
-                                sum += values[nz]
-                                    * b.get(col_indices[nz] as usize, col);
-                            }
-                            let out = span.tile * n_cols + col;
-                            if span.complete {
-                                gc.store(out, sum);
-                                t.write_bytes(4);
-                            } else if !span.atoms.is_empty() {
-                                gc.fetch_add(out, sum);
-                                t.charge_atomic();
-                            }
-                        }
-                    }
-                })?
-            }
-            _ => {
-                // Thread-mapped is the default for everything else; the
-                // paper's Listing 4 is written against it.
-                let sched = ThreadMappedSchedule::new(&work);
-                let cfg = LaunchConfig::over_threads(a.rows().max(1) as u64, block);
-                simt::launch_threads_with_model(spec, model, cfg, |t| {
-                    for row in sched.tiles(t) {
-                        for col in step_range(0, n_cols, 1) {
-                            let mut sum = 0.0f32;
-                            for nz in sched.atoms(row, t) {
-                                sum += values[nz]
-                                    * b.get(col_indices[nz] as usize, col);
-                            }
-                            gc.store(row * n_cols + col, sum);
-                            t.write_bytes(4);
-                        }
-                    }
-                })?
-            }
-        }
+    let d = {
+        let exec = SpmmExec {
+            values: a.values(),
+            col_indices: a.col_indices(),
+            b,
+            c: GlobalMem::new(c.as_mut_slice()),
+            n_cols: b.cols(),
+        };
+        BalancedLaunch::new(spec, model, &work).run(coerce(kind), &exec)?
     };
-    Ok(SpmmRun { c, report })
+    Ok(SpmmRun {
+        c,
+        report: d.report,
+        schedule: d.schedule,
+    })
+}
+
+/// Prepare a reusable SpMM plan for `a` (schedule choice + merge-path
+/// partition table). The artifacts depend only on `a`'s sparsity
+/// pattern, so one plan serves *any* dense `B` — the warm path a serving
+/// runtime caches per matrix.
+pub fn prepare(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    kind: ScheduleKind,
+) -> simt::Result<KernelPlan> {
+    let work = CsrTiles::new(a);
+    BalancedLaunch::new(spec, model, &work).prepare(coerce(kind))
+}
+
+/// Run SpMM under a prepared plan. Bitwise identical to [`spmm`] with
+/// the plan's schedule; a cached merge-path plan skips the in-kernel
+/// diagonal searches.
+pub fn spmm_with_plan(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    b: &DenseMatrix<f32>,
+    plan: &KernelPlan,
+) -> simt::Result<SpmmRun> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let work = CsrTiles::new(a);
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+    let d = {
+        let exec = SpmmExec {
+            values: a.values(),
+            col_indices: a.col_indices(),
+            b,
+            c: GlobalMem::new(c.as_mut_slice()),
+            n_cols: b.cols(),
+        };
+        BalancedLaunch::new(spec, model, &work)
+            .block_dim(plan.block_dim)
+            .run_planned(plan, &exec)?
+    };
+    Ok(SpmmRun {
+        c,
+        report: d.report,
+        schedule: d.schedule,
+    })
 }
 
 #[cfg(test)]
@@ -150,6 +209,29 @@ mod tests {
         let r1 = spmm(&GpuSpec::v100(), &a, &b1, ScheduleKind::ThreadMapped).unwrap();
         let r8 = spmm(&GpuSpec::v100(), &a, &b8, ScheduleKind::ThreadMapped).unwrap();
         assert!(r8.report.timing.total_units > 4.0 * r1.report.timing.total_units);
+    }
+
+    #[test]
+    fn planned_spmm_is_bitwise_identical_and_reusable_across_b() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let a = sparse::gen::powerlaw(400, 400, 8_000, 1.8, 45);
+        let plan = prepare(&spec, &model, &a, ScheduleKind::MergePath).unwrap();
+        assert!(plan.merge_starts.is_some());
+        // One plan, two different Bs.
+        for seed in [0u32, 1] {
+            let b = DenseMatrix::from_fn(400, 4, |r, c| ((r * 31 + c * 7 + seed as usize) as f32).cos());
+            let cold = spmm_with_model(&spec, &model, &a, &b, ScheduleKind::MergePath).unwrap();
+            let warm = spmm_with_plan(&spec, &model, &a, &b, &plan).unwrap();
+            let bits = |m: &DenseMatrix<f32>| {
+                m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            };
+            assert_eq!(bits(&cold.c), bits(&warm.c), "seed {seed}");
+            assert!(
+                warm.report.timing.total_units < cold.report.timing.total_units,
+                "prepartitioned SpMM should issue less work"
+            );
+        }
     }
 
     #[test]

@@ -1,23 +1,18 @@
 //! Load-balanced SpMV — the paper's benchmark application (Listing 3).
 //!
-//! `y = A·x` with the computation written once per schedule *shape*
-//! (per-thread ranges vs cooperative batches) and the schedule chosen by a
-//! [`ScheduleKind`] — the "single enum identifier" switch of §6.2. Every
-//! variant runs on the simulator, charges the framework's range overheads,
-//! and returns both the result vector and the launch's timing report.
+//! `y = A·x` with the computation written **once**, as a
+//! [`TileExec`], and every schedule provided by the engine
+//! ([`loops::dispatch::BalancedLaunch`]) — the "single enum identifier"
+//! switch of §6.2 with zero per-kernel schedule code. Every variant runs
+//! on the simulator, charges the framework's range overheads, and
+//! returns both the result vector and the launch's timing report.
 
 use loops::adapters::CsrTiles;
-use loops::schedule::{
-    GroupMappedSchedule, MergePathSchedule, ScheduleKind, ThreadMappedSchedule,
-};
-use simt::{CostModel, GlobalMem, GpuSpec, LaunchConfig, LaunchReport};
+use loops::dispatch::{span_atoms, BalancedLaunch, TileExec};
+pub use loops::dispatch::{DEFAULT_BLOCK, MERGE_ITEMS_PER_THREAD};
+use loops::schedule::{ScheduleKind, TileSpan};
+use simt::{CostModel, GlobalMem, GpuSpec, LaneCtx, LaunchConfig, LaunchReport};
 use sparse::Csr;
-
-/// Items per thread for merge-path, following CUB's V100 tuning.
-pub const MERGE_ITEMS_PER_THREAD: usize = 7;
-
-/// Default threads per block (the paper's Listing 3 uses 256).
-pub const DEFAULT_BLOCK: u32 = 256;
 
 /// Result of one simulated SpMV.
 #[derive(Debug, Clone)]
@@ -28,6 +23,46 @@ pub struct SpmvRun {
     pub report: LaunchReport,
     /// Which schedule actually ran (after any clamping).
     pub schedule: ScheduleKind,
+}
+
+/// The SpMV computation, written once for all schedules: a flat span
+/// accumulates locally and either stores (complete tile) or combines
+/// through `atomicAdd` (partial merge-path tile — the framework-level
+/// equivalent of CUB's carry-out/fixup pass); cooperative schedules
+/// compute one product per atom and store each tile's segment-reduced
+/// sum exactly once.
+struct SpmvExec<'a> {
+    values: &'a [f32],
+    col_indices: &'a [u32],
+    x: &'a [f32],
+    y: GlobalMem<'a, f32>,
+}
+
+impl TileExec for SpmvExec<'_> {
+    const COOPERATIVE_REDUCE: bool = true;
+
+    fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+        let mut sum = 0.0f32;
+        for nz in span_atoms(span, lane) {
+            sum += self.values[nz] * self.x[self.col_indices[nz] as usize];
+        }
+        if span.complete {
+            self.y.store(span.tile, sum);
+            lane.write_bytes(4);
+        } else if !span.atoms.is_empty() {
+            self.y.fetch_add(span.tile, sum);
+            lane.charge_atomic();
+        }
+    }
+
+    fn atom_value(&self, _lane: &LaneCtx<'_>, _tile: usize, nz: usize) -> f32 {
+        self.values[nz] * self.x[self.col_indices[nz] as usize]
+    }
+
+    fn tile_done(&self, lane: &LaneCtx<'_>, tile: usize, sum: f32) {
+        self.y.store(tile, sum);
+        lane.write_bytes(4);
+    }
 }
 
 /// Run SpMV with the given schedule and the standard cost model.
@@ -50,16 +85,24 @@ pub fn spmv_with_model(
     block_dim: u32,
 ) -> simt::Result<SpmvRun> {
     assert_eq!(x.len(), a.cols(), "x must have one entry per column");
-    let block_dim = block_dim.min(spec.max_threads_per_block);
-    match kind {
-        ScheduleKind::ThreadMapped => thread_mapped(spec, model, a, x, block_dim),
-        ScheduleKind::MergePath => merge_path(spec, model, a, x, block_dim, None),
-        ScheduleKind::WarpMapped => group_mapped(spec, model, a, x, spec.warp_size, block_dim),
-        ScheduleKind::BlockMapped => group_mapped(spec, model, a, x, block_dim, block_dim),
-        ScheduleKind::GroupMapped(g) => group_mapped(spec, model, a, x, g, block_dim),
-        ScheduleKind::WorkQueue(chunk) => work_queue(spec, model, a, x, chunk.max(1), block_dim),
-        ScheduleKind::Lrb => lrb(spec, model, a, x, block_dim, None),
-    }
+    let work = CsrTiles::new(a);
+    let mut y = vec![0.0f32; a.rows()];
+    let d = {
+        let exec = SpmvExec {
+            values: a.values(),
+            col_indices: a.col_indices(),
+            x,
+            y: GlobalMem::new(&mut y),
+        };
+        BalancedLaunch::new(spec, model, &work)
+            .block_dim(block_dim)
+            .run(kind, &exec)?
+    };
+    Ok(SpmvRun {
+        y,
+        report: d.report,
+        schedule: d.schedule,
+    })
 }
 
 /// Run SpMV with a prepared [`plan`](crate::plan::SpmvPlan): the schedule
@@ -76,285 +119,23 @@ pub fn spmv_with_plan(
     plan: &crate::plan::SpmvPlan,
 ) -> simt::Result<SpmvRun> {
     assert_eq!(x.len(), a.cols(), "x must have one entry per column");
-    let block_dim = plan.block_dim.min(spec.max_threads_per_block);
-    match plan.schedule {
-        ScheduleKind::MergePath => {
-            merge_path(spec, model, a, x, block_dim, plan.merge_starts.as_deref())
-        }
-        ScheduleKind::Lrb => lrb(spec, model, a, x, block_dim, plan.lrb.as_ref()),
-        kind => spmv_with_model(spec, model, a, x, kind, block_dim),
-    }
-}
-
-/// Logarithmic-Radix-Binning SpMV (§7 related work): a binning pass
-/// groups rows by log2(length); tiny rows go thread-per-row, medium rows
-/// warp-per-batch, huge rows block-per-batch — each class an ordinary
-/// launch over a [`loops::work::SubsetTiles`] view.
-fn lrb(
-    spec: &GpuSpec,
-    model: &CostModel,
-    a: &Csr<f32>,
-    x: &[f32],
-    block_dim: u32,
-    cached: Option<&loops::schedule::LrbPlan>,
-) -> simt::Result<SpmvRun> {
-    use loops::schedule::{bin_of, GroupMappedSchedule, LrbSchedule};
-    use loops::work::SubsetTiles;
     let work = CsrTiles::new(a);
-    let cfg_sched = LrbSchedule {
-        block_dim,
-        ..LrbSchedule::default()
-    };
-    // A cached plan skips the binning launches entirely (the bins only
-    // depend on the sparsity pattern, not on `x`); its cost was paid once
-    // at prepare time.
-    let owned;
-    let (plan, mut report) = match cached {
-        Some(p) => (p, None),
-        None => {
-            owned = cfg_sched.bin_tiles(spec, model, &work)?;
-            let r = owned.binning_report.clone();
-            (&owned, Some(r))
-        }
-    };
     let mut y = vec![0.0f32; a.rows()];
-    let (values, col_indices) = (a.values(), a.col_indices());
-
-    let small_hi = bin_of(cfg_sched.small_limit) + 1;
-    let medium_hi = bin_of(cfg_sched.medium_limit) + 1;
-    let class = |lo: usize, hi: usize| &plan.order[plan.bin_offsets[lo]..plan.bin_offsets[hi]];
-    // Small rows: one per thread, plain local accumulation.
-    let small = class(0, small_hi);
-    if !small.is_empty() {
-        let view = SubsetTiles::new(&work, small);
-        let sched = ThreadMappedSchedule::new(&view);
-        let gy = GlobalMem::new(&mut y);
-        let r = simt::launch_threads_with_model(
-            spec,
-            model,
-            LaunchConfig::over_threads(small.len() as u64, block_dim),
-            |t| {
-                for local in sched.tiles(t) {
-                    let mut sum = 0.0f32;
-                    for nz in sched.atoms(local, t) {
-                        sum += values[nz] * x[col_indices[nz] as usize];
-                    }
-                    gy.store(view.global_tile(local), sum);
-                    t.write_bytes(4);
-                }
-            },
-        )?;
-        match report {
-            Some(ref mut rep) => rep.accumulate(&r),
-            None => report = Some(r),
-        }
-    }
-    // Medium/large rows: group-mapped batches with per-tile reduction.
-    for (lo, hi, group) in [
-        (small_hi, medium_hi, spec.warp_size),
-        (medium_hi, loops::schedule::LRB_NUM_BINS, block_dim),
-    ] {
-        let tiles = class(lo, hi.max(lo));
-        if tiles.is_empty() {
-            continue;
-        }
-        let view = SubsetTiles::new(&work, tiles);
-        let sched = GroupMappedSchedule::new(&view, group);
-        let cfg = sched.launch_config(block_dim, spec.num_sms * 8);
-        let gy = GlobalMem::new(&mut y);
-        let r = simt::launch_groups_with_model(spec, model, cfg, group, |g| {
-            sched.process_batches(
-                g,
-                |_lane, _local, nz| values[nz] * x[col_indices[nz] as usize],
-                |lane, local, sum| {
-                    gy.store(view.global_tile(local), sum);
-                    lane.write_bytes(4);
-                },
-            );
-        })?;
-        match report {
-            Some(ref mut rep) => rep.accumulate(&r),
-            None => report = Some(r),
-        }
-    }
-    let report = match report {
-        Some(r) => r,
-        // Fully empty matrix on the cached path: synthesize a minimal
-        // launch so the run still carries a valid report.
-        None => simt::launch_threads_with_model(
-            spec,
-            model,
-            LaunchConfig::over_threads(1, block_dim),
-            |_t| {},
-        )?,
+    let d = {
+        let exec = SpmvExec {
+            values: a.values(),
+            col_indices: a.col_indices(),
+            x,
+            y: GlobalMem::new(&mut y),
+        };
+        BalancedLaunch::new(spec, model, &work)
+            .block_dim(plan.block_dim)
+            .run_planned(plan, &exec)?
     };
     Ok(SpmvRun {
         y,
-        report,
-        schedule: ScheduleKind::Lrb,
-    })
-}
-
-/// Dynamic SpMV: persistent threads claim row chunks from a global atomic
-/// queue (the dynamic half of the abstraction's schedule space).
-fn work_queue(
-    spec: &GpuSpec,
-    model: &CostModel,
-    a: &Csr<f32>,
-    x: &[f32],
-    chunk: u32,
-    block_dim: u32,
-) -> simt::Result<SpmvRun> {
-    use loops::schedule::WorkQueueSchedule;
-    let work = CsrTiles::new(a);
-    let sched = WorkQueueSchedule::new(&work, chunk as usize);
-    let mut y = vec![0.0f32; a.rows()];
-    let (values, col_indices) = (a.values(), a.col_indices());
-    let cfg = sched.launch_config(spec, block_dim);
-    let report = {
-        let gy = GlobalMem::new(&mut y);
-        simt::launch_threads_with_model(spec, model, cfg, |t| {
-            sched.process_tiles(t, |lane, row| {
-                let mut sum = 0.0f32;
-                for nz in sched.atoms(row, lane) {
-                    sum += values[nz] * x[col_indices[nz] as usize];
-                }
-                gy.store(row, sum);
-                lane.write_bytes(4);
-            });
-        })?
-    };
-    Ok(SpmvRun {
-        y,
-        report,
-        schedule: ScheduleKind::WorkQueue(chunk),
-    })
-}
-
-/// Listing 3: tile-per-thread SpMV.
-fn thread_mapped(
-    spec: &GpuSpec,
-    model: &CostModel,
-    a: &Csr<f32>,
-    x: &[f32],
-    block_dim: u32,
-) -> simt::Result<SpmvRun> {
-    let work = CsrTiles::new(a);
-    let sched = ThreadMappedSchedule::new(&work);
-    let mut y = vec![0.0f32; a.rows()];
-    let (values, col_indices) = (a.values(), a.col_indices());
-    let cfg = LaunchConfig::over_threads(a.rows().max(1) as u64, block_dim);
-    let report = {
-        let gy = GlobalMem::new(&mut y);
-        simt::launch_threads_with_model(spec, model, cfg, |t| {
-            // Consume rows, then atoms, exactly as the paper's kernel.
-            for row in sched.tiles(t) {
-                let mut sum = 0.0f32;
-                for nz in sched.atoms(row, t) {
-                    sum += values[nz] * x[col_indices[nz] as usize];
-                }
-                gy.store(row, sum);
-                t.write_bytes(4);
-            }
-        })?
-    };
-    Ok(SpmvRun {
-        y,
-        report,
-        schedule: ScheduleKind::ThreadMapped,
-    })
-}
-
-/// §5.2.1: merge-path SpMV. Complete tiles store directly; partial tiles
-/// combine through `atomicAdd` (the framework-level equivalent of CUB's
-/// carry-out/fixup pass).
-fn merge_path(
-    spec: &GpuSpec,
-    model: &CostModel,
-    a: &Csr<f32>,
-    x: &[f32],
-    block_dim: u32,
-    starts: Option<&[u32]>,
-) -> simt::Result<SpmvRun> {
-    let work = CsrTiles::new(a);
-    let sched = MergePathSchedule::new(&work, MERGE_ITEMS_PER_THREAD);
-    if let Some(s) = starts {
-        assert_eq!(
-            s.len(),
-            sched.num_threads() + 1,
-            "merge-path partition table does not match this matrix"
-        );
-    }
-    let mut y = vec![0.0f32; a.rows()];
-    let (values, col_indices) = (a.values(), a.col_indices());
-    let cfg = sched.launch_config(block_dim);
-    let report = {
-        let gy = GlobalMem::new(&mut y);
-        simt::launch_threads_with_model(spec, model, cfg, |t| {
-            // With a precomputed partition table each thread loads its
-            // span bounds instead of running two diagonal searches.
-            let spans = match starts {
-                Some(s) => sched.spans_prepartitioned(t, s),
-                None => sched.spans(t),
-            };
-            for span in spans {
-                let mut sum = 0.0f32;
-                for nz in sched.atoms(&span, t) {
-                    sum += values[nz] * x[col_indices[nz] as usize];
-                }
-                if span.complete {
-                    gy.store(span.tile, sum);
-                    t.write_bytes(4);
-                } else if !span.atoms.is_empty() {
-                    gy.fetch_add(span.tile, sum);
-                    t.charge_atomic();
-                }
-            }
-        })?
-    };
-    Ok(SpmvRun {
-        y,
-        report,
-        schedule: ScheduleKind::MergePath,
-    })
-}
-
-/// §5.2.2/§5.2.3: group-mapped SpMV (warp- and block-mapped are the same
-/// code at fixed group sizes — the "free" rows of Table 1).
-fn group_mapped(
-    spec: &GpuSpec,
-    model: &CostModel,
-    a: &Csr<f32>,
-    x: &[f32],
-    group_size: u32,
-    block_dim: u32,
-) -> simt::Result<SpmvRun> {
-    // A group cannot exceed its block and must tile it evenly.
-    let group_size = group_size.clamp(1, block_dim);
-    let group_size = largest_divisor_leq(block_dim, group_size);
-    let work = CsrTiles::new(a);
-    let sched = GroupMappedSchedule::new(&work, group_size);
-    let mut y = vec![0.0f32; a.rows()];
-    let (values, col_indices) = (a.values(), a.col_indices());
-    // Oversubscribe ~8 blocks per SM; rounds absorb the remainder.
-    let cfg = sched.launch_config(block_dim, spec.num_sms * 8);
-    let report = {
-        let gy = GlobalMem::new(&mut y);
-        simt::launch_groups_with_model(spec, model, cfg, group_size, |g| {
-            sched.process_batches(
-                g,
-                |_lane, _tile, nz| values[nz] * x[col_indices[nz] as usize],
-                |lane, tile, sum| {
-                    gy.store(tile, sum);
-                    lane.write_bytes(4);
-                },
-            );
-        })?
-    };
-    Ok(SpmvRun {
-        y,
-        report,
-        schedule: ScheduleKind::GroupMapped(group_size),
+        report: d.report,
+        schedule: d.schedule,
     })
 }
 
@@ -369,48 +150,56 @@ pub fn spmv_ell(
     x: &[f32],
 ) -> simt::Result<SpmvRun> {
     use loops::adapters::EllTiles;
+
+    /// Flat-span ELL body: like CSR's but PAD-aware.
+    struct EllExec<'a> {
+        values: &'a [f32],
+        col_indices: &'a [u32],
+        x: &'a [f32],
+        y: GlobalMem<'a, f32>,
+    }
+    impl TileExec for EllExec<'_> {
+        const COOPERATIVE_REDUCE: bool = false;
+        fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+            let mut sum = 0.0f32;
+            for slot in span_atoms(span, lane) {
+                let c = self.col_indices[slot];
+                if c != sparse::ell::PAD {
+                    sum += self.values[slot] * self.x[c as usize];
+                }
+            }
+            self.y.store(span.tile, sum);
+            lane.write_bytes(4);
+        }
+    }
+
     assert_eq!(x.len(), e.cols(), "x must have one entry per column");
     let model = CostModel::standard();
     let work = EllTiles::new(e);
-    let sched = ThreadMappedSchedule::new(&work);
     let mut y = vec![0.0f32; e.rows()];
-    let (values, col_indices) = (e.values(), e.col_indices());
-    let block = DEFAULT_BLOCK.min(spec.max_threads_per_block);
-    let cfg = LaunchConfig::over_threads(e.rows().max(1) as u64, block);
-    let report = {
-        let gy = GlobalMem::new(&mut y);
-        simt::launch_threads_with_model(spec, &model, cfg, |t| {
-            for row in sched.tiles(t) {
-                let mut sum = 0.0f32;
-                for slot in sched.atoms(row, t) {
-                    let c = col_indices[slot];
-                    if c != sparse::ell::PAD {
-                        sum += values[slot] * x[c as usize];
-                    }
-                }
-                gy.store(row, sum);
-                t.write_bytes(4);
-            }
-        })?
+    let d = {
+        let exec = EllExec {
+            values: e.values(),
+            col_indices: e.col_indices(),
+            x,
+            y: GlobalMem::new(&mut y),
+        };
+        BalancedLaunch::new(spec, &model, &work).run(ScheduleKind::ThreadMapped, &exec)?
     };
     Ok(SpmvRun {
         y,
-        report,
-        schedule: ScheduleKind::ThreadMapped,
+        report: d.report,
+        schedule: d.schedule,
     })
-}
-
-/// Largest divisor of `n` that is ≤ `k` (≥ 1). Keeps arbitrary group sizes
-/// legal for any block size.
-pub(crate) fn largest_divisor_leq(n: u32, k: u32) -> u32 {
-    (1..=k.min(n)).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
 }
 
 /// SpMV over COO: one thread per stored entry, scattering into `y` with
 /// `atomicAdd`. Perfectly balanced by construction — every atom is its own
 /// tile — but every atom pays the atomic: the opposite end of the
 /// balance/overhead trade from tile-based schedules, and the reason
-/// formats like F-COO exist (§7).
+/// formats like F-COO exist (§7). This is the one SpMV that bypasses the
+/// engine: its per-entry scatter has no tile structure for a schedule to
+/// balance.
 pub fn spmv_coo(
     spec: &GpuSpec,
     a: &sparse::Coo<f32>,
@@ -588,15 +377,6 @@ mod tests {
         let mp = spmv(&spec, &a, &x, ScheduleKind::MergePath).unwrap();
         assert!(run.report.timing.total_units > mp.report.timing.total_units);
         assert!(run.report.mem.atomic_ops as usize >= a.nnz());
-    }
-
-    #[test]
-    fn largest_divisor_behaves() {
-        assert_eq!(largest_divisor_leq(256, 32), 32);
-        assert_eq!(largest_divisor_leq(256, 3), 2);
-        assert_eq!(largest_divisor_leq(256, 1), 1);
-        assert_eq!(largest_divisor_leq(96, 64), 48);
-        assert_eq!(largest_divisor_leq(7, 7), 7);
     }
 
     #[test]

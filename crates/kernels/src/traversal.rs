@@ -2,20 +2,59 @@
 //!
 //! One traversal iteration visits every edge incident to the frontier.
 //! Under the abstraction that is just another tile set (tiles = frontier
-//! vertices, atoms = incident edges), so *the same five schedules that
-//! balance SpMV balance graph traversal* — the paper's §5.2.1 reuse claim,
-//! demonstrated. The caller supplies the per-edge computation (Listing 5's
-//! body); this module supplies nothing but scheduling.
+//! vertices, atoms = incident edges), so *the same schedules that balance
+//! SpMV balance graph traversal* — the paper's §5.2.1 reuse claim,
+//! demonstrated. The caller supplies the per-edge computation (Listing
+//! 5's body) as a `relax` closure; the dispatch engine supplies every
+//! schedule through one visit-shaped [`TileExec`].
 
 use crate::graph::{Frontier, Graph};
-use loops::schedule::{
-    GroupMappedSchedule, MergePathSchedule, ScheduleKind, ThreadMappedSchedule,
-};
-use loops::work::TileSet;
-use simt::{CostModel, GpuSpec, LaneCtx, LaunchConfig, LaunchReport};
+use loops::dispatch::{span_atoms, BalancedLaunch, TileExec};
+use loops::schedule::{ScheduleKind, TileSpan};
+use loops::work::{CountedTiles, TileSet};
+use simt::{CostModel, GpuSpec, LaneCtx, LaunchReport};
 
 /// Default threads per block for traversal kernels.
 pub const TRAVERSAL_BLOCK: u32 = 256;
+
+/// The frontier-expansion computation: every atom is one incident edge,
+/// translated from (frontier tile, atom offset) to a global edge id and
+/// handed to the caller's `relax`.
+struct ExpandExec<'a, F> {
+    tiles: &'a CountedTiles,
+    verts: &'a [u32],
+    g: &'a Graph,
+    relax: F,
+}
+
+impl<F> ExpandExec<'_, F> {
+    fn edge_of(&self, tile: usize, atom: usize) -> usize {
+        let within = atom - self.tiles.tile_offset(tile);
+        self.g.edge_range(self.verts[tile] as usize).start + within
+    }
+}
+
+impl<F: Fn(&LaneCtx<'_>, usize, usize) + Sync> TileExec for ExpandExec<'_, F> {
+    const COOPERATIVE_REDUCE: bool = false;
+
+    fn span(&self, lane: &LaneCtx<'_>, span: &TileSpan) {
+        // Merge-path pads its decision grid past the last tile; such
+        // spans carry no atoms for us.
+        let src = if span.tile < self.verts.len() {
+            self.verts[span.tile] as usize
+        } else {
+            return;
+        };
+        for atom in span_atoms(span, lane) {
+            (self.relax)(lane, self.edge_of(span.tile, atom), src);
+        }
+    }
+
+    fn visit(&self, lane: &LaneCtx<'_>, tile: usize, atom: usize) {
+        let src = self.verts[tile] as usize;
+        (self.relax)(lane, self.edge_of(tile, atom), src);
+    }
+}
 
 /// Expand `frontier`: run `relax(lane, edge, source_vertex)` for every
 /// edge leaving a frontier vertex, load-balanced by `kind`.
@@ -31,98 +70,16 @@ where
     F: Fn(&LaneCtx<'_>, usize, usize) + Sync,
 {
     let tiles = frontier.tile_set(g);
-    let block = TRAVERSAL_BLOCK.min(spec.max_threads_per_block);
-    let verts = frontier.vertices();
-    let edge_of = |tile: usize, atom: usize| {
-        let within = atom - tiles.tile_offset(tile);
-        g.edge_range(verts[tile] as usize).start + within
+    let exec = ExpandExec {
+        tiles: &tiles,
+        verts: frontier.vertices(),
+        g,
+        relax,
     };
-    match kind {
-        ScheduleKind::ThreadMapped => {
-            let sched = ThreadMappedSchedule::new(&tiles);
-            let cfg = LaunchConfig::over_threads(tiles.num_tiles().max(1) as u64, block);
-            simt::launch_threads_with_model(spec, model, cfg, |t| {
-                for tile in sched.tiles(t) {
-                    let src = verts[tile] as usize;
-                    for atom in sched.atoms(tile, t) {
-                        relax(t, edge_of(tile, atom), src);
-                    }
-                }
-            })
-        }
-        ScheduleKind::MergePath => {
-            let sched = MergePathSchedule::new(&tiles, crate::spmv::MERGE_ITEMS_PER_THREAD);
-            let cfg = sched.launch_config(block);
-            simt::launch_threads_with_model(spec, model, cfg, |t| {
-                for span in sched.spans(t) {
-                    let src = if span.tile < verts.len() {
-                        verts[span.tile] as usize
-                    } else {
-                        continue;
-                    };
-                    for atom in sched.atoms(&span, t) {
-                        relax(t, edge_of(span.tile, atom), src);
-                    }
-                }
-            })
-        }
-        ScheduleKind::WarpMapped => expand_grouped(spec, model, spec.warp_size, block, &tiles, verts, &edge_of, &relax),
-        ScheduleKind::BlockMapped => expand_grouped(spec, model, block, block, &tiles, verts, &edge_of, &relax),
-        ScheduleKind::GroupMapped(gs) => expand_grouped(spec, model, gs, block, &tiles, verts, &edge_of, &relax),
-        ScheduleKind::WorkQueue(chunk) => {
-            use loops::schedule::WorkQueueSchedule;
-            let sched = WorkQueueSchedule::new(&tiles, chunk.max(1) as usize);
-            let cfg = sched.launch_config(spec, block);
-            simt::launch_threads_with_model(spec, model, cfg, |t| {
-                sched.process_tiles(t, |lane, tile| {
-                    let src = verts[tile] as usize;
-                    for atom in sched.atoms(tile, lane) {
-                        relax(lane, edge_of(tile, atom), src);
-                    }
-                });
-            })
-        }
-        ScheduleKind::Lrb => {
-            use loops::schedule::LrbSchedule;
-            let lrb = LrbSchedule {
-                block_dim: block,
-                ..LrbSchedule::default()
-            };
-            let plan = lrb.bin_tiles(spec, model, &tiles)?;
-            lrb.process(spec, model, &tiles, &plan, |lane, tile, atom| {
-                let src = verts[tile] as usize;
-                relax(lane, edge_of(tile, atom), src);
-            })
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn expand_grouped<W, E, F>(
-    spec: &GpuSpec,
-    model: &CostModel,
-    group_size: u32,
-    block: u32,
-    tiles: &W,
-    verts: &[u32],
-    edge_of: &E,
-    relax: &F,
-) -> simt::Result<LaunchReport>
-where
-    W: TileSet,
-    E: Fn(usize, usize) -> usize + Sync,
-    F: Fn(&LaneCtx<'_>, usize, usize) + Sync,
-{
-    let group_size = crate::spmv::largest_divisor_leq(block, group_size.clamp(1, block));
-    let sched = GroupMappedSchedule::new(tiles, group_size);
-    let cfg = sched.launch_config(block, spec.num_sms * 8);
-    simt::launch_groups_with_model(spec, model, cfg, group_size, |grp| {
-        // Listing 5's shape: loop over assigned edges, get_tile per atom.
-        sched.process(grp, |lane, tile, atom| {
-            let src = verts[tile] as usize;
-            relax(lane, edge_of(tile, atom), src);
-        });
-    })
+    let d = BalancedLaunch::new(spec, model, &tiles)
+        .block_dim(TRAVERSAL_BLOCK)
+        .run(kind, &exec)?;
+    Ok(d.report)
 }
 
 #[cfg(test)]

@@ -1,18 +1,35 @@
-//! The plan cache: fingerprint → prepared [`SpmvPlan`], LRU-bounded.
+//! The plan cache: (kernel, fingerprint) → prepared [`KernelPlan`],
+//! LRU-bounded.
 //!
 //! Preparing a plan costs real (simulated) time — LRB's binning launches,
 //! merge-path's partition build — and serving workloads are heavily
 //! skewed: a few popular matrices receive most requests. Memoizing the
-//! prepared plan per [`Fingerprint`] turns that skew into wins: a cache
+//! prepared plan per [`PlanKey`] turns that skew into wins: a cache
 //! hit skips schedule selection *and* setup, and the launch runs the
-//! cheaper prepartitioned path.
+//! cheaper prepartitioned path. The plan type is the dispatch engine's
+//! kernel-agnostic [`KernelPlan`], so one cache serves SpMV, SpMM and
+//! BFS side by side — the kernel name in the key keeps a matrix's SpMV
+//! plan from answering for its SpMM plan (their artifacts differ even on
+//! the same sparsity pattern).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use kernels::plan::SpmvPlan;
+use loops::dispatch::KernelPlan;
 
 use crate::fingerprint::Fingerprint;
+
+/// Cache key: which kernel, on which matrix. The kernel component uses
+/// the same name that prefixes the engine's trace labels
+/// ([`loops::dispatch::trace_label`]), so the cache and the timeline
+/// agree on what a plan is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Engine kernel name (`"spmv"`, `"spmm"`, `"bfs"`, …).
+    pub kernel: &'static str,
+    /// Fingerprint of the operand's sparsity pattern.
+    pub fp: Fingerprint,
+}
 
 /// Hit/miss/eviction counters for a serving run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -37,12 +54,12 @@ impl CacheStats {
     }
 }
 
-/// LRU cache of prepared plans keyed by matrix fingerprint.
+/// LRU cache of prepared plans keyed by kernel + matrix fingerprint.
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
     clock: u64,
-    entries: HashMap<Fingerprint, (Arc<SpmvPlan>, u64)>,
+    entries: HashMap<PlanKey, (Arc<KernelPlan>, u64)>,
     stats: CacheStats,
 }
 
@@ -59,7 +76,7 @@ impl PlanCache {
     }
 
     /// Look up a plan, counting the hit or miss.
-    pub fn get(&mut self, key: &Fingerprint) -> Option<Arc<SpmvPlan>> {
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<KernelPlan>> {
         self.clock += 1;
         match self.entries.get_mut(key) {
             Some((plan, used)) => {
@@ -76,7 +93,7 @@ impl PlanCache {
 
     /// Insert a freshly prepared plan, evicting the least-recently-used
     /// entry if over capacity.
-    pub fn insert(&mut self, key: Fingerprint, plan: Arc<SpmvPlan>) {
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<KernelPlan>) {
         if self.capacity == 0 {
             return;
         }
@@ -97,7 +114,7 @@ impl PlanCache {
     /// Drop a cached plan (a launch through it failed, so it is treated
     /// as poisoned and the next request re-prepares). Not counted as an
     /// eviction — those measure capacity pressure.
-    pub fn remove(&mut self, key: &Fingerprint) -> bool {
+    pub fn remove(&mut self, key: &PlanKey) -> bool {
         self.entries.remove(key).is_some()
     }
 
@@ -122,8 +139,8 @@ mod tests {
     use super::*;
     use loops::schedule::ScheduleKind;
 
-    fn plan() -> Arc<SpmvPlan> {
-        Arc::new(SpmvPlan {
+    fn plan() -> Arc<KernelPlan> {
+        Arc::new(KernelPlan {
             schedule: ScheduleKind::ThreadMapped,
             block_dim: 256,
             merge_starts: None,
@@ -132,14 +149,21 @@ mod tests {
         })
     }
 
-    fn key(n: usize) -> Fingerprint {
-        Fingerprint {
-            rows: n,
-            cols: n,
-            nnz: n,
-            max_row: 1,
-            cv_milli: 0,
-            pattern: n as u64,
+    fn key(n: usize) -> PlanKey {
+        keyed("spmv", n)
+    }
+
+    fn keyed(kernel: &'static str, n: usize) -> PlanKey {
+        PlanKey {
+            kernel,
+            fp: Fingerprint {
+                rows: n,
+                cols: n,
+                nnz: n,
+                max_row: 1,
+                cv_milli: 0,
+                pattern: n as u64,
+            },
         }
     }
 
@@ -177,6 +201,17 @@ mod tests {
         assert!(c.get(&key(1)).is_none());
         assert_eq!(c.stats().evictions, 0);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn same_matrix_different_kernels_are_distinct_entries() {
+        let mut c = PlanCache::new(4);
+        c.insert(keyed("spmv", 1), plan());
+        assert!(c.get(&keyed("spmm", 1)).is_none(), "spmm must not see the spmv plan");
+        c.insert(keyed("spmm", 1), plan());
+        assert!(c.get(&keyed("spmv", 1)).is_some());
+        assert!(c.get(&keyed("spmm", 1)).is_some());
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

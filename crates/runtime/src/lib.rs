@@ -9,11 +9,14 @@
 //!   requests dispatch to the earliest-available stream (least-loaded
 //!   device on ties), so kernels overlap across streams and devices
 //!   exactly as the stream model allows.
-//! * **Plan cache** ([`PlanCache`]) — prepared [`SpmvPlan`]s memoized by
-//!   matrix [`Fingerprint`]: a hit skips schedule selection and setup
-//!   (LRB binning, merge-path partition search) and launches the cheaper
-//!   prepartitioned kernel. Results stay bitwise identical to the cold
-//!   path.
+//! * **Plan cache** ([`PlanCache`]) — prepared engine
+//!   [`KernelPlan`]s memoized by
+//!   [`PlanKey`] (kernel name + matrix [`Fingerprint`]): a hit skips
+//!   schedule selection and setup (LRB binning, merge-path partition
+//!   search) and launches the cheaper prepartitioned kernel. Results
+//!   stay bitwise identical to the cold path. SpMV requests flow through
+//!   it inside [`Runtime::serve`]; [`Runtime::run_spmm`] and
+//!   [`Runtime::run_bfs`] give SpMM and BFS the same warm path.
 //! * **Small-request batcher** ([`batch`]) — tiny SpMVs wait up to a
 //!   short window and fuse into one block-diagonal launch, paying the
 //!   launch overhead once.
@@ -39,15 +42,20 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use kernels::plan::{self, SpmvPlan};
+use kernels::graph::Graph;
+use kernels::plan;
+use kernels::spmm;
 use kernels::spmv::{spmv_with_model, spmv_with_plan, SpmvRun, DEFAULT_BLOCK};
+use kernels::traversal::TRAVERSAL_BLOCK;
+use kernels::bfs;
+use loops::dispatch::{trace_label, KernelPlan};
 use loops::heuristic::Heuristic;
 use loops::schedule::ScheduleKind;
-use simt::{CostModel, DeviceSim, FaultCounters, FaultPlan, GpuSpec, SimError, StreamId};
-use sparse::{Csr, Prng};
+use simt::{CostModel, DeviceSim, FaultCounters, FaultPlan, GpuSpec, LaunchReport, SimError, StreamId};
+use sparse::{Csr, DenseMatrix, Prng};
 use trace::{CounterKind, RequestPhase, TraceEvent, TraceSink};
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use fingerprint::Fingerprint;
 pub use workload::{zipf_workload, WorkloadSpec};
 
@@ -107,7 +115,7 @@ pub struct RuntimeConfig {
     /// How long an evicted device sits out before re-admission
     /// (simulated ms). Devices lost to a kill fault never return.
     pub cooldown_ms: f64,
-    /// Chaos knob: probability that preparing a [`SpmvPlan`] fails,
+    /// Chaos knob: probability that preparing a [`KernelPlan`] fails,
     /// exercising the graceful-degradation path (serve via the
     /// heuristic schedule, skip caching). 0.0 (the default) disables it.
     pub plan_fail_prob: f64,
@@ -416,17 +424,19 @@ pub struct Runtime {
     rng: Prng,
 }
 
-/// The kernel name a schedule shows up as on the trace timeline.
-fn schedule_label(kind: ScheduleKind) -> &'static str {
-    match kind {
-        ScheduleKind::ThreadMapped => "spmv/thread-mapped",
-        ScheduleKind::WarpMapped => "spmv/warp-mapped",
-        ScheduleKind::BlockMapped => "spmv/block-mapped",
-        ScheduleKind::GroupMapped(_) => "spmv/group-mapped",
-        ScheduleKind::MergePath => "spmv/merge-path",
-        ScheduleKind::WorkQueue(_) => "spmv/work-queue",
-        ScheduleKind::Lrb => "spmv/lrb",
-    }
+/// Outcome of a plan-cached standalone run ([`Runtime::run_spmm`],
+/// [`Runtime::run_bfs`]): the kernel output plus which cache path
+/// served it.
+#[derive(Debug, Clone)]
+pub struct PlannedRun<T> {
+    /// The kernel's output.
+    pub output: T,
+    /// Launch report of the run (accumulated over levels for BFS).
+    pub report: LaunchReport,
+    /// The schedule the plan pinned.
+    pub schedule: ScheduleKind,
+    /// True if the plan came from the cache.
+    pub cache_hit: bool,
 }
 
 impl Runtime {
@@ -514,6 +524,84 @@ impl Runtime {
     /// Plan-cache counters so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Fingerprint a matrix, memoized by allocation identity so popular
+    /// operands hash their row structure once.
+    fn fingerprint_of(&mut self, ptr: usize, a: &Csr<f32>) -> Fingerprint {
+        *self.fp_memo.entry(ptr).or_insert_with(|| Fingerprint::of(a))
+    }
+
+    /// Serve one SpMM through the plan cache. The first call for a
+    /// matrix prepares and caches a [`KernelPlan`] under the
+    /// `("spmm", fingerprint)` key; later calls replay it — against
+    /// *any* dense `B`, since the artifacts depend only on `a`'s
+    /// sparsity pattern — skipping schedule selection and the in-kernel
+    /// merge-path searches. Output is bitwise identical to the cold
+    /// [`kernels::spmm::spmm`] path; a cached plan whose launch fails is
+    /// evicted and the call falls back to the cold path.
+    pub fn run_spmm(
+        &mut self,
+        a: &Arc<Csr<f32>>,
+        b: &DenseMatrix<f32>,
+    ) -> simt::Result<PlannedRun<DenseMatrix<f32>>> {
+        let fp = self.fingerprint_of(Arc::as_ptr(a) as usize, a);
+        let key = PlanKey { kernel: "spmm", fp };
+        let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
+        let (run, cache_hit) = match self.cache.get(&key) {
+            Some(plan) => match spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan) {
+                Ok(run) => (run, true),
+                Err(_) => {
+                    self.cache.remove(&key);
+                    (spmm::spmm_with_model(&self.spec, &self.model, a, b, kind)?, false)
+                }
+            },
+            None => {
+                let plan = Arc::new(spmm::prepare(&self.spec, &self.model, a, kind)?);
+                let run = spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan)?;
+                self.cache.insert(key, plan);
+                (run, false)
+            }
+        };
+        Ok(PlannedRun {
+            output: run.c,
+            report: run.report,
+            schedule: run.schedule,
+            cache_hit,
+        })
+    }
+
+    /// Serve one BFS through the plan cache. Frontiers change every
+    /// level, so there is no reusable partition artifact; what the plan
+    /// pins — and the cache amortizes — is the schedule choice for the
+    /// graph's adjacency matrix, plus its fingerprinting. Warm and cold
+    /// runs are bitwise identical.
+    pub fn run_bfs(&mut self, g: &Arc<Graph>, src: usize) -> simt::Result<PlannedRun<Vec<u32>>> {
+        let fp = self.fingerprint_of(Arc::as_ptr(g) as usize, g.adjacency());
+        let key = PlanKey { kernel: "bfs", fp };
+        let (plan, cache_hit) = match self.cache.get(&key) {
+            Some(plan) => (plan, true),
+            None => {
+                let adj = g.adjacency();
+                let kind = self.heuristic.select(adj.rows(), adj.cols(), adj.nnz());
+                let plan = Arc::new(KernelPlan {
+                    schedule: kind,
+                    block_dim: TRAVERSAL_BLOCK,
+                    merge_starts: None,
+                    lrb: None,
+                    setup_ms: 0.0,
+                });
+                self.cache.insert(key, Arc::clone(&plan));
+                (plan, false)
+            }
+        };
+        let run = bfs::bfs_with_model(&self.spec, &self.model, g, src, plan.schedule)?;
+        Ok(PlannedRun {
+            output: run.depth,
+            report: run.report,
+            schedule: plan.schedule,
+            cache_hit,
+        })
     }
 
     /// Serve a request stream to completion. Requests are processed in
@@ -766,18 +854,16 @@ impl Runtime {
         let (run, cache_hit) = if members.len() == 1 {
             let a = &members[0].0.matrix;
             let x = &members[0].0.x;
-            let fp = *self
-                .fp_memo
-                .entry(Arc::as_ptr(a) as usize)
-                .or_insert_with(|| Fingerprint::of(a));
-            let outcome = match self.cache.get(&fp) {
+            let fp = self.fingerprint_of(Arc::as_ptr(a) as usize, a);
+            let key = PlanKey { kernel: "spmv", fp };
+            let outcome = match self.cache.get(&key) {
                 // Graceful degradation: a cached plan whose launch fails
                 // is treated as poisoned — evict it and fall back to the
                 // heuristic path rather than failing the request.
                 Some(plan) => match spmv_with_plan(&self.spec, &self.model, a, x, &plan) {
                     Ok(run) => (run, Some(true)),
                     Err(_) => {
-                        self.cache.remove(&fp);
+                        self.cache.remove(&key);
                         ctrs.plan_fallbacks += 1;
                         let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
                         (
@@ -793,7 +879,7 @@ impl Runtime {
                     // in principle also a real setup failure): the
                     // request is still served through the heuristic run
                     // above — only the cache misses out.
-                    let prepared: simt::Result<SpmvPlan> = if self.cfg.plan_fail_prob > 0.0
+                    let prepared: simt::Result<KernelPlan> = if self.cfg.plan_fail_prob > 0.0
                         && self.rng.chance(self.cfg.plan_fail_prob)
                     {
                         Err(simt::LaunchError::EmptyLaunch)
@@ -801,7 +887,7 @@ impl Runtime {
                         plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)
                     };
                     match prepared {
-                        Ok(plan) => self.cache.insert(fp, Arc::new(plan)),
+                        Ok(plan) => self.cache.insert(key, Arc::new(plan)),
                         Err(_) => ctrs.plan_fallbacks += 1,
                     }
                     (run, Some(false))
@@ -842,7 +928,7 @@ impl Runtime {
         let job_deadline = members
             .iter()
             .fold(f64::INFINITY, |m, (r, _)| m.min(r.arrival_ms + self.cfg.deadline_ms));
-        let label = schedule_label(run.schedule);
+        let label = trace_label("spmv", run.schedule);
         let mut when = submit_ms;
         let mut attempt = 0u32;
         let mut first_device: Option<usize> = None;
@@ -1105,6 +1191,72 @@ mod tests {
         assert!(out.report.latency_p99_ms >= out.report.latency_p50_ms);
         assert!(out.report.makespan_ms > 0.0);
         assert!(out.report.devices[0].sm_occupancy > 0.0);
+    }
+
+    #[test]
+    fn spmm_warm_path_reuses_one_plan_across_different_b() {
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let a = Arc::new(sparse::gen::powerlaw(2_000, 2_000, 40_000, 1.8, 500));
+        let b1 = DenseMatrix::from_fn(2_000, 4, |r, c| ((r + 3 * c) as f32).sin());
+        let b2 = DenseMatrix::from_fn(2_000, 4, |r, c| ((2 * r + c) as f32).cos());
+        let bits =
+            |m: &DenseMatrix<f32>| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        let first = rt.run_spmm(&a, &b1).unwrap();
+        assert!(!first.cache_hit);
+        let warm = rt.run_spmm(&a, &b1).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(bits(&first.output), bits(&warm.output));
+        assert_eq!(first.schedule, warm.schedule);
+
+        // The cached plan serves a *different* B bitwise-identically to
+        // the cold path, and the prepartitioned replay issues less work.
+        let other = rt.run_spmm(&a, &b2).unwrap();
+        assert!(other.cache_hit);
+        let cold =
+            spmm::spmm_with_model(rt.spec(), &CostModel::standard(), &a, &b2, other.schedule)
+                .unwrap();
+        assert_eq!(bits(&other.output), bits(&cold.c));
+        assert!(other.report.timing.total_units < cold.report.timing.total_units);
+        assert_eq!(rt.cache_stats().misses, 1);
+        assert_eq!(rt.cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn bfs_warm_path_pins_schedule_and_matches_cold() {
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let g = Arc::new(Graph::from_generator(sparse::gen::powerlaw(
+            3_000, 3_000, 50_000, 1.8, 501,
+        )));
+        let first = rt.run_bfs(&g, 0).unwrap();
+        assert!(!first.cache_hit);
+        let warm = rt.run_bfs(&g, 0).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(first.output, warm.output);
+        assert_eq!(first.schedule, warm.schedule);
+        assert_eq!(
+            first.report.elapsed_ms().to_bits(),
+            warm.report.elapsed_ms().to_bits(),
+            "pinned schedule must replay bitwise"
+        );
+        let cold =
+            bfs::bfs_with_model(rt.spec(), &CostModel::standard(), &g, 0, first.schedule).unwrap();
+        assert_eq!(cold.depth, first.output);
+    }
+
+    #[test]
+    fn one_cache_serves_spmv_spmm_and_bfs_side_by_side() {
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let m = corpus(1, 600);
+        let reqs = stream(&m, 10);
+        rt.serve(&reqs).unwrap();
+        let spmv_misses = rt.cache_stats().misses;
+        let b = DenseMatrix::from_fn(m[0].cols(), 2, |r, c| (r + c) as f32);
+        rt.run_spmm(&m[0], &b).unwrap();
+        // Same matrix, different kernel: the SpMV plan must not answer.
+        assert_eq!(rt.cache_stats().misses, spmv_misses + 1);
+        let warm = rt.run_spmm(&m[0], &b).unwrap();
+        assert!(warm.cache_hit);
     }
 
     #[test]

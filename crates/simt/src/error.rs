@@ -92,7 +92,7 @@ pub type Result<T> = std::result::Result<T, LaunchError>;
 pub enum SimError {
     /// Static launch validation failed (never retryable).
     Launch(LaunchError),
-    /// The device died (its [`FaultPlan`] kill tick passed); every future
+    /// The device died (its [`FaultPlan`](crate::FaultPlan) kill tick passed); every future
     /// dispatch to it fails too. Jobs whose execution would cross the
     /// kill tick are lost and must be re-dispatched elsewhere.
     DeviceLost {

@@ -1,0 +1,55 @@
+//! Interned `&'static str` labels for trace span names.
+//!
+//! Every span-name field in [`crate::TraceEvent`] is a `&'static str`:
+//! events are `Copy`-cheap, the ring buffer never allocates per event,
+//! and exporters compare names by pointer-width equality. Labels that
+//! are *derived* at run time (e.g. `"spmv/merge-path"` assembled from a
+//! kernel name and a schedule) therefore need a home with `'static`
+//! lifetime. [`intern`] provides one: a process-wide registry that leaks
+//! each distinct label exactly once and returns the shared reference on
+//! every subsequent request.
+//!
+//! The leak is bounded by the number of *distinct* labels — in practice
+//! a handful of `kernel/schedule-family` combinations — so this is the
+//! standard string-interning trade, not an unbounded leak.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+static REGISTRY: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+
+/// Intern `name`, returning a `&'static str` that compares equal to it.
+///
+/// The first call for a given string leaks one copy; every later call
+/// returns the same reference. Thread-safe.
+pub fn intern(name: &str) -> &'static str {
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut set = registry.lock().expect("label registry poisoned");
+    if let Some(&existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::intern;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = intern("spmv/merge-path");
+        let b = intern("spmv/merge-path");
+        assert_eq!(a, "spmv/merge-path");
+        assert!(std::ptr::eq(a, b), "same label must share one allocation");
+        let c = intern("bfs/merge-path");
+        assert_eq!(c, "bfs/merge-path");
+        assert!(!std::ptr::eq(a, c));
+    }
+
+    #[test]
+    fn static_inputs_round_trip() {
+        assert_eq!(intern("fixed"), "fixed");
+    }
+}

@@ -31,6 +31,7 @@
 pub mod chrome;
 pub mod event;
 pub mod json;
+pub mod label;
 pub mod recorder;
 pub mod sink;
 pub mod summary;

@@ -1,0 +1,520 @@
+//! The cross-kernel schedule-equivalence matrix: every kernel that takes
+//! a [`ScheduleKind`] runs under *every* schedule over a small corpus and
+//! must agree — bitwise — with its reference path:
+//!
+//! * **SpMV** against a preserved verbatim copy of the pre-engine legacy
+//!   implementation (the seed's exact accumulation orders), including
+//!   the full [`simt::LaunchReport`];
+//! * **SpMM** against per-column SpMV under the same schedule — Listing
+//!   4's "a loop wrapped around SpMV" claim, checked to the last bit;
+//! * **multi-GPU SpMV** against the legacy path applied per row block;
+//! * **BFS / SSSP / triangle** exactly against sequential references
+//!   (integer outputs, and SSSP's unique `min`-fixpoint);
+//! * **PageRank / CG** for bitwise run-to-run determinism per schedule,
+//!   validated against the f64 references within tolerance (their
+//!   lane-partial reductions are schedule-*dependent* by design, so
+//!   cross-schedule bit equality is not expected).
+//!
+//! The closing proptest-style check (seeded in-repo generator, same
+//! idiom as `proptest_invariants.rs`) drives engine and legacy SpMV over
+//! random matrices, schedules, and block sizes.
+
+use kernels::graph::Graph;
+use kernels::spmv_multi::{spmv_multi, Partition};
+use loops::schedule::ScheduleKind;
+use simt::{CostModel, GpuSpec, LaunchReport};
+use sparse::{Csr, DenseMatrix, Prng};
+
+const ALL_KINDS: [ScheduleKind; 7] = [
+    ScheduleKind::ThreadMapped,
+    ScheduleKind::WarpMapped,
+    ScheduleKind::BlockMapped,
+    ScheduleKind::GroupMapped(16),
+    ScheduleKind::MergePath,
+    ScheduleKind::WorkQueue(8),
+    ScheduleKind::Lrb,
+];
+
+fn corpus() -> Vec<Csr<f32>> {
+    vec![
+        sparse::gen::uniform(60, 50, 400, 11),
+        sparse::gen::powerlaw(200, 200, 3_000, 1.8, 12),
+        sparse::gen::banded(40, 3, 13),
+        Csr::<f32>::empty(5, 5),
+    ]
+}
+
+/// Square matrices reinterpreted as graphs for the traversal kernels.
+fn graph_corpus() -> Vec<Graph> {
+    vec![
+        Graph::from_generator(sparse::gen::powerlaw(150, 150, 2_000, 1.8, 14)),
+        Graph::from_generator(sparse::gen::uniform(80, 80, 600, 15)),
+        Graph::from_generator(sparse::gen::banded(40, 3, 16)),
+    ]
+}
+
+fn bits(y: &[f32]) -> Vec<u32> {
+    y.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn spmv_every_schedule_is_bitwise_equal_to_the_legacy_path_on_the_corpus() {
+    let spec = GpuSpec::v100();
+    let model = CostModel::standard();
+    for a in corpus() {
+        let x = sparse::dense::test_vector(a.cols());
+        let want64 = a.spmv_ref(&x);
+        for kind in ALL_KINDS {
+            let run = kernels::spmv(&spec, &a, &x, kind).unwrap();
+            let (ly, _, _) = legacy::spmv_with_model(&spec, &model, &a, &x, kind, 256).unwrap();
+            assert_eq!(bits(&run.y), bits(&ly), "spmv {kind} on {}x{}", a.rows(), a.cols());
+            let err = kernels::spmv::max_rel_error(&run.y, &want64);
+            assert!(err < 2e-3, "spmv {kind}: err {err} vs f64 reference");
+        }
+    }
+}
+
+#[test]
+fn spmm_every_schedule_is_bitwise_a_loop_around_spmv() {
+    let spec = GpuSpec::v100();
+    for a in corpus() {
+        let b = DenseMatrix::from_fn(a.cols(), 3, |r, c| ((r + 2 * c) as f32).sin());
+        for kind in ALL_KINDS {
+            let run = kernels::spmm::spmm(&spec, &a, &b, kind).unwrap();
+            // Listing 4: SpMM is a loop over B's columns around SpMV —
+            // under the engine that equivalence is exact, column by
+            // column, under the schedule SpMM resolved to.
+            for j in 0..3 {
+                let col: Vec<f32> = (0..a.cols()).map(|r| b.get(r, j)).collect();
+                let want = kernels::spmv(&spec, &a, &col, run.schedule).unwrap();
+                let got: Vec<f32> = (0..a.rows()).map(|r| run.c.get(r, j)).collect();
+                assert_eq!(bits(&got), bits(&want.y), "spmm {kind} column {j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn spmv_multi_every_schedule_and_partition_matches_the_legacy_path_per_block() {
+    let mspec = simt::MultiGpuSpec::test_tiny(2);
+    let model = CostModel::standard();
+    for a in corpus() {
+        let x = sparse::dense::test_vector(a.cols());
+        for kind in ALL_KINDS {
+            for part in [Partition::RowBlocks, Partition::NnzBalanced] {
+                let run = spmv_multi(&mspec, &a, &x, kind, part).unwrap();
+                let mut want = Vec::with_capacity(a.rows());
+                for w in run.boundaries.windows(2) {
+                    let block = a.row_slice(w[0]..w[1]);
+                    let (ly, _, _) =
+                        legacy::spmv_with_model(&mspec.device, &model, &block, &x, kind, 256)
+                            .unwrap();
+                    want.extend(ly);
+                }
+                assert_eq!(bits(&run.y), bits(&want), "spmv_multi {kind} {part:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bfs_every_schedule_matches_the_reference_exactly() {
+    let spec = GpuSpec::v100();
+    for g in graph_corpus() {
+        let want = kernels::reference::bfs_ref(g.adjacency(), 0);
+        for kind in ALL_KINDS {
+            let run = kernels::bfs::bfs(&spec, &g, 0, kind).unwrap();
+            assert_eq!(run.depth, want, "bfs {kind}");
+        }
+    }
+}
+
+#[test]
+fn sssp_every_schedule_reaches_the_same_fixpoint_bitwise() {
+    let spec = GpuSpec::v100();
+    for g in graph_corpus() {
+        // Sequential f32 fixpoint: relax edges (ascending) until stable.
+        // The minimal fixpoint of `dist[v] = min(dist[v], dist[u] + w)`
+        // is unique, so every schedule must land on it bitwise.
+        let adj = g.adjacency();
+        let mut want = vec![f32::INFINITY; g.num_vertices()];
+        want[0] = 0.0;
+        loop {
+            let mut changed = false;
+            for u in 0..g.num_vertices() {
+                for e in g.edge_range(u) {
+                    let cand = want[u] + g.edge_weight(e);
+                    let v = g.neighbor(e);
+                    if cand < want[v] {
+                        want[v] = cand;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        assert_eq!(adj.rows(), g.num_vertices());
+        for kind in ALL_KINDS {
+            let run = kernels::sssp::sssp(&spec, &g, 0, kind).unwrap();
+            assert_eq!(bits(&run.dist), bits(&want), "sssp {kind}");
+        }
+    }
+}
+
+#[test]
+fn triangle_every_schedule_counts_exactly() {
+    let spec = GpuSpec::v100();
+    for g in graph_corpus() {
+        let want = kernels::triangle::triangle_count_ref(&g);
+        for kind in ALL_KINDS {
+            let run = kernels::triangle::triangle_count(&spec, &g, kind).unwrap();
+            assert_eq!(run.triangles, want, "triangle {kind}");
+        }
+    }
+}
+
+#[test]
+fn pagerank_and_cg_run_deterministically_under_every_schedule() {
+    let spec = GpuSpec::v100();
+    let g = Graph::from_generator(sparse::gen::powerlaw(120, 120, 1_500, 1.8, 17));
+    let pr_want = kernels::pagerank::pagerank_ref(&g, 1e-9, 1_000);
+    for kind in ALL_KINDS {
+        let run = kernels::pagerank::pagerank(&spec, &g, kind, 1e-6, 100).unwrap();
+        let again = kernels::pagerank::pagerank(&spec, &g, kind, 1e-6, 100).unwrap();
+        assert_eq!(bits(&run.rank), bits(&again.rank), "pagerank {kind} must be deterministic");
+        let total: f32 = run.rank.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "pagerank {kind}: ranks sum to {total}");
+        for (v, (&got, &want)) in run.rank.iter().zip(&pr_want).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-3,
+                "pagerank {kind}: rank[{v}] = {got}, want {want}"
+            );
+        }
+    }
+
+    // SPD system for CG: A^T A + diagonal shift.
+    let a = {
+        let base = sparse::gen::uniform(50, 50, 300, 18);
+        let t = kernels::reference::spgemm_ref(&transpose(&base), &base);
+        add_diagonal(&t, 5.0)
+    };
+    let b: Vec<f32> = (0..a.rows()).map(|i| ((i % 7) as f32) - 3.0).collect();
+    for kind in ALL_KINDS {
+        let run = kernels::cg::cg(&spec, &a, &b, kind, 1e-7, 500).unwrap();
+        let again = kernels::cg::cg(&spec, &a, &b, kind, 1e-7, 500).unwrap();
+        assert_eq!(bits(&run.x), bits(&again.x), "cg {kind} must be deterministic");
+        assert!(run.residual < 1e-3, "cg {kind}: residual {}", run.residual);
+    }
+}
+
+fn transpose(a: &Csr<f32>) -> Csr<f32> {
+    let mut triplets = Vec::with_capacity(a.nnz());
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            triplets.push((c, r as u32, v));
+        }
+    }
+    Csr::from_triplets(a.cols(), a.rows(), triplets).expect("transpose is valid")
+}
+
+fn add_diagonal(a: &Csr<f32>, shift: f32) -> Csr<f32> {
+    let mut triplets = Vec::with_capacity(a.nnz() + a.rows());
+    for r in 0..a.rows() {
+        let (cols, vals) = a.row(r);
+        for (&c, &v) in cols.iter().zip(vals) {
+            triplets.push((r as u32, c, v));
+        }
+        triplets.push((r as u32, r as u32, shift));
+    }
+    Csr::from_triplets(a.rows(), a.cols(), triplets).expect("shifted matrix is valid")
+}
+
+// ---------------------------------------------------------------------------
+// Legacy oracle: the per-kernel SpMV path exactly as it existed before the
+// dispatch engine, preserved verbatim so the refactor stays pinned — the
+// engine must match it bitwise in results *and* in every report number.
+// ---------------------------------------------------------------------------
+mod legacy {
+    use loops::adapters::CsrTiles;
+    use loops::dispatch::largest_divisor_leq;
+    use loops::schedule::{
+        bin_of, GroupMappedSchedule, LrbSchedule, MergePathSchedule, ScheduleKind,
+        ThreadMappedSchedule, WorkQueueSchedule,
+    };
+    use loops::work::SubsetTiles;
+    use simt::{CostModel, GlobalMem, GpuSpec, LaunchConfig, LaunchReport};
+    use sparse::Csr;
+
+    const MERGE_ITEMS_PER_THREAD: usize = 7;
+
+    pub fn spmv_with_model(
+        spec: &GpuSpec,
+        model: &CostModel,
+        a: &Csr<f32>,
+        x: &[f32],
+        kind: ScheduleKind,
+        block_dim: u32,
+    ) -> simt::Result<(Vec<f32>, LaunchReport, ScheduleKind)> {
+        assert_eq!(x.len(), a.cols(), "x must have one entry per column");
+        let block_dim = block_dim.min(spec.max_threads_per_block);
+        match kind {
+            ScheduleKind::ThreadMapped => thread_mapped(spec, model, a, x, block_dim),
+            ScheduleKind::MergePath => merge_path(spec, model, a, x, block_dim),
+            ScheduleKind::WarpMapped => {
+                group_mapped(spec, model, a, x, spec.warp_size, block_dim)
+            }
+            ScheduleKind::BlockMapped => group_mapped(spec, model, a, x, block_dim, block_dim),
+            ScheduleKind::GroupMapped(g) => group_mapped(spec, model, a, x, g, block_dim),
+            ScheduleKind::WorkQueue(chunk) => {
+                work_queue(spec, model, a, x, chunk.max(1), block_dim)
+            }
+            ScheduleKind::Lrb => lrb(spec, model, a, x, block_dim),
+        }
+    }
+
+    fn thread_mapped(
+        spec: &GpuSpec,
+        model: &CostModel,
+        a: &Csr<f32>,
+        x: &[f32],
+        block_dim: u32,
+    ) -> simt::Result<(Vec<f32>, LaunchReport, ScheduleKind)> {
+        let work = CsrTiles::new(a);
+        let sched = ThreadMappedSchedule::new(&work);
+        let mut y = vec![0.0f32; a.rows()];
+        let (values, col_indices) = (a.values(), a.col_indices());
+        let cfg = LaunchConfig::over_threads(a.rows().max(1) as u64, block_dim);
+        let report = {
+            let gy = GlobalMem::new(&mut y);
+            simt::launch_threads_with_model(spec, model, cfg, |t| {
+                for row in sched.tiles(t) {
+                    let mut sum = 0.0f32;
+                    for nz in sched.atoms(row, t) {
+                        sum += values[nz] * x[col_indices[nz] as usize];
+                    }
+                    gy.store(row, sum);
+                    t.write_bytes(4);
+                }
+            })?
+        };
+        Ok((y, report, ScheduleKind::ThreadMapped))
+    }
+
+    fn merge_path(
+        spec: &GpuSpec,
+        model: &CostModel,
+        a: &Csr<f32>,
+        x: &[f32],
+        block_dim: u32,
+    ) -> simt::Result<(Vec<f32>, LaunchReport, ScheduleKind)> {
+        let work = CsrTiles::new(a);
+        let sched = MergePathSchedule::new(&work, MERGE_ITEMS_PER_THREAD);
+        let mut y = vec![0.0f32; a.rows()];
+        let (values, col_indices) = (a.values(), a.col_indices());
+        let cfg = sched.launch_config(block_dim);
+        let report = {
+            let gy = GlobalMem::new(&mut y);
+            simt::launch_threads_with_model(spec, model, cfg, |t| {
+                for span in sched.spans(t) {
+                    let mut sum = 0.0f32;
+                    for nz in sched.atoms(&span, t) {
+                        sum += values[nz] * x[col_indices[nz] as usize];
+                    }
+                    if span.complete {
+                        gy.store(span.tile, sum);
+                        t.write_bytes(4);
+                    } else if !span.atoms.is_empty() {
+                        gy.fetch_add(span.tile, sum);
+                        t.charge_atomic();
+                    }
+                }
+            })?
+        };
+        Ok((y, report, ScheduleKind::MergePath))
+    }
+
+    fn group_mapped(
+        spec: &GpuSpec,
+        model: &CostModel,
+        a: &Csr<f32>,
+        x: &[f32],
+        group_size: u32,
+        block_dim: u32,
+    ) -> simt::Result<(Vec<f32>, LaunchReport, ScheduleKind)> {
+        let group_size = group_size.clamp(1, block_dim);
+        let group_size = largest_divisor_leq(block_dim, group_size);
+        let work = CsrTiles::new(a);
+        let sched = GroupMappedSchedule::new(&work, group_size);
+        let mut y = vec![0.0f32; a.rows()];
+        let (values, col_indices) = (a.values(), a.col_indices());
+        let cfg = sched.launch_config(block_dim, spec.num_sms * 8);
+        let report = {
+            let gy = GlobalMem::new(&mut y);
+            simt::launch_groups_with_model(spec, model, cfg, group_size, |g| {
+                sched.process_batches(
+                    g,
+                    |_lane, _tile, nz| values[nz] * x[col_indices[nz] as usize],
+                    |lane, tile, sum| {
+                        gy.store(tile, sum);
+                        lane.write_bytes(4);
+                    },
+                );
+            })?
+        };
+        Ok((y, report, ScheduleKind::GroupMapped(group_size)))
+    }
+
+    fn work_queue(
+        spec: &GpuSpec,
+        model: &CostModel,
+        a: &Csr<f32>,
+        x: &[f32],
+        chunk: u32,
+        block_dim: u32,
+    ) -> simt::Result<(Vec<f32>, LaunchReport, ScheduleKind)> {
+        let work = CsrTiles::new(a);
+        let sched = WorkQueueSchedule::new(&work, chunk as usize);
+        let mut y = vec![0.0f32; a.rows()];
+        let (values, col_indices) = (a.values(), a.col_indices());
+        let cfg = sched.launch_config(spec, block_dim);
+        let report = {
+            let gy = GlobalMem::new(&mut y);
+            simt::launch_threads_with_model(spec, model, cfg, |t| {
+                sched.process_tiles(t, |lane, row| {
+                    let mut sum = 0.0f32;
+                    for nz in sched.atoms(row, lane) {
+                        sum += values[nz] * x[col_indices[nz] as usize];
+                    }
+                    gy.store(row, sum);
+                    lane.write_bytes(4);
+                });
+            })?
+        };
+        Ok((y, report, ScheduleKind::WorkQueue(chunk)))
+    }
+
+    fn lrb(
+        spec: &GpuSpec,
+        model: &CostModel,
+        a: &Csr<f32>,
+        x: &[f32],
+        block_dim: u32,
+    ) -> simt::Result<(Vec<f32>, LaunchReport, ScheduleKind)> {
+        let work = CsrTiles::new(a);
+        let cfg_sched = LrbSchedule {
+            block_dim,
+            ..LrbSchedule::default()
+        };
+        let plan = cfg_sched.bin_tiles(spec, model, &work)?;
+        let mut report = Some(plan.binning_report.clone());
+        let mut y = vec![0.0f32; a.rows()];
+        let (values, col_indices) = (a.values(), a.col_indices());
+
+        let small_hi = bin_of(cfg_sched.small_limit) + 1;
+        let medium_hi = bin_of(cfg_sched.medium_limit) + 1;
+        let class = |lo: usize, hi: usize| &plan.order[plan.bin_offsets[lo]..plan.bin_offsets[hi]];
+        let small = class(0, small_hi);
+        if !small.is_empty() {
+            let view = SubsetTiles::new(&work, small);
+            let sched = ThreadMappedSchedule::new(&view);
+            let gy = GlobalMem::new(&mut y);
+            let r = simt::launch_threads_with_model(
+                spec,
+                model,
+                LaunchConfig::over_threads(small.len() as u64, block_dim),
+                |t| {
+                    for local in sched.tiles(t) {
+                        let mut sum = 0.0f32;
+                        for nz in sched.atoms(local, t) {
+                            sum += values[nz] * x[col_indices[nz] as usize];
+                        }
+                        gy.store(view.global_tile(local), sum);
+                        t.write_bytes(4);
+                    }
+                },
+            )?;
+            match report {
+                Some(ref mut rep) => rep.accumulate(&r),
+                None => report = Some(r),
+            }
+        }
+        for (lo, hi, group) in [
+            (small_hi, medium_hi, spec.warp_size),
+            (medium_hi, loops::schedule::LRB_NUM_BINS, block_dim),
+        ] {
+            let tiles = class(lo, hi.max(lo));
+            if tiles.is_empty() {
+                continue;
+            }
+            let view = SubsetTiles::new(&work, tiles);
+            let sched = GroupMappedSchedule::new(&view, group);
+            let cfg = sched.launch_config(block_dim, spec.num_sms * 8);
+            let gy = GlobalMem::new(&mut y);
+            let r = simt::launch_groups_with_model(spec, model, cfg, group, |g| {
+                sched.process_batches(
+                    g,
+                    |_lane, _local, nz| values[nz] * x[col_indices[nz] as usize],
+                    |lane, local, sum| {
+                        gy.store(view.global_tile(local), sum);
+                        lane.write_bytes(4);
+                    },
+                );
+            })?;
+            match report {
+                Some(ref mut rep) => rep.accumulate(&r),
+                None => report = Some(r),
+            }
+        }
+        let report = match report {
+            Some(r) => r,
+            None => simt::launch_threads_with_model(
+                spec,
+                model,
+                LaunchConfig::over_threads(1, block_dim),
+                |_t| {},
+            )?,
+        };
+        Ok((y, report, ScheduleKind::Lrb))
+    }
+}
+
+/// The proptest: random matrices, random schedules, random block sizes —
+/// engine and legacy paths must agree in output bits, resolved schedule,
+/// and the entire launch report (modulo the host wall-clock diagnostic).
+#[test]
+fn engine_and_legacy_spmv_agree_on_random_cases() {
+    const CASES: usize = 32;
+    let spec = GpuSpec::v100();
+    let model = CostModel::standard();
+    let mut rng = Prng::seed_from_u64(0xD15BA7C4);
+    for case in 0..CASES {
+        let rows = rng.index(1, 400);
+        let cols = rng.index(1, 400);
+        let nnz = rng.index(0, rows * cols.min(40) + 1);
+        let a = sparse::gen::powerlaw(rows, cols, nnz, 1.5 + 0.1 * (case % 8) as f64, case as u64);
+        let x = sparse::dense::test_vector(a.cols());
+        let kind = ALL_KINDS[rng.index(0, ALL_KINDS.len())];
+        let block_dim = [64u32, 128, 256, 512][rng.index(0, 4)];
+
+        let engine = kernels::spmv::spmv_with_model(&spec, &model, &a, &x, kind, block_dim)
+            .unwrap_or_else(|e| panic!("case {case} ({kind}, block {block_dim}): {e:?}"));
+        let (ly, lreport, lkind) =
+            legacy::spmv_with_model(&spec, &model, &a, &x, kind, block_dim).unwrap();
+
+        assert_eq!(bits(&engine.y), bits(&ly), "case {case}: y differs ({kind})");
+        assert_eq!(engine.schedule, lkind, "case {case}: resolved schedule differs");
+        let strip = |r: &LaunchReport| {
+            let mut r = r.clone();
+            r.host_wall_ms = 0.0;
+            r
+        };
+        assert_eq!(
+            strip(&engine.report),
+            strip(&lreport),
+            "case {case}: launch report differs ({kind}, block {block_dim})"
+        );
+    }
+}
