@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const BINS: [&str; 14] = [
+const BINS: [&str; 15] = [
     "fig2",
     "fig3",
     "fig4",
@@ -20,6 +20,7 @@ const BINS: [&str; 14] = [
     "timeline",
     "corpus_stats",
     "serve_bench",
+    "autotune_bench",
 ];
 
 fn main() {

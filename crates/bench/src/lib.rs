@@ -20,6 +20,7 @@
 //! | `locality_report` | schedule-order L2 hit rates (§8 future work) |
 //! | `timeline` | per-SM busy profile per schedule (+ `timeline.csv`) |
 //! | `profile` | Chrome-trace timelines of a skewed SpMV and a serve run |
+//! | `autotune_bench` | static heuristic vs online autotuner steady state |
 //! | `corpus_stats` | corpus structure/imbalance inventory |
 //! | `run_all` | every experiment in sequence (the artifact's `run.sh`) |
 //!
@@ -29,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod autotune;
 pub mod cli;
 pub mod csv;
 pub mod loc;

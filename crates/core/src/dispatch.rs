@@ -92,8 +92,80 @@ pub fn span_atoms<'l, 'm>(span: &TileSpan, lane: &'l LaneCtx<'m>) -> Charged<'l,
 
 /// Largest divisor of `n` that is ≤ `k` (≥ 1). Keeps arbitrary group
 /// sizes legal for any block size.
+///
+/// Runs in O(√n) by walking divisor *pairs* `(d, n/d)` up to √n instead
+/// of scanning every candidate below `k` — this executes on every
+/// group-mapped dispatch, so the descending O(k) scan it replaces was
+/// per-launch overhead.
 pub fn largest_divisor_leq(n: u32, k: u32) -> u32 {
-    (1..=k.min(n)).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1)
+    if n == 0 || k == 0 {
+        return 1;
+    }
+    let k = k.min(n);
+    let mut best = 1u32;
+    let mut d = 1u32;
+    while d <= n / d {
+        if n.is_multiple_of(d) {
+            if d <= k && d > best {
+                best = d;
+            }
+            let q = n / d;
+            if q <= k && q > best {
+                best = q;
+            }
+        }
+        d += 1;
+    }
+    best
+}
+
+/// Enumerate the candidate schedule space worth exploring for `kernel`
+/// over the CSR pattern `a` — the search space an online autotuner walks
+/// (paper §6.2: the schedule is a one-identifier swap, so the whole
+/// space is enumerable).
+///
+/// The set spans every schedule family plus the tunable group-size and
+/// chunk-width variants (warp and block widths are covered by
+/// `WarpMapped`/`BlockMapped`, so the explicit `GroupMapped` entries
+/// probe the sizes between and beyond them). Work-queue chunk widths
+/// that exceed the tile count collapse into one claim and are pruned to
+/// keep the sweep short. Frontier kernels (`bfs`, `sssp`) exclude LRB:
+/// they rebuild tile sets every level, so the binning pass is paid per
+/// launch and never amortizes into a cached plan. `spmm` coerces every
+/// family except merge-path to thread-mapped, so its space collapses to
+/// those two — exploring coerced aliases would just re-measure the same
+/// launch.
+///
+/// The order is deterministic — exploration policies that want an
+/// unbiased walk shuffle it with their own seeded generator.
+pub fn candidates(kernel: &str, a: &sparse::Csr<f32>) -> Vec<ScheduleKind> {
+    let rows = a.rows();
+    if rows == 0 || a.nnz() == 0 {
+        // Degenerate patterns: every schedule is a no-op; don't burn
+        // exploration serves distinguishing identical costs.
+        return vec![ScheduleKind::ThreadMapped];
+    }
+    if kernel == "spmm" {
+        return vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath];
+    }
+    let mut space = vec![
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::WarpMapped,
+        ScheduleKind::BlockMapped,
+        ScheduleKind::GroupMapped(8),
+        ScheduleKind::GroupMapped(16),
+        ScheduleKind::GroupMapped(64),
+        ScheduleKind::MergePath,
+    ];
+    for chunk in [64u32, 256, 1024] {
+        if chunk == 64 || (chunk as usize) < rows {
+            space.push(ScheduleKind::WorkQueue(chunk));
+        }
+    }
+    if !matches!(kernel, "bfs" | "sssp") {
+        space.push(ScheduleKind::Lrb);
+    }
+    space
 }
 
 /// The interned trace span label for `kernel` under `kind`:
@@ -687,5 +759,54 @@ mod tests {
         assert_eq!(largest_divisor_leq(256, 1), 1);
         assert_eq!(largest_divisor_leq(96, 64), 48);
         assert_eq!(largest_divisor_leq(7, 7), 7);
+    }
+
+    #[test]
+    fn largest_divisor_matches_naive_scan() {
+        let naive =
+            |n: u32, k: u32| -> u32 { (1..=k.min(n)).rev().find(|&d| n.is_multiple_of(d)).unwrap_or(1) };
+        for n in 0..=300u32 {
+            for k in 0..=(n + 2).min(300) {
+                assert_eq!(largest_divisor_leq(n, k), naive(n, k), "n={n} k={k}");
+            }
+        }
+        let mut rng = sparse::Prng::seed_from_u64(0xd1f);
+        for _ in 0..2000 {
+            let n = rng.index(0, 1 << 16) as u32;
+            let k = rng.index(0, 1 << 16) as u32;
+            assert_eq!(largest_divisor_leq(n, k), naive(n, k), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn candidate_space_is_deterministic_and_covers_variants() {
+        let a = sparse::gen::uniform(2000, 2000, 20_000, 7);
+        let space = candidates("spmv", &a);
+        assert_eq!(space, candidates("spmv", &a), "order must be stable");
+        assert!(space.contains(&ScheduleKind::MergePath));
+        assert!(space.contains(&ScheduleKind::GroupMapped(8)));
+        assert!(space.contains(&ScheduleKind::WorkQueue(1024)));
+        assert!(space.contains(&ScheduleKind::Lrb));
+        // Each candidate appears once.
+        for k in &space {
+            assert_eq!(space.iter().filter(|c| *c == k).count(), 1, "{k}");
+        }
+        // Frontier kernels rebuild tile sets per level: no LRB.
+        let frontier = candidates("bfs", &a);
+        assert!(!frontier.contains(&ScheduleKind::Lrb));
+        assert!(frontier.contains(&ScheduleKind::MergePath));
+        // Chunk widths that exceed the tile count are pruned.
+        let tiny = candidates("spmv", &sparse::gen::uniform(100, 100, 400, 1));
+        assert!(tiny.contains(&ScheduleKind::WorkQueue(64)));
+        assert!(!tiny.contains(&ScheduleKind::WorkQueue(1024)));
+        // Degenerate patterns collapse to a single no-op candidate.
+        let empty = candidates("spmv", &sparse::gen::uniform(5, 5, 0, 1));
+        assert_eq!(empty, vec![ScheduleKind::ThreadMapped]);
+        // SpMM coerces all non-merge-path families to thread-mapped, so
+        // its space is exactly those two.
+        assert_eq!(
+            candidates("spmm", &a),
+            vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath]
+        );
     }
 }

@@ -140,13 +140,26 @@ impl<'w, W: TileSet> MergePathSchedule<'w, W> {
     /// [`Self::spans`] finds with its two in-kernel diagonal searches. A
     /// serving runtime caches this table per matrix so repeated launches
     /// skip the search.
+    ///
+    /// # Panics
+    ///
+    /// The table stores each boundary's tile coordinate as `u32`. A tile
+    /// set with more than `u32::MAX` tiles cannot be represented —
+    /// rather than silently truncating the coordinate (which would make
+    /// threads replay the wrong rows), this panics with the offending
+    /// value.
     pub fn partition(&self) -> Vec<u32> {
         let total = self.total_work();
         let n = self.num_threads();
         (0..=n)
             .map(|i| {
                 let (t, _) = self.diagonal_search((i * self.items_per_thread).min(total));
-                t as u32
+                u32::try_from(t).unwrap_or_else(|_| {
+                    panic!(
+                        "merge-path partition: boundary tile coordinate {t} exceeds \
+                         u32::MAX and cannot be stored in the u32 partition table"
+                    )
+                })
             })
             .collect()
     }
@@ -410,5 +423,56 @@ mod tests {
         let w = CountedTiles::from_counts(std::iter::empty());
         let spans = all_spans(&w, 4);
         assert!(spans.is_empty());
+    }
+
+    /// Synthetic contiguous tile set with an enormous tile count and no
+    /// atoms — only the geometry the diagonal search probes is
+    /// implemented, so tile counts near/above `u32::MAX` are exercised
+    /// without allocating anything.
+    #[cfg(target_pointer_width = "64")]
+    struct HugeTiles {
+        tiles: usize,
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    impl TileSet for HugeTiles {
+        fn num_tiles(&self) -> usize {
+            self.tiles
+        }
+        fn num_atoms(&self) -> usize {
+            0
+        }
+        fn tile_atoms(&self, _t: usize) -> std::ops::Range<usize> {
+            0..0
+        }
+        fn tile_offset(&self, _i: usize) -> usize {
+            0
+        }
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn partition_stores_boundary_at_exactly_u32_max() {
+        let w = HugeTiles {
+            tiles: u32::MAX as usize,
+        };
+        // Huge items-per-thread keeps the boundary table tiny (3 entries)
+        // while the final boundary lands exactly on u32::MAX.
+        let sched = MergePathSchedule::new(&w, 1 << 31);
+        let starts = sched.partition();
+        assert_eq!(*starts.last().unwrap(), u32::MAX);
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn partition_panics_instead_of_truncating_past_u32() {
+        let w = HugeTiles {
+            tiles: u32::MAX as usize + 42,
+        };
+        let sched = MergePathSchedule::new(&w, 1 << 31);
+        // Pre-fix this silently truncated (`t as u32`), wrapping boundary
+        // coordinates and pointing threads at the wrong tiles.
+        let _ = sched.partition();
     }
 }

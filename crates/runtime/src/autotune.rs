@@ -1,0 +1,468 @@
+//! Online, profile-guided schedule autotuning (closing the loop the
+//! paper opens in §6.2).
+//!
+//! The static heuristic picks one schedule per matrix from three summary
+//! statistics — but the paper's own results show no single schedule wins
+//! across sparsity patterns, and the dispatch engine made every schedule
+//! interchangeable behind a [`KernelPlan`]. This module walks the
+//! candidate space *online*: each plan-cache miss for a tuned key serves
+//! the request under one candidate ([`loops::dispatch::candidates`]
+//! enumerates the space, including group-size and chunk-width variants)
+//! and records the **simulated cost** the launch reports. The simulator
+//! is deterministic, so one measurement per candidate is exact — no
+//! repetition, no noise floor. When every candidate is measured, the
+//! winner's prepared plan is **promoted** into the plan cache, and from
+//! then on requests take the ordinary warm path (prepartitioned
+//! merge-path tables, cached LRB bins) with zero tuner involvement.
+//!
+//! The policy is seeded epsilon-greedy: the first serve of a key always
+//! explores (nothing is known), after that each miss explores the next
+//! unmeasured candidate with probability `epsilon` and otherwise
+//! exploits the best-measured one — so request latency stays close to
+//! best-known while the sweep trickles to completion. Exploration order
+//! is a seeded shuffle of the candidate list, decorrelating which
+//! schedules pay the early-exploration cost across keys without losing
+//! determinism: the same seed and request stream reproduce the same
+//! choices, measurements, and promotions bitwise.
+//!
+//! Costs are measured on the *planned* (warm) path: the tuner prepares
+//! the candidate's plan first and serves through it, so what it compares
+//! is exactly the steady-state cost the cache will serve afterwards —
+//! a cold merge-path launch would be charged for in-kernel diagonal
+//! searches the warm path never runs, biasing the sweep against the
+//! schedules that benefit most from caching.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use loops::dispatch::KernelPlan;
+use loops::schedule::ScheduleKind;
+use sparse::Prng;
+
+use crate::cache::PlanKey;
+
+/// Autotuner knobs. Off by default: a runtime with a default config
+/// serves bit-for-bit as it did before the tuner existed.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneConfig {
+    /// Master switch. When `false` the tuner is never consulted and the
+    /// static heuristic picks every schedule.
+    pub enabled: bool,
+    /// Probability that a plan-cache miss explores the next unmeasured
+    /// candidate once at least one cost is known (the first miss always
+    /// explores). Higher converges faster; lower keeps pre-promotion
+    /// latency closer to best-known.
+    pub epsilon: f64,
+    /// Seed for the exploration-order shuffle and the epsilon draws.
+    /// The tuner has its own generator so enabling it never perturbs
+    /// the runtime's retry/chaos stream.
+    pub seed: u64,
+    /// Maximum number of plan keys tracked; keys arriving after the
+    /// table is full are served by the static heuristic (bounding tuner
+    /// memory on long-tailed corpora).
+    pub max_keys: usize,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            epsilon: 0.4,
+            seed: 0x70e5,
+            max_keys: 256,
+        }
+    }
+}
+
+/// What the tuner asks the caller to do for one plan-cache miss.
+#[derive(Debug, Clone)]
+pub enum TuneAction {
+    /// Serve under this unmeasured candidate, then report the measured
+    /// cost (and the prepared plan) back through [`Autotuner::record`].
+    Explore(ScheduleKind),
+    /// Serve under the best-measured candidate; nothing to report.
+    Exploit {
+        /// The best-measured schedule so far.
+        kind: ScheduleKind,
+        /// Its retained plan, if one was recorded (serve through it).
+        plan: Option<Arc<KernelPlan>>,
+        /// `true` if this key already promoted a winner but the plan
+        /// cache has since evicted it — the caller should re-insert
+        /// `plan` so the warm path resumes.
+        promote: bool,
+    },
+}
+
+/// A completed sweep: the winning candidate to install in the plan
+/// cache.
+#[derive(Debug, Clone)]
+pub struct Promotion {
+    /// The winning schedule.
+    pub kind: ScheduleKind,
+    /// Its prepared plan, ready to insert into the cache.
+    pub plan: Arc<KernelPlan>,
+    /// Its measured warm-path cost in simulated milliseconds.
+    pub cost_ms: f64,
+}
+
+/// Lifetime counters (monotone; serve-level reports diff snapshots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuneStats {
+    /// Requests served under an unmeasured candidate.
+    pub explores: usize,
+    /// Sweeps completed (winner promoted into the plan cache).
+    pub promotes: usize,
+    /// Plan keys currently tracked.
+    pub keys: usize,
+}
+
+/// Per-key sweep state.
+#[derive(Debug)]
+struct KeyState {
+    /// Candidates in (seeded-shuffled) exploration order.
+    order: Vec<ScheduleKind>,
+    /// Measured warm-path cost per candidate, parallel to `order`.
+    costs: Vec<Option<f64>>,
+    /// Index and cost of the best-measured candidate.
+    best: Option<(usize, f64)>,
+    /// The best candidate's prepared plan.
+    best_plan: Option<Arc<KernelPlan>>,
+    /// The sweep finished and its winner was handed out.
+    promoted: bool,
+}
+
+impl KeyState {
+    fn next_unmeasured(&self) -> Option<usize> {
+        self.costs.iter().position(Option::is_none)
+    }
+}
+
+/// The online schedule autotuner: per-[`PlanKey`] sweep state plus the
+/// seeded exploration stream. See the module docs for the policy.
+#[derive(Debug)]
+pub struct Autotuner {
+    cfg: TuneConfig,
+    rng: Prng,
+    states: HashMap<PlanKey, KeyState>,
+    explores: usize,
+    promotes: usize,
+}
+
+impl Autotuner {
+    /// A tuner with its own generator seeded from `cfg.seed`.
+    pub fn new(cfg: TuneConfig) -> Self {
+        Self {
+            rng: Prng::seed_from_u64(cfg.seed),
+            cfg,
+            states: HashMap::new(),
+            explores: 0,
+            promotes: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> TuneConfig {
+        self.cfg
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TuneStats {
+        TuneStats {
+            explores: self.explores,
+            promotes: self.promotes,
+            keys: self.states.len(),
+        }
+    }
+
+    /// Decide how to serve a plan-cache miss for `key`. Returns `None`
+    /// when the caller should use the static-heuristic path unchanged:
+    /// tuning disabled, the key table full, or an empty candidate space.
+    /// `enumerate` is only invoked the first time a key is seen.
+    pub fn choose(
+        &mut self,
+        key: PlanKey,
+        enumerate: impl FnOnce() -> Vec<ScheduleKind>,
+    ) -> Option<TuneAction> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        if !self.states.contains_key(&key) {
+            if self.states.len() >= self.cfg.max_keys {
+                return None;
+            }
+            let mut order = enumerate();
+            // Seeded Fisher–Yates: unbias which candidate eats the
+            // first-exploration latency, deterministically.
+            for i in (1..order.len()).rev() {
+                let j = self.rng.index(0, i + 1);
+                order.swap(i, j);
+            }
+            let costs = vec![None; order.len()];
+            self.states.insert(
+                key,
+                KeyState {
+                    order,
+                    costs,
+                    best: None,
+                    best_plan: None,
+                    promoted: false,
+                },
+            );
+        }
+        // Epsilon draw happens before borrowing the state so the
+        // generator is consumed in a fixed order.
+        let coin = self.rng.f64();
+        let state = self.states.get_mut(&key).expect("state just ensured");
+        if state.order.is_empty() {
+            return None;
+        }
+        if state.promoted {
+            let (bi, _) = state.best.expect("promoted key has a best");
+            return Some(TuneAction::Exploit {
+                kind: state.order[bi],
+                plan: state.best_plan.clone(),
+                promote: true,
+            });
+        }
+        match (state.next_unmeasured(), state.best) {
+            // Nothing measured yet: the only way to learn is to explore.
+            (Some(i), None) => Some(TuneAction::Explore(state.order[i])),
+            (Some(i), Some((bi, _))) => {
+                if coin < self.cfg.epsilon {
+                    Some(TuneAction::Explore(state.order[i]))
+                } else {
+                    Some(TuneAction::Exploit {
+                        kind: state.order[bi],
+                        plan: state.best_plan.clone(),
+                        promote: false,
+                    })
+                }
+            }
+            // Fully measured but not promoted: `record` promotes as the
+            // last measurement lands, so this only happens if that
+            // promotion's cache entry was lost before `record` ran —
+            // treat as exploit.
+            (None, Some((bi, _))) => Some(TuneAction::Exploit {
+                kind: state.order[bi],
+                plan: state.best_plan.clone(),
+                promote: false,
+            }),
+            (None, None) => None,
+        }
+    }
+
+    /// Report the measured warm-path cost of an explored candidate.
+    /// Returns the [`Promotion`] when this measurement completes the
+    /// key's sweep; the caller installs it in the plan cache. Repeat
+    /// measurements of an already-measured candidate are ignored (the
+    /// simulator is deterministic, so they carry no new information).
+    pub fn record(
+        &mut self,
+        key: PlanKey,
+        kind: ScheduleKind,
+        cost_ms: f64,
+        plan: Option<Arc<KernelPlan>>,
+    ) -> Option<Promotion> {
+        let state = self.states.get_mut(&key)?;
+        let slot = state.order.iter().position(|k| *k == kind)?;
+        if state.costs[slot].is_none() {
+            state.costs[slot] = Some(cost_ms);
+            self.explores += 1;
+            // Strict less-than: ties keep the earlier-measured candidate,
+            // so the winner never depends on float comparison quirks.
+            let better = match state.best {
+                None => true,
+                Some((_, best_cost)) => cost_ms < best_cost,
+            };
+            if better {
+                state.best = Some((slot, cost_ms));
+                state.best_plan = plan;
+            }
+        }
+        if state.next_unmeasured().is_none() && !state.promoted {
+            state.promoted = true;
+            self.promotes += 1;
+            let (bi, best_cost) = state.best.expect("measured sweep has a best");
+            let plan = state
+                .best_plan
+                .clone()
+                .expect("every recorded candidate carried a plan");
+            return Some(Promotion {
+                kind: state.order[bi],
+                plan,
+                cost_ms: best_cost,
+            });
+        }
+        None
+    }
+
+    /// Whether `key`'s sweep has completed and promoted a winner.
+    pub fn is_promoted(&self, key: &PlanKey) -> bool {
+        self.states.get(key).is_some_and(|s| s.promoted)
+    }
+
+    /// The promoted winner for `key`, if its sweep completed.
+    pub fn winner(&self, key: &PlanKey) -> Option<ScheduleKind> {
+        let state = self.states.get(key)?;
+        if !state.promoted {
+            return None;
+        }
+        state.best.map(|(i, _)| state.order[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+
+    fn key(rows: usize) -> PlanKey {
+        // Distinct row counts guarantee distinct fingerprints (the
+        // generator may drop colliding nonzeros, so distinct *nnz*
+        // requests would not).
+        PlanKey {
+            kernel: "spmv",
+            fp: Fingerprint::of(&sparse::gen::uniform(rows, 16, 4 * rows, 1)),
+        }
+    }
+
+    fn plan(kind: ScheduleKind) -> Arc<KernelPlan> {
+        Arc::new(KernelPlan {
+            schedule: kind,
+            block_dim: 256,
+            merge_starts: None,
+            lrb: None,
+            setup_ms: 0.0,
+        })
+    }
+
+    fn drive_sweep(tuner: &mut Autotuner, k: PlanKey, cost_of: impl Fn(ScheduleKind) -> f64) -> Promotion {
+        let space = || vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath, ScheduleKind::WarpMapped];
+        for _ in 0..1000 {
+            match tuner.choose(k, space) {
+                Some(TuneAction::Explore(kind)) => {
+                    if let Some(p) = tuner.record(k, kind, cost_of(kind), Some(plan(kind))) {
+                        return p;
+                    }
+                }
+                Some(TuneAction::Exploit { .. }) => {}
+                None => panic!("tuner gave up mid-sweep"),
+            }
+        }
+        panic!("sweep did not converge in 1000 requests");
+    }
+
+    #[test]
+    fn disabled_tuner_is_never_consulted() {
+        let mut t = Autotuner::new(TuneConfig::default());
+        assert!(t.choose(key(32), || vec![ScheduleKind::ThreadMapped]).is_none());
+        assert_eq!(t.stats(), TuneStats::default());
+    }
+
+    #[test]
+    fn sweep_measures_every_candidate_once_and_promotes_the_cheapest() {
+        let cfg = TuneConfig {
+            enabled: true,
+            ..TuneConfig::default()
+        };
+        let mut t = Autotuner::new(cfg);
+        let k = key(48);
+        let promo = drive_sweep(&mut t, k, |kind| match kind {
+            ScheduleKind::MergePath => 0.25,
+            ScheduleKind::ThreadMapped => 1.0,
+            _ => 0.5,
+        });
+        assert_eq!(promo.kind, ScheduleKind::MergePath);
+        assert_eq!(promo.cost_ms, 0.25);
+        assert_eq!(t.stats().explores, 3, "each candidate measured exactly once");
+        assert_eq!(t.stats().promotes, 1);
+        assert_eq!(t.winner(&k), Some(ScheduleKind::MergePath));
+        // After promotion the tuner hands back the winner for cache
+        // re-insertion instead of exploring again.
+        match t.choose(k, || panic!("candidate space must not be re-enumerated")) {
+            Some(TuneAction::Exploit { kind, plan, promote }) => {
+                assert_eq!(kind, ScheduleKind::MergePath);
+                assert!(promote);
+                assert_eq!(plan.unwrap().schedule, ScheduleKind::MergePath);
+            }
+            other => panic!("expected promoted exploit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_choice_sequence() {
+        let cfg = TuneConfig {
+            enabled: true,
+            seed: 99,
+            ..TuneConfig::default()
+        };
+        let run = || {
+            let mut t = Autotuner::new(cfg);
+            let k = key(64);
+            let mut seq = Vec::new();
+            for _ in 0..20 {
+                match t.choose(k, || {
+                    vec![
+                        ScheduleKind::ThreadMapped,
+                        ScheduleKind::MergePath,
+                        ScheduleKind::WarpMapped,
+                        ScheduleKind::Lrb,
+                    ]
+                }) {
+                    Some(TuneAction::Explore(kind)) => {
+                        seq.push(format!("explore {kind}"));
+                        t.record(k, kind, 1.0 + seq.len() as f64, Some(plan(kind)));
+                    }
+                    Some(TuneAction::Exploit { kind, .. }) => seq.push(format!("exploit {kind}")),
+                    None => seq.push("none".into()),
+                }
+            }
+            seq
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn key_table_is_bounded() {
+        let cfg = TuneConfig {
+            enabled: true,
+            max_keys: 2,
+            ..TuneConfig::default()
+        };
+        let mut t = Autotuner::new(cfg);
+        assert!(t.choose(key(16), || vec![ScheduleKind::ThreadMapped]).is_some());
+        assert!(t.choose(key(17), || vec![ScheduleKind::ThreadMapped]).is_some());
+        // A third distinct key is refused; the caller serves statically.
+        assert!(t.choose(key(18), || vec![ScheduleKind::ThreadMapped]).is_none());
+        assert_eq!(t.stats().keys, 2);
+        // Known keys keep tuning.
+        assert!(t.choose(key(16), || panic!("no re-enumeration")).is_some());
+    }
+
+    #[test]
+    fn exploit_between_explorations_serves_best_so_far() {
+        let cfg = TuneConfig {
+            enabled: true,
+            epsilon: 0.0, // never explore once something is measured
+            ..TuneConfig::default()
+        };
+        let mut t = Autotuner::new(cfg);
+        let k = key(80);
+        let space = || vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath];
+        let Some(TuneAction::Explore(first)) = t.choose(k, space) else {
+            panic!("first serve must explore");
+        };
+        t.record(k, first, 2.0, Some(plan(first)));
+        // With epsilon 0 the sweep stalls on exploit — always best-so-far.
+        for _ in 0..10 {
+            match t.choose(k, space) {
+                Some(TuneAction::Exploit { kind, promote, .. }) => {
+                    assert_eq!(kind, first);
+                    assert!(!promote);
+                }
+                other => panic!("expected exploit, got {other:?}"),
+            }
+        }
+        assert_eq!(t.stats().promotes, 0);
+    }
+}

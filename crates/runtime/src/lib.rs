@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod autotune;
 pub mod batch;
 pub mod cache;
 pub mod fingerprint;
@@ -53,10 +54,11 @@ use loops::heuristic::Heuristic;
 use loops::schedule::ScheduleKind;
 use simt::{CostModel, DeviceSim, FaultCounters, FaultPlan, GpuSpec, LaunchReport, SimError, StreamId};
 use sparse::{Csr, DenseMatrix, Prng};
-use trace::{CounterKind, RequestPhase, TraceEvent, TraceSink};
+use trace::{CounterKind, RequestPhase, TraceEvent, TraceSink, TunePhase};
 
+pub use autotune::{Autotuner, TuneAction, TuneConfig, TuneStats};
 pub use cache::{CacheStats, PlanCache, PlanKey};
-pub use fingerprint::Fingerprint;
+pub use fingerprint::{Fingerprint, HeaderStamp};
 pub use workload::{zipf_workload, WorkloadSpec};
 
 /// What to do when the in-flight window is full.
@@ -119,6 +121,10 @@ pub struct RuntimeConfig {
     /// exercising the graceful-degradation path (serve via the
     /// heuristic schedule, skip caching). 0.0 (the default) disables it.
     pub plan_fail_prob: f64,
+    /// Online schedule autotuning (see [`autotune`]). Off by default:
+    /// with `tune.enabled == false` every output is bitwise identical
+    /// to a runtime without the tuner.
+    pub tune: TuneConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -141,6 +147,7 @@ impl Default for RuntimeConfig {
             evict_after: 3,
             cooldown_ms: 5.0,
             plan_fail_prob: 0.0,
+            tune: TuneConfig::default(),
         }
     }
 }
@@ -264,6 +271,12 @@ pub struct RuntimeReport {
     pub batched_requests: usize,
     /// Plan-cache counters for this call.
     pub cache: CacheStats,
+    /// Autotuner exploration serves issued during this call (0 when
+    /// tuning is disabled).
+    pub tune_explores: usize,
+    /// Schedules the autotuner promoted into the plan cache during this
+    /// call.
+    pub tune_promotes: usize,
     /// Median latency (ms).
     pub latency_p50_ms: f64,
     /// 99th-percentile latency (ms).
@@ -324,6 +337,13 @@ impl fmt::Display for RuntimeReport {
             "batching: {} fused launches covering {} requests",
             self.batches, self.batched_requests
         )?;
+        if self.tune_explores + self.tune_promotes > 0 {
+            writeln!(
+                f,
+                "autotune: {} exploration serves, {} promotions",
+                self.tune_explores, self.tune_promotes
+            )?;
+        }
         writeln!(
             f,
             "resilience: {} retries, {} failovers, {} deadline-missed, {} failed, \
@@ -405,6 +425,10 @@ enum SubmitOutcome {
     Dropped(DropReason, f64),
 }
 
+/// Fingerprint-memo bound: past this many entries the memo is cleared
+/// (see [`Runtime::fingerprint_of`]).
+const FP_MEMO_CAP: usize = 1024;
+
 /// The serving runtime: device pool + plan cache + batcher + queue.
 #[derive(Debug)]
 pub struct Runtime {
@@ -416,7 +440,12 @@ pub struct Runtime {
     streams: Vec<Vec<StreamId>>,
     health: Vec<DeviceHealth>,
     cache: PlanCache,
-    fp_memo: HashMap<usize, Fingerprint>,
+    /// Fingerprints memoized by allocation address. The address is only
+    /// a *hint*: every hit is validated against a [`HeaderStamp`] of the
+    /// matrix actually presented, because allocators reuse addresses
+    /// (see [`Runtime::fingerprint_of`]).
+    fp_memo: HashMap<usize, (HeaderStamp, Fingerprint)>,
+    tuner: Autotuner,
     sink: Option<Arc<dyn TraceSink>>,
     /// Seeded stream for retry jitter and chaos draws. Healthy serves
     /// draw nothing from it, so fault-free behaviour is independent of
@@ -467,6 +496,7 @@ impl Runtime {
             cache: PlanCache::new(cfg.plan_cache_capacity),
             health: vec![DeviceHealth::default(); cfg.devices],
             rng: Prng::seed_from_u64(cfg.retry_seed),
+            tuner: Autotuner::new(cfg.tune),
             cfg,
             spec,
             model,
@@ -526,10 +556,175 @@ impl Runtime {
         self.cache.stats()
     }
 
-    /// Fingerprint a matrix, memoized by allocation identity so popular
-    /// operands hash their row structure once.
+    /// Fingerprint a matrix, memoized by allocation address so popular
+    /// operands hash their full row structure (O(rows)) once.
+    ///
+    /// The address is a *hint*, not an identity: when a matrix is
+    /// dropped, the allocator happily hands its address to the next
+    /// allocation, and a memo keyed by address alone would then return
+    /// the dropped matrix's fingerprint — serving the new matrix with a
+    /// stale plan built for someone else's row structure. Every hit is
+    /// therefore validated against an O(1) [`HeaderStamp`] of the matrix
+    /// actually presented; a mismatch recomputes and replaces the entry.
+    /// The memo is also bounded: at [`FP_MEMO_CAP`] entries it is
+    /// cleared outright (it is a pure memoization — the only cost of
+    /// clearing is re-hashing on the next request).
     fn fingerprint_of(&mut self, ptr: usize, a: &Csr<f32>) -> Fingerprint {
-        *self.fp_memo.entry(ptr).or_insert_with(|| Fingerprint::of(a))
+        let stamp = HeaderStamp::of(a);
+        if let Some((cached_stamp, fp)) = self.fp_memo.get(&ptr) {
+            if *cached_stamp == stamp {
+                return *fp;
+            }
+        }
+        let fp = Fingerprint::of(a);
+        if self.fp_memo.len() >= FP_MEMO_CAP && !self.fp_memo.contains_key(&ptr) {
+            self.fp_memo.clear();
+        }
+        self.fp_memo.insert(ptr, (stamp, fp));
+        fp
+    }
+
+    /// The autotuner's lifetime counters (see [`autotune`]).
+    pub fn tune_stats(&self) -> TuneStats {
+        self.tuner.stats()
+    }
+
+    /// The schedule the autotuner promoted for `(kernel, fingerprint of
+    /// a)`, if that key's sweep has completed.
+    pub fn tuned_schedule(&mut self, kernel: &'static str, a: &Csr<f32>) -> Option<ScheduleKind> {
+        let fp = Fingerprint::of(a);
+        self.tuner.winner(&PlanKey { kernel, fp })
+    }
+
+    fn emit_tune(
+        &self,
+        kernel: &'static str,
+        kind: ScheduleKind,
+        phase: TunePhase,
+        ts_ms: f64,
+        cost_ms: f64,
+    ) {
+        if self.sink.is_some() {
+            self.emit(TraceEvent::Tune {
+                kernel,
+                schedule: trace::label::intern(&kind.to_string()),
+                phase,
+                ts_ms,
+                cost_ms,
+            });
+        }
+    }
+
+    /// Serve one solo SpMV plan-cache miss through the autotuner, if it
+    /// wants the key. Returns `None` when the static-heuristic path
+    /// should run unchanged (tuning disabled, or the key table is
+    /// full). Exploration serves run the candidate's *planned* warm
+    /// path, so the recorded cost is exactly the steady-state cost the
+    /// cache would serve after promotion; a candidate whose plan fails
+    /// to prepare is served via the heuristic and stays unmeasured (a
+    /// later miss retries it).
+    fn spmv_tuned_miss(
+        &mut self,
+        key: PlanKey,
+        a: &Csr<f32>,
+        x: &[f32],
+        now: f64,
+        ctrs: &mut ServeCounters,
+    ) -> simt::Result<Option<SpmvRun>> {
+        let Some(action) = self.tuner.choose(key, || loops::dispatch::candidates("spmv", a))
+        else {
+            return Ok(None);
+        };
+        match action {
+            TuneAction::Explore(kind) => {
+                match plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK) {
+                    Ok(plan) => {
+                        let plan = Arc::new(plan);
+                        let run = spmv_with_plan(&self.spec, &self.model, a, x, &plan)?;
+                        let cost = run.report.elapsed_ms();
+                        self.emit_tune("spmv", kind, TunePhase::Explore, now, cost);
+                        if let Some(p) = self.tuner.record(key, kind, cost, Some(plan)) {
+                            self.emit_tune("spmv", p.kind, TunePhase::Promote, now, p.cost_ms);
+                            self.cache.insert(key, p.plan);
+                        }
+                        Ok(Some(run))
+                    }
+                    Err(_) => {
+                        ctrs.plan_fallbacks += 1;
+                        let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
+                        Ok(Some(spmv_with_model(
+                            &self.spec,
+                            &self.model,
+                            a,
+                            x,
+                            kind,
+                            DEFAULT_BLOCK,
+                        )?))
+                    }
+                }
+            }
+            TuneAction::Exploit {
+                kind,
+                plan,
+                promote,
+            } => {
+                let run = match plan {
+                    Some(p) => {
+                        if promote {
+                            // A promoted winner fell out of the LRU cache:
+                            // re-install it so the warm path resumes.
+                            self.cache.insert(key, Arc::clone(&p));
+                        }
+                        spmv_with_plan(&self.spec, &self.model, a, x, &p)?
+                    }
+                    None => spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?,
+                };
+                Ok(Some(run))
+            }
+        }
+    }
+
+    /// [`Self::spmv_tuned_miss`]'s SpMM counterpart (standalone path, so
+    /// tune events carry `ts_ms = 0`).
+    fn spmm_tuned_miss(
+        &mut self,
+        key: PlanKey,
+        a: &Csr<f32>,
+        b: &DenseMatrix<f32>,
+    ) -> simt::Result<Option<spmm::SpmmRun>> {
+        let Some(action) = self.tuner.choose(key, || loops::dispatch::candidates("spmm", a))
+        else {
+            return Ok(None);
+        };
+        match action {
+            TuneAction::Explore(kind) => {
+                let plan = Arc::new(spmm::prepare(&self.spec, &self.model, a, kind)?);
+                let run = spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan)?;
+                let cost = run.report.elapsed_ms();
+                self.emit_tune("spmm", kind, TunePhase::Explore, 0.0, cost);
+                if let Some(p) = self.tuner.record(key, kind, cost, Some(plan)) {
+                    self.emit_tune("spmm", p.kind, TunePhase::Promote, 0.0, p.cost_ms);
+                    self.cache.insert(key, p.plan);
+                }
+                Ok(Some(run))
+            }
+            TuneAction::Exploit {
+                kind,
+                plan,
+                promote,
+            } => {
+                let run = match plan {
+                    Some(p) => {
+                        if promote {
+                            self.cache.insert(key, Arc::clone(&p));
+                        }
+                        spmm::spmm_with_plan(&self.spec, &self.model, a, b, &p)?
+                    }
+                    None => spmm::spmm_with_model(&self.spec, &self.model, a, b, kind)?,
+                };
+                Ok(Some(run))
+            }
+        }
     }
 
     /// Serve one SpMM through the plan cache. The first call for a
@@ -556,12 +751,15 @@ impl Runtime {
                     (spmm::spmm_with_model(&self.spec, &self.model, a, b, kind)?, false)
                 }
             },
-            None => {
-                let plan = Arc::new(spmm::prepare(&self.spec, &self.model, a, kind)?);
-                let run = spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan)?;
-                self.cache.insert(key, plan);
-                (run, false)
-            }
+            None => match self.spmm_tuned_miss(key, a, b)? {
+                Some(run) => (run, false),
+                None => {
+                    let plan = Arc::new(spmm::prepare(&self.spec, &self.model, a, kind)?);
+                    let run = spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan)?;
+                    self.cache.insert(key, plan);
+                    (run, false)
+                }
+            },
         };
         Ok(PlannedRun {
             output: run.c,
@@ -579,28 +777,68 @@ impl Runtime {
     pub fn run_bfs(&mut self, g: &Arc<Graph>, src: usize) -> simt::Result<PlannedRun<Vec<u32>>> {
         let fp = self.fingerprint_of(Arc::as_ptr(g) as usize, g.adjacency());
         let key = PlanKey { kernel: "bfs", fp };
-        let (plan, cache_hit) = match self.cache.get(&key) {
-            Some(plan) => (plan, true),
+        // `exploring` carries the schedule to measure for the tuner after
+        // the run; BFS cost depends on the frontier (and therefore on
+        // `src`), so the sweep measures each candidate on whichever source
+        // its exploration serve happens to carry — acceptable for a
+        // steady-state workload that revisits sources.
+        let (plan, cache_hit, exploring) = match self.cache.get(&key) {
+            Some(plan) => (plan, true, None),
             None => {
                 let adj = g.adjacency();
-                let kind = self.heuristic.select(adj.rows(), adj.cols(), adj.nnz());
-                let plan = Arc::new(KernelPlan {
-                    schedule: kind,
-                    block_dim: TRAVERSAL_BLOCK,
-                    merge_starts: None,
-                    lrb: None,
-                    setup_ms: 0.0,
-                });
-                self.cache.insert(key, Arc::clone(&plan));
-                (plan, false)
+                let tuned = self
+                    .tuner
+                    .choose(key, || loops::dispatch::candidates("bfs", adj));
+                match tuned {
+                    Some(TuneAction::Explore(kind)) => {
+                        (Self::traversal_plan(kind), false, Some(kind))
+                    }
+                    Some(TuneAction::Exploit {
+                        kind,
+                        plan,
+                        promote,
+                    }) => {
+                        let plan = plan.unwrap_or_else(|| Self::traversal_plan(kind));
+                        if promote {
+                            self.cache.insert(key, Arc::clone(&plan));
+                        }
+                        (plan, false, None)
+                    }
+                    None => {
+                        let kind = self.heuristic.select(adj.rows(), adj.cols(), adj.nnz());
+                        let plan = Self::traversal_plan(kind);
+                        self.cache.insert(key, Arc::clone(&plan));
+                        (plan, false, None)
+                    }
+                }
             }
         };
         let run = bfs::bfs_with_model(&self.spec, &self.model, g, src, plan.schedule)?;
+        if let Some(kind) = exploring {
+            let cost = run.report.elapsed_ms();
+            self.emit_tune("bfs", kind, TunePhase::Explore, 0.0, cost);
+            if let Some(p) = self.tuner.record(key, kind, cost, Some(Arc::clone(&plan))) {
+                self.emit_tune("bfs", p.kind, TunePhase::Promote, 0.0, p.cost_ms);
+                self.cache.insert(key, p.plan);
+            }
+        }
         Ok(PlannedRun {
             output: run.depth,
             report: run.report,
             schedule: plan.schedule,
             cache_hit,
+        })
+    }
+
+    /// A traversal plan is schedule-only: no partition artifacts survive
+    /// the per-level frontier churn.
+    fn traversal_plan(kind: ScheduleKind) -> Arc<KernelPlan> {
+        Arc::new(KernelPlan {
+            schedule: kind,
+            block_dim: TRAVERSAL_BLOCK,
+            merge_starts: None,
+            lrb: None,
+            setup_ms: 0.0,
         })
     }
 
@@ -612,6 +850,7 @@ impl Runtime {
     #[allow(unused_assignments)]
     pub fn serve(&mut self, requests: &[Request]) -> simt::Result<ServeResult> {
         let cache_before = self.cache.stats();
+        let tune_before = self.tuner.stats();
         let mut order: Vec<&Request> = requests.iter().collect();
         order.sort_by(|a, b| {
             a.arrival_ms
@@ -814,6 +1053,8 @@ impl Runtime {
                 misses: cache_after.misses - cache_before.misses,
                 evictions: cache_after.evictions - cache_before.evictions,
             },
+            tune_explores: self.tuner.stats().explores - tune_before.explores,
+            tune_promotes: self.tuner.stats().promotes - tune_before.promotes,
             latency_p50_ms: pick(0.50),
             latency_p99_ms: pick(0.99),
             latency_mean_ms: mean,
@@ -872,26 +1113,33 @@ impl Runtime {
                         )
                     }
                 },
-                None => {
-                    let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
-                    let run = spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?;
-                    // Plan construction can fail (chaos-injected here;
-                    // in principle also a real setup failure): the
-                    // request is still served through the heuristic run
-                    // above — only the cache misses out.
-                    let prepared: simt::Result<KernelPlan> = if self.cfg.plan_fail_prob > 0.0
-                        && self.rng.chance(self.cfg.plan_fail_prob)
-                    {
-                        Err(simt::LaunchError::EmptyLaunch)
-                    } else {
-                        plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)
-                    };
-                    match prepared {
-                        Ok(plan) => self.cache.insert(key, Arc::new(plan)),
-                        Err(_) => ctrs.plan_fallbacks += 1,
+                None => match self.spmv_tuned_miss(key, a, x, submit_ms, ctrs)? {
+                    // The autotuner wanted this miss (tuning enabled and
+                    // the key is tracked): it served the request under a
+                    // candidate or best-known schedule.
+                    Some(run) => (run, Some(false)),
+                    None => {
+                        let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
+                        let run =
+                            spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?;
+                        // Plan construction can fail (chaos-injected here;
+                        // in principle also a real setup failure): the
+                        // request is still served through the heuristic run
+                        // above — only the cache misses out.
+                        let prepared: simt::Result<KernelPlan> = if self.cfg.plan_fail_prob > 0.0
+                            && self.rng.chance(self.cfg.plan_fail_prob)
+                        {
+                            Err(simt::LaunchError::EmptyLaunch)
+                        } else {
+                            plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)
+                        };
+                        match prepared {
+                            Ok(plan) => self.cache.insert(key, Arc::new(plan)),
+                            Err(_) => ctrs.plan_fallbacks += 1,
+                        }
+                        (run, Some(false))
                     }
-                    (run, Some(false))
-                }
+                },
             };
             self.emit(TraceEvent::Request {
                 id: members[0].0.id,
@@ -1484,6 +1732,8 @@ mod tests {
             batches: 0,
             batched_requests: 0,
             cache: CacheStats::default(),
+            tune_explores: 0,
+            tune_promotes: 0,
             latency_p50_ms: 0.0,
             latency_p99_ms: 0.0,
             latency_mean_ms: 0.0,
@@ -1794,5 +2044,168 @@ mod tests {
             assert_eq!(x.y, y.y, "identical seeds must give identical results");
         }
         assert!(a.report.reconciles());
+    }
+
+    #[test]
+    fn fp_memo_revalidates_on_address_reuse() {
+        // Regression: the memo used to key on the allocation address
+        // alone, so a new matrix landing on a dropped matrix's address
+        // was served the old fingerprint (and therefore the old matrix's
+        // cached plan). Present two different matrices under the same
+        // address key: the old code returns `a`'s fingerprint for `b`.
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let a = sparse::gen::uniform(500, 500, 5_000, 1);
+        let b = sparse::gen::powerlaw(700, 700, 9_000, 1.8, 2);
+        let reused_addr = 0xdead_usize;
+        let fa = rt.fingerprint_of(reused_addr, &a);
+        assert_eq!(fa, Fingerprint::of(&a));
+        let fb = rt.fingerprint_of(reused_addr, &b);
+        assert_eq!(
+            fb,
+            Fingerprint::of(&b),
+            "memo served a stale fingerprint across address reuse"
+        );
+        assert_ne!(fa, fb);
+        // A true re-presentation of the same matrix still memo-hits.
+        assert_eq!(rt.fingerprint_of(reused_addr, &b), fb);
+    }
+
+    #[test]
+    fn fp_memo_survives_real_allocator_reuse() {
+        // Best-effort end-to-end variant: drop each Arc before allocating
+        // the next so the allocator is free to hand out the same block.
+        // Whether or not reuse happens on this allocator, every memo
+        // answer must match the matrix actually presented.
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        for i in 0..64u64 {
+            let m = Arc::new(sparse::gen::uniform(
+                400 + i as usize,
+                400,
+                4_000 + 13 * i as usize,
+                i,
+            ));
+            let fp = rt.fingerprint_of(Arc::as_ptr(&m) as usize, &m);
+            assert_eq!(fp, Fingerprint::of(&m));
+        }
+    }
+
+    #[test]
+    fn fp_memo_is_bounded() {
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let m = sparse::gen::uniform(100, 100, 1_000, 9);
+        for addr in 0..(FP_MEMO_CAP * 2 + 3) {
+            rt.fingerprint_of(addr, &m);
+        }
+        assert!(rt.fp_memo.len() <= FP_MEMO_CAP);
+    }
+
+    #[test]
+    fn tuning_disabled_by_default_stays_idle() {
+        let m = corpus(2, 11);
+        let reqs = stream(&m, 60);
+        let mut rt = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let out = rt.serve(&reqs).unwrap();
+        assert_eq!(rt.tune_stats(), TuneStats::default());
+        assert_eq!(out.report.tune_explores, 0);
+        assert_eq!(out.report.tune_promotes, 0);
+        assert!(!format!("{}", out.report).contains("autotune:"));
+    }
+
+    #[test]
+    fn tuned_serve_explores_then_promotes_and_goes_warm() {
+        let m = corpus(1, 21);
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                tune: TuneConfig {
+                    enabled: true,
+                    ..TuneConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        let out = rt.serve(&stream(&m, 200)).unwrap();
+        assert!(out.report.reconciles());
+        let stats = rt.tune_stats();
+        assert!(
+            stats.explores >= 2,
+            "sweep should issue exploration serves, got {stats:?}"
+        );
+        assert_eq!(stats.promotes, 1, "single-matrix corpus promotes once");
+        assert_eq!(out.report.tune_promotes, 1);
+        assert!(format!("{}", out.report).contains("autotune:"));
+        let winner = rt.tuned_schedule("spmv", &m[0]).expect("sweep completed");
+
+        // Post-promotion serves are warm cache hits under the winner.
+        let again = rt.serve(&stream(&m, 40)).unwrap();
+        assert_eq!(again.report.tune_explores, 0);
+        assert_eq!(again.report.cache.misses, 0);
+        for c in &again.completions {
+            assert_eq!(c.schedule, winner);
+            assert_eq!(c.cache_hit, Some(true));
+        }
+    }
+
+    #[test]
+    fn tuned_spmm_promotes_and_warm_output_is_stable() {
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                tune: TuneConfig {
+                    enabled: true,
+                    epsilon: 1.0, // always finish the sweep first
+                    ..TuneConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        let a = Arc::new(sparse::gen::powerlaw(1_500, 1_500, 20_000, 1.8, 5));
+        let b = DenseMatrix::from_fn(1_500, 4, |r, c| ((r + 2 * c) as f32).sin());
+        // SpMM's coerced candidate space has two members, so with ε = 1
+        // the sweep completes after exactly two misses.
+        rt.run_spmm(&a, &b).unwrap();
+        rt.run_spmm(&a, &b).unwrap();
+        assert_eq!(rt.tune_stats().promotes, 1);
+        let winner = rt.tuned_schedule("spmm", &a).expect("sweep completed");
+        let bits = |m: &DenseMatrix<f32>| {
+            m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        let w1 = rt.run_spmm(&a, &b).unwrap();
+        assert!(w1.cache_hit);
+        assert_eq!(w1.schedule, winner);
+        let w2 = rt.run_spmm(&a, &b).unwrap();
+        assert_eq!(bits(&w1.output), bits(&w2.output));
+    }
+
+    #[test]
+    fn tuned_bfs_promotes_and_matches_untuned_depths() {
+        let gen = || sparse::gen::powerlaw(3_000, 3_000, 50_000, 1.8, 501);
+        let g = Arc::new(Graph::from_generator(gen()));
+        let mut tuned = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                tune: TuneConfig {
+                    enabled: true,
+                    epsilon: 1.0,
+                    ..TuneConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        let mut fixed = Runtime::new(GpuSpec::v100(), RuntimeConfig::default());
+        let want = fixed.run_bfs(&g, 0).unwrap().output;
+        let mut last = None;
+        for _ in 0..32 {
+            last = Some(tuned.run_bfs(&g, 0).unwrap());
+            if tuned.tune_stats().promotes == 1 {
+                break;
+            }
+        }
+        assert_eq!(tuned.tune_stats().promotes, 1, "BFS sweep should finish");
+        // Every candidate schedule computes the same depths, tuned or not.
+        assert_eq!(last.unwrap().output, want);
+        let warm = tuned.run_bfs(&g, 0).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(warm.output, want);
     }
 }

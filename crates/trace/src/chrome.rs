@@ -237,6 +237,38 @@ fn render(ev: &TraceEvent) -> Option<String> {
                 .num_field("tid", 0.0)
                 .raw_field("args", &args(&[("value", value)]));
         }
+        TraceEvent::Tune {
+            kernel,
+            schedule,
+            phase,
+            ts_ms,
+            cost_ms,
+        } => {
+            // Args carry two strings, so the numeric-only `args` helper
+            // doesn't apply; build the object with the same escapers.
+            let mut a = String::from("{");
+            escape_into(&mut a, "kernel");
+            a.push(':');
+            escape_into(&mut a, kernel);
+            a.push(',');
+            escape_into(&mut a, "schedule");
+            a.push(':');
+            escape_into(&mut a, schedule);
+            a.push(',');
+            escape_into(&mut a, "cost_ms");
+            a.push(':');
+            number_into(&mut a, cost_ms);
+            a.push('}');
+            o.str_field("name", phase.name())
+                .str_field("cat", "tune")
+                .str_field("ph", "i")
+                .str_field("s", "t")
+                .num_field("ts", ts_ms * MS_TO_US)
+                .num_field("dur", 0.0)
+                .num_field("pid", f64::from(RUNTIME_PID))
+                .num_field("tid", 0.0)
+                .raw_field("args", &a);
+        }
         TraceEvent::Warp { .. } => return None,
     }
     Some(o.finish())
@@ -347,5 +379,31 @@ mod tests {
         let text = to_chrome_json(&r.snapshot());
         let v = json::parse(&text).expect("valid JSON");
         assert!(v.as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tune_events_export_schedule_and_cost() {
+        let r = Recorder::new();
+        r.event(&TraceEvent::Tune {
+            kernel: "spmv",
+            schedule: "group-mapped(16)",
+            phase: crate::event::TunePhase::Promote,
+            ts_ms: 2.5,
+            cost_ms: 0.125,
+        });
+        let text = to_chrome_json(&r.snapshot());
+        let v = json::parse(&text).expect("valid JSON");
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        let ev = arr[0].as_obj().unwrap();
+        assert_eq!(ev.get("name").unwrap().as_str().unwrap(), "tune_promote");
+        assert_eq!(ev.get("cat").unwrap().as_str().unwrap(), "tune");
+        let args = ev.get("args").unwrap().as_obj().unwrap();
+        assert_eq!(args.get("kernel").unwrap().as_str().unwrap(), "spmv");
+        assert_eq!(
+            args.get("schedule").unwrap().as_str().unwrap(),
+            "group-mapped(16)"
+        );
+        assert_eq!(args.get("cost_ms").unwrap().as_num().unwrap(), 0.125);
     }
 }

@@ -107,6 +107,27 @@ impl FaultKind {
     }
 }
 
+/// Autotuner milestones (see the serving runtime's `autotune` module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunePhase {
+    /// A request was served under an unmeasured candidate schedule to
+    /// learn its cost.
+    Explore,
+    /// The candidate sweep finished and the winner's plan was promoted
+    /// into the plan cache.
+    Promote,
+}
+
+impl TunePhase {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Explore => "tune_explore",
+            Self::Promote => "tune_promote",
+        }
+    }
+}
+
 /// Named time-series counters sampled by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterKind {
@@ -239,6 +260,24 @@ pub enum TraceEvent {
         /// Sample value.
         value: f64,
     },
+    /// An autotuner milestone: one exploration serve or one promotion.
+    Tune {
+        /// Kernel whose schedule space is being tuned (interned label,
+        /// e.g. `"spmv"`).
+        kernel: &'static str,
+        /// The candidate schedule involved (interned `ScheduleKind`
+        /// display form, e.g. `"group-mapped(16)"`).
+        schedule: &'static str,
+        /// Exploration or promotion.
+        phase: TunePhase,
+        /// When it happened on the producer's clock (serving clock for
+        /// runtime serves; 0 for standalone runs).
+        ts_ms: f64,
+        /// The measured simulated cost in milliseconds: the explored
+        /// serve's elapsed time, or the winner's best-known cost at
+        /// promotion.
+        cost_ms: f64,
+    },
     /// An injected fault fired on a device.
     Fault {
         /// Device the fault hit.
@@ -277,5 +316,7 @@ mod tests {
         assert_eq!(FaultKind::TransientLaunch.name(), "transient_launch");
         assert_eq!(FaultKind::SmDegraded.name(), "sm_degraded");
         assert_eq!(FaultKind::Stall.name(), "stall");
+        assert_eq!(TunePhase::Explore.name(), "tune_explore");
+        assert_eq!(TunePhase::Promote.name(), "tune_promote");
     }
 }

@@ -1,0 +1,8 @@
+//! Workspace-root alias for the autotuner ablation, so
+//! `cargo run --release --bin autotune_bench` works without `-p bench`.
+//! See [`bench::autotune`].
+
+fn main() {
+    let cli = bench::Cli::parse();
+    bench::autotune::run(&cli).expect("autotune bench run");
+}

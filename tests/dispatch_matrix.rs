@@ -481,6 +481,97 @@ mod legacy {
     }
 }
 
+/// Autotuned serving never changes numerics: for every kernel the
+/// runtime tunes (SpMV, SpMM, BFS), drive a tuning-enabled runtime
+/// through its sweep to promotion and compare each output — exploration
+/// serves and warm post-promotion serves alike — against the plain
+/// untuned kernel under the schedule that actually ran. Bitwise.
+#[test]
+fn tuned_runtime_outputs_match_untuned_kernels_for_every_kernel() {
+    use runtime::{Runtime, RuntimeConfig, TuneConfig};
+
+    let spec = GpuSpec::v100();
+    let model = CostModel::standard();
+    let tuned_runtime = || {
+        Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                keep_results: true,
+                tune: TuneConfig {
+                    enabled: true,
+                    epsilon: 1.0, // sweep straight through the space
+                    ..TuneConfig::default()
+                },
+                ..RuntimeConfig::default()
+            },
+        )
+    };
+
+    // SpMV via the serving path: one request at a time so every serve is
+    // a solo cache miss/hit with a recorded schedule.
+    let a = std::sync::Arc::new(sparse::gen::powerlaw(500, 500, 6_000, 1.8, 21));
+    let x: std::sync::Arc<[f32]> =
+        std::sync::Arc::from(sparse::dense::test_vector(a.cols()).into_boxed_slice());
+    let mut rt = tuned_runtime();
+    for i in 0..16u64 {
+        let req = runtime::Request {
+            id: i,
+            matrix: std::sync::Arc::clone(&a),
+            x: std::sync::Arc::clone(&x),
+            arrival_ms: 0.0,
+        };
+        let out = rt.serve(std::slice::from_ref(&req)).unwrap();
+        let c = &out.completions[0];
+        let cold =
+            kernels::spmv::spmv_with_model(&spec, &model, &a, &x, c.schedule, 256).unwrap();
+        assert_eq!(
+            bits(c.y.as_ref().unwrap()),
+            bits(&cold.y),
+            "spmv serve {i} under {} diverged from the untuned kernel",
+            c.schedule
+        );
+        if rt.tune_stats().promotes == 1 {
+            break;
+        }
+    }
+    assert_eq!(rt.tune_stats().promotes, 1, "spmv sweep should promote");
+
+    // SpMM: the tuned plan-cache path against the untuned kernel.
+    let mut rt = tuned_runtime();
+    let b = DenseMatrix::from_fn(a.cols(), 3, |r, c| ((r + 2 * c) as f32).sin());
+    for i in 0..8 {
+        let run = rt.run_spmm(&a, &b).unwrap();
+        let cold = kernels::spmm::spmm_with_model(&spec, &model, &a, &b, run.schedule).unwrap();
+        let got: Vec<f32> = (0..a.rows()).flat_map(|r| (0..3).map(move |j| (r, j)))
+            .map(|(r, j)| run.output.get(r, j))
+            .collect();
+        let want: Vec<f32> = (0..a.rows()).flat_map(|r| (0..3).map(move |j| (r, j)))
+            .map(|(r, j)| cold.c.get(r, j))
+            .collect();
+        assert_eq!(bits(&got), bits(&want), "spmm serve {i} under {}", run.schedule);
+        if rt.tune_stats().promotes == 1 {
+            break;
+        }
+    }
+    assert_eq!(rt.tune_stats().promotes, 1, "spmm sweep should promote");
+
+    // BFS: integer depths must match the reference whatever the tuner
+    // explores.
+    let g = std::sync::Arc::new(Graph::from_generator(sparse::gen::powerlaw(
+        400, 400, 5_000, 1.8, 22,
+    )));
+    let want = kernels::reference::bfs_ref(g.adjacency(), 0);
+    let mut rt = tuned_runtime();
+    for i in 0..16 {
+        let run = rt.run_bfs(&g, 0).unwrap();
+        assert_eq!(run.output, want, "bfs serve {i} under {}", run.schedule);
+        if rt.tune_stats().promotes == 1 {
+            break;
+        }
+    }
+    assert_eq!(rt.tune_stats().promotes, 1, "bfs sweep should promote");
+}
+
 /// The proptest: random matrices, random schedules, random block sizes —
 /// engine and legacy paths must agree in output bits, resolved schedule,
 /// and the entire launch report (modulo the host wall-clock diagnostic).
