@@ -21,6 +21,7 @@
 //! | `timeline` | per-SM busy profile per schedule (+ `timeline.csv`) |
 //! | `profile` | Chrome-trace timelines of a skewed SpMV and a serve run |
 //! | `autotune_bench` | static heuristic vs online autotuner steady state |
+//! | `shard_bench` | sharded split-mode serving, 1–16 shard scaling |
 //! | `corpus_stats` | corpus structure/imbalance inventory |
 //! | `run_all` | every experiment in sequence (the artifact's `run.sh`) |
 //!
@@ -38,6 +39,7 @@ pub mod microbench;
 pub mod plot;
 pub mod profile;
 pub mod runner;
+pub mod shardbench;
 pub mod summary;
 
 pub use cli::Cli;

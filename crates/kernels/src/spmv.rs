@@ -139,6 +139,57 @@ pub fn spmv_with_plan(
     })
 }
 
+/// SpMV restricted to a contiguous row span, without materializing a
+/// sub-matrix: the engine runs on a rebased
+/// [`RowSpanTiles`](loops::work::RowSpanTiles) view of the original row
+/// offsets, and the value/column arrays are sliced by the span's atom
+/// base. `y` has `rows.len()` entries — the shard's contiguous slice of
+/// the global result.
+///
+/// Bitwise contract: for any schedule, the result is identical to
+/// running the same schedule on `a.row_slice(rows)` (the geometries are
+/// equal, so the engine makes identical decisions). For *flat-span*
+/// schedules (thread-mapped, work-queue) it is furthermore identical to
+/// the matching slice of a full-matrix run, because each row is one
+/// complete span whose products fold left-to-right in atom order
+/// regardless of which lane owns the row. Merge-path (partition-relative
+/// partial spans combined by `atomicAdd`) and the cooperative-reduce
+/// schedules (lane partials interleaved in batch-relative order) do not
+/// decompose bitwise, so sharded execution coerces them to a flat-span
+/// schedule (see `runtime::split::decomposable`).
+pub fn spmv_rows(
+    spec: &GpuSpec,
+    model: &CostModel,
+    a: &Csr<f32>,
+    rows: std::ops::Range<usize>,
+    x: &[f32],
+    kind: ScheduleKind,
+    block_dim: u32,
+) -> simt::Result<SpmvRun> {
+    assert_eq!(x.len(), a.cols(), "x must have one entry per column");
+    assert!(rows.end <= a.rows(), "row span out of bounds");
+    let work = loops::work::RowSpanTiles::new(a.row_offsets(), rows.clone());
+    let base = work.atom_base();
+    let end = base + loops::work::TileSet::num_atoms(&work);
+    let mut y = vec![0.0f32; rows.len()];
+    let d = {
+        let exec = SpmvExec {
+            values: &a.values()[base..end],
+            col_indices: &a.col_indices()[base..end],
+            x,
+            y: GlobalMem::new(&mut y),
+        };
+        BalancedLaunch::new(spec, model, &work)
+            .block_dim(block_dim)
+            .run(kind, &exec)?
+    };
+    Ok(SpmvRun {
+        y,
+        report: d.report,
+        schedule: d.schedule,
+    })
+}
+
 /// SpMV over the ELL format: thread-mapped on a *perfectly regular* tile
 /// set (the format itself is the load balancer — §7's "already-load-
 /// balanced formats"). Padded slots are skipped at consumption time but
@@ -377,6 +428,71 @@ mod tests {
         let mp = spmv(&spec, &a, &x, ScheduleKind::MergePath).unwrap();
         assert!(run.report.timing.total_units > mp.report.timing.total_units);
         assert!(run.report.mem.atomic_ops as usize >= a.nnz());
+    }
+
+    #[test]
+    fn row_span_spmv_is_bitwise_equal_to_the_row_slice_path() {
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let a = sparse::gen::powerlaw(1_200, 1_200, 20_000, 1.7, 19);
+        let x = sparse::dense::test_vector(a.cols());
+        for kind in [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::MergePath,
+            ScheduleKind::GroupMapped(8),
+            ScheduleKind::WorkQueue(4),
+            ScheduleKind::Lrb,
+        ] {
+            for range in [0..400usize, 400..1_200, 777..777, 0..1_200] {
+                let span =
+                    spmv_rows(&spec, &model, &a, range.clone(), &x, kind, DEFAULT_BLOCK).unwrap();
+                let sliced = a.row_slice(range.clone());
+                let slice =
+                    spmv_with_model(&spec, &model, &sliced, &x, kind, DEFAULT_BLOCK).unwrap();
+                assert_eq!(span.y.len(), range.len());
+                assert!(
+                    span.y
+                        .iter()
+                        .zip(&slice.y)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{kind} {range:?}: span vs row_slice bits differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_span_row_spans_are_bitwise_decomposable() {
+        // Flat-span schedules process every row as one complete span,
+        // folding its products left-to-right in atom order — so a row
+        // span's result equals the matching slice of the full-matrix
+        // run bitwise. This is the invariant sharded serving merges on.
+        // Cooperative-reduce schedules (warp/block/group-mapped)
+        // interleave lane partials in batch-relative order and
+        // merge-path splits rows across partial spans, so neither is
+        // decomposable; `runtime::split` coerces them away.
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let a = sparse::gen::rmat(10, 16, (0.55, 0.2, 0.2), 20);
+        let x = sparse::dense::test_vector(a.cols());
+        for kind in [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::WorkQueue(1),
+            ScheduleKind::WorkQueue(8),
+        ] {
+            let full = spmv_with_model(&spec, &model, &a, &x, kind, DEFAULT_BLOCK).unwrap();
+            for range in [0..300usize, 300..1_024] {
+                let span =
+                    spmv_rows(&spec, &model, &a, range.clone(), &x, kind, DEFAULT_BLOCK).unwrap();
+                assert!(
+                    span.y
+                        .iter()
+                        .zip(&full.y[range.clone()])
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{kind} {range:?}: span bits differ from full-run slice"
+                );
+            }
+        }
     }
 
     #[test]

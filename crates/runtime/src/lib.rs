@@ -37,6 +37,7 @@ pub mod autotune;
 pub mod batch;
 pub mod cache;
 pub mod fingerprint;
+pub mod split;
 pub mod workload;
 
 use std::collections::HashMap;
@@ -59,6 +60,7 @@ use trace::{CounterKind, RequestPhase, TraceEvent, TraceSink, TunePhase};
 pub use autotune::{Autotuner, TuneAction, TuneConfig, TuneStats};
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use fingerprint::{Fingerprint, HeaderStamp};
+pub use split::{decomposable, pinned_schedule, split_spmv, SplitRun};
 pub use workload::{zipf_workload, WorkloadSpec};
 
 /// What to do when the in-flight window is full.
@@ -240,6 +242,30 @@ pub struct DeviceReport {
     pub faults: FaultCounters,
 }
 
+/// Counters of the sharded-serving aggregation layer (all zero for a
+/// plain single-runtime serve; filled in by the `shard` crate's group
+/// serving paths).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Requests the router forwarded to a shard (whole requests in
+    /// routed mode; split requests count once, at their home shard).
+    pub routed: usize,
+    /// Ghost-column bytes moved by halo exchanges.
+    pub halo_bytes: u64,
+    /// Partial-result merges performed (one per split request served).
+    pub merges: usize,
+    /// Requests dropped by the *global* admission layer before routing
+    /// (a subset of [`RuntimeReport::rejected`]).
+    pub shard_rejects: usize,
+}
+
+impl ShardCounters {
+    /// True if any sharded-serving activity was recorded.
+    pub fn is_active(&self) -> bool {
+        self.routed > 0 || self.shard_rejects > 0 || self.merges > 0 || self.halo_bytes > 0
+    }
+}
+
 /// Aggregated metrics of one [`Runtime::serve`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeReport {
@@ -285,6 +311,8 @@ pub struct RuntimeReport {
     pub latency_mean_ms: f64,
     /// Completion time of the last job (ms).
     pub makespan_ms: f64,
+    /// Sharded-serving counters (all zero outside a shard group).
+    pub shard: ShardCounters,
     /// Per-device totals (cumulative over the runtime's lifetime).
     pub devices: Vec<DeviceReport>,
 }
@@ -302,9 +330,18 @@ impl RuntimeReport {
     /// Every submission is accounted for exactly once:
     /// `submitted == served + rejected + deadline_missed + failed`.
     /// The failover and chaos tests assert this reconciliation under
-    /// every fault plan.
+    /// every fault plan. When shard counters are live, routing must
+    /// account for every submission too — each request was either
+    /// forwarded to a shard or shed by the global admission layer
+    /// (`routed + shard_rejects == submitted`), and global sheds are a
+    /// subset of all rejections.
     pub fn reconciles(&self) -> bool {
-        self.submitted == self.served + self.rejected + self.deadline_missed + self.failed
+        let base =
+            self.submitted == self.served + self.rejected + self.deadline_missed + self.failed;
+        let sharded = !self.shard.is_active()
+            || (self.shard.routed + self.shard.shard_rejects == self.submitted
+                && self.rejected >= self.shard.shard_rejects);
+        base && sharded
     }
 }
 
@@ -342,6 +379,16 @@ impl fmt::Display for RuntimeReport {
                 f,
                 "autotune: {} exploration serves, {} promotions",
                 self.tune_explores, self.tune_promotes
+            )?;
+        }
+        if self.shard.is_active() {
+            writeln!(
+                f,
+                "sharding: {} routed, {} merges, {} halo bytes, {} global rejects",
+                self.shard.routed,
+                self.shard.merges,
+                self.shard.halo_bytes,
+                self.shard.shard_rejects
             )?;
         }
         writeln!(
@@ -727,6 +774,51 @@ impl Runtime {
         }
     }
 
+    /// Serve one standalone SpMV through the plan cache with a *pinned*
+    /// schedule — the shard crate's per-shard execution primitive. The
+    /// first call for a matrix prepares and caches a [`KernelPlan`] for
+    /// `kind` under the `("spmv", fingerprint)` key; later calls replay
+    /// it, skipping setup. A cached plan whose schedule disagrees with
+    /// the pin (the same sub-matrix served through a differently-pinned
+    /// path) is re-prepared rather than silently un-pinning the caller:
+    /// sharded merges are bitwise-correct only under the schedule the
+    /// split layer chose. Warm and cold runs are bitwise identical
+    /// ([`kernels::plan`]'s contract).
+    pub fn run_spmv_pinned(
+        &mut self,
+        a: &Arc<Csr<f32>>,
+        x: &[f32],
+        kind: ScheduleKind,
+    ) -> simt::Result<PlannedRun<Vec<f32>>> {
+        let fp = self.fingerprint_of(Arc::as_ptr(a) as usize, a);
+        let key = PlanKey { kernel: "spmv", fp };
+        let cached = self.cache.get(&key).filter(|p| p.schedule == kind);
+        let (run, cache_hit) = match cached {
+            Some(p) => match spmv_with_plan(&self.spec, &self.model, a, x, &p) {
+                Ok(run) => (run, true),
+                Err(_) => {
+                    self.cache.remove(&key);
+                    (
+                        spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?,
+                        false,
+                    )
+                }
+            },
+            None => {
+                let p = Arc::new(plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)?);
+                let run = spmv_with_plan(&self.spec, &self.model, a, x, &p)?;
+                self.cache.insert(key, p);
+                (run, false)
+            }
+        };
+        Ok(PlannedRun {
+            output: run.y,
+            report: run.report,
+            schedule: run.schedule,
+            cache_hit,
+        })
+    }
+
     /// Serve one SpMM through the plan cache. The first call for a
     /// matrix prepares and caches a [`KernelPlan`] under the
     /// `("spmm", fingerprint)` key; later calls replay it — against
@@ -1059,6 +1151,7 @@ impl Runtime {
             latency_p99_ms: pick(0.99),
             latency_mean_ms: mean,
             makespan_ms,
+            shard: ShardCounters::default(),
             devices: self
                 .devices
                 .iter()
@@ -1738,6 +1831,7 @@ mod tests {
             latency_p99_ms: 0.0,
             latency_mean_ms: 0.0,
             makespan_ms: 0.0,
+            shard: ShardCounters::default(),
             devices: vec![],
         };
         assert_eq!(rep.throughput_rps(), 0.0);

@@ -1,0 +1,104 @@
+//! Halo-exchange and merge charges for sharded execution — the
+//! communication half of the distributed cost model.
+//!
+//! A sharded SpMV is bulk-synchronous: every shard first fetches the
+//! ghost entries of `x` it does not own (the *halo exchange*), all
+//! shards compute concurrently, and the aggregator then gathers the
+//! partial `y` slices (the *merge*). Both phases ride the same
+//! interconnect the multi-GPU model already prices
+//! ([`MultiGpuSpec::transfer_ms`]): switched links move every shard's
+//! traffic concurrently, so each phase's wall time is bounded by its
+//! *largest* single transfer, not the sum — exactly the max/sum shape
+//! the intra-device model uses, one more level up.
+
+use crate::multi::MultiGpuSpec;
+
+/// The communication charge of one bulk-synchronous sharded operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExchangeCost {
+    /// Ghost-fetch phase: bounded by the largest per-shard halo.
+    pub halo_ms: f64,
+    /// Result-gather phase: bounded by the largest partial slice.
+    pub merge_ms: f64,
+}
+
+impl ExchangeCost {
+    /// Total communication charge added to the critical path.
+    pub fn total_ms(&self) -> f64 {
+        self.halo_ms + self.merge_ms
+    }
+
+    /// A free exchange (single shard, or nothing to move).
+    pub fn zero() -> Self {
+        Self {
+            halo_ms: 0.0,
+            merge_ms: 0.0,
+        }
+    }
+}
+
+/// Price one halo exchange + merge over `spec`'s interconnect.
+///
+/// `halo_bytes_per_shard` holds each shard's ghost-fetch volume;
+/// `merge_bytes` is the largest partial-result slice returned to the
+/// aggregator. A single shard (or an empty group) pays nothing: the
+/// data never leaves the device pool.
+pub fn halo_exchange(
+    spec: &MultiGpuSpec,
+    halo_bytes_per_shard: &[u64],
+    merge_bytes: u64,
+) -> ExchangeCost {
+    if halo_bytes_per_shard.len() <= 1 {
+        return ExchangeCost::zero();
+    }
+    let max_halo = halo_bytes_per_shard.iter().copied().max().unwrap_or(0);
+    ExchangeCost {
+        halo_ms: if max_halo == 0 {
+            0.0
+        } else {
+            spec.transfer_ms(max_halo)
+        },
+        merge_ms: if merge_bytes == 0 {
+            0.0
+        } else {
+            spec.transfer_ms(merge_bytes)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_pays_nothing() {
+        let m = MultiGpuSpec::test_tiny(1);
+        let c = halo_exchange(&m, &[1_000_000], 4_000);
+        assert_eq!(c.total_ms(), 0.0);
+    }
+
+    #[test]
+    fn empty_halos_still_pay_the_merge() {
+        let m = MultiGpuSpec::test_tiny(4);
+        let c = halo_exchange(&m, &[0, 0, 0, 0], 4_000);
+        assert_eq!(c.halo_ms, 0.0);
+        assert!((c.merge_ms - m.transfer_ms(4_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halo_phase_is_bounded_by_the_largest_transfer() {
+        let m = MultiGpuSpec::dgx_v100(4);
+        let c = halo_exchange(&m, &[100, 5_000_000, 200, 300], 400);
+        assert!((c.halo_ms - m.transfer_ms(5_000_000)).abs() < 1e-12);
+        assert!((c.total_ms() - (c.halo_ms + c.merge_ms)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_ghost_bytes_cost_more() {
+        let m = MultiGpuSpec::test_tiny(2);
+        let small = halo_exchange(&m, &[1_000, 1_000], 1_000);
+        let big = halo_exchange(&m, &[1_000_000, 1_000_000], 1_000);
+        assert!(big.halo_ms > small.halo_ms);
+        assert_eq!(big.merge_ms, small.merge_ms);
+    }
+}

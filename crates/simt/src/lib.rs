@@ -72,6 +72,7 @@ pub mod block;
 pub mod cache;
 pub mod cost;
 pub mod error;
+pub mod exchange;
 pub mod fault;
 pub mod group;
 pub mod lane;
@@ -90,6 +91,7 @@ pub use block::BlockCtx;
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use cost::{CostModel, MemCounters};
 pub use error::{LaunchError, Result, SimError, SimResult};
+pub use exchange::{halo_exchange, ExchangeCost};
 pub use fault::{FaultCounters, FaultPlan};
 pub use group::GroupCtx;
 pub use lane::LaneCtx;

@@ -28,6 +28,7 @@ pub mod ell;
 pub mod error;
 pub mod gen;
 pub mod mm;
+pub mod partition;
 pub mod reorder;
 pub mod rng;
 pub mod stats;
@@ -39,5 +40,6 @@ pub use csr::Csr;
 pub use dense::DenseMatrix;
 pub use ell::Ell;
 pub use error::{Error, Result};
+pub use partition::{ShardInfo, ShardPlan, ShardStrategy};
 pub use rng::Prng;
 pub use stats::RowStats;

@@ -221,6 +221,22 @@ fn render(ev: &TraceEvent) -> Option<String> {
                 .num_field("tid", 0.0)
                 .raw_field("args", &args(&[("value", value)]));
         }
+        TraceEvent::Shard {
+            shard,
+            phase,
+            ts_ms,
+            value,
+        } => {
+            o.str_field("name", phase.name())
+                .str_field("cat", "shard")
+                .str_field("ph", "i")
+                .str_field("s", "t")
+                .num_field("ts", ts_ms * MS_TO_US)
+                .num_field("dur", 0.0)
+                .num_field("pid", f64::from(RUNTIME_PID))
+                .num_field("tid", f64::from(shard))
+                .raw_field("args", &args(&[("value", value)]));
+        }
         TraceEvent::Fault {
             device,
             kind,

@@ -128,6 +128,34 @@ impl TunePhase {
     }
 }
 
+/// Milestones of one sharded-serving operation (see the `shard` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPhase {
+    /// A tenant's request was routed to its home shard by the
+    /// consistent-hash ring.
+    Route,
+    /// Ghost entries of the input vector were fetched from peer shards
+    /// before a split execution.
+    HaloExchange,
+    /// Per-shard partial results were concatenated into the global
+    /// result.
+    Merge,
+    /// Global admission dropped the request before routing.
+    Reject,
+}
+
+impl ShardPhase {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Route => "shard_route",
+            Self::HaloExchange => "halo_exchange",
+            Self::Merge => "shard_merge",
+            Self::Reject => "shard_reject",
+        }
+    }
+}
+
 /// Named time-series counters sampled by the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CounterKind {
@@ -278,6 +306,20 @@ pub enum TraceEvent {
         /// promotion.
         cost_ms: f64,
     },
+    /// A sharded-serving milestone on one shard.
+    Shard {
+        /// Shard index within the group (the home shard for `Route`,
+        /// the bounding shard for `HaloExchange`/`Merge`).
+        shard: u32,
+        /// Which milestone.
+        phase: ShardPhase,
+        /// When it happened on the group's serving clock.
+        ts_ms: f64,
+        /// Phase-specific payload: the tenant id for `Route`/`Reject`,
+        /// the ghost bytes moved for `HaloExchange`, and the merged
+        /// result bytes for `Merge`.
+        value: f64,
+    },
     /// An injected fault fired on a device.
     Fault {
         /// Device the fault hit.
@@ -318,5 +360,9 @@ mod tests {
         assert_eq!(FaultKind::Stall.name(), "stall");
         assert_eq!(TunePhase::Explore.name(), "tune_explore");
         assert_eq!(TunePhase::Promote.name(), "tune_promote");
+        assert_eq!(ShardPhase::Route.name(), "shard_route");
+        assert_eq!(ShardPhase::HaloExchange.name(), "halo_exchange");
+        assert_eq!(ShardPhase::Merge.name(), "shard_merge");
+        assert_eq!(ShardPhase::Reject.name(), "shard_reject");
     }
 }

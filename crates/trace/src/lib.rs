@@ -37,6 +37,8 @@ pub mod sink;
 pub mod summary;
 
 pub use chrome::{to_chrome_json, RUNTIME_PID, STREAM_TID_BASE};
-pub use event::{CounterKind, FaultKind, KernelId, RequestPhase, StreamOpKind, TraceEvent, TunePhase};
+pub use event::{
+    CounterKind, FaultKind, KernelId, RequestPhase, ShardPhase, StreamOpKind, TraceEvent, TunePhase,
+};
 pub use recorder::{Histogram, LongPole, Recorder, TraceData};
 pub use sink::{NullSink, TraceSink};

@@ -1,0 +1,8 @@
+//! Workspace-root alias for the sharded-serving scaling sweep, so
+//! `cargo run --release --bin shard_bench` works without `-p bench`.
+//! See [`bench::shardbench`].
+
+fn main() {
+    let cli = bench::Cli::parse();
+    bench::shardbench::run(&cli).expect("shard bench run");
+}
