@@ -22,6 +22,7 @@
 //! | `profile` | Chrome-trace timelines of a skewed SpMV and a serve run |
 //! | `autotune_bench` | static heuristic vs online autotuner steady state |
 //! | `shard_bench` | sharded split-mode serving, 1–16 shard scaling |
+//! | `telemetry_gate` | windowed-metrics regression gate vs pinned baseline |
 //! | `corpus_stats` | corpus structure/imbalance inventory |
 //! | `run_all` | every experiment in sequence (the artifact's `run.sh`) |
 //!
@@ -41,6 +42,7 @@ pub mod profile;
 pub mod runner;
 pub mod shardbench;
 pub mod summary;
+pub mod telemetry;
 
 pub use cli::Cli;
 pub use csv::CsvWriter;

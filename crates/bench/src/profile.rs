@@ -26,14 +26,16 @@ use std::sync::Arc;
 
 use crate::cli::Cli;
 use crate::csv::CsvWriter;
+use crate::telemetry::{collector_config, export_snapshot, run_instrumented, serve_requests, serve_matrices};
 use loops::schedule::ScheduleKind;
-use runtime::{zipf_workload, Runtime, RuntimeConfig, WorkloadSpec};
+use runtime::{Runtime, RuntimeConfig};
 use simt::{FaultPlan, GpuSpec};
 use sparse::Csr;
-use trace::{Recorder, TraceData};
+use telemetry::TelemetryCollector;
+use trace::{Recorder, TraceData, TraceSink};
 
 /// Requests in the serve trace (the acceptance floor is 200).
-pub const SERVE_REQUESTS: usize = 240;
+pub const SERVE_REQUESTS: usize = crate::telemetry::SERVE_REQUESTS;
 
 /// Paths of everything one [`run`] call wrote.
 #[derive(Debug, Clone)]
@@ -46,6 +48,12 @@ pub struct ProfileOutputs {
     pub longpoles_csv: std::path::PathBuf,
     /// Deterministic chaos-scenario report (seeded faults + deadlines).
     pub chaos_json: std::path::PathBuf,
+    /// Windowed telemetry time series of the serve run.
+    pub telemetry_csv: std::path::PathBuf,
+    /// Prometheus snapshot of the serve run.
+    pub telemetry_prom: std::path::PathBuf,
+    /// Windowed telemetry time series of the chaos run.
+    pub chaos_telemetry_csv: std::path::PathBuf,
 }
 
 fn skewed_matrix(limit: Option<usize>) -> Csr<f32> {
@@ -91,42 +99,15 @@ fn trace_spmv(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
     Ok((path, data))
 }
 
-fn trace_serve(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
-    // A small matrix mix with both tiny (batchable) and mid-size
-    // requests, arriving fast enough to queue.
-    let mut matrices: Vec<Arc<Csr<f32>>> = (0..4)
-        .map(|i| {
-            Arc::new(sparse::gen::powerlaw(
-                3_000 + 800 * i,
-                3_000 + 800 * i,
-                40_000 + 8_000 * i,
-                1.6,
-                100 + i as u64,
-            ))
-        })
-        .collect();
-    matrices.extend((0..2).map(|i| {
-        Arc::new(sparse::gen::uniform(64, 64, 500, 200 + i)) as Arc<Csr<f32>>
-    }));
-    let requests = zipf_workload(
-        &matrices,
-        &WorkloadSpec {
-            requests: SERVE_REQUESTS,
-            zipf_s: 1.1,
-            mean_interarrival_ms: 0.004,
-            seed: 42,
-        },
-    );
+fn trace_serve(
+    cli: &Cli,
+) -> std::io::Result<(std::path::PathBuf, TraceData, telemetry::TelemetrySnapshot)> {
+    // The shared telemetry scenario (see `bench::telemetry`): a matrix
+    // mix with both tiny (batchable) and mid-size requests arriving
+    // fast enough to queue. The recorder and the telemetry collector
+    // both observe the same event stream through a fanout sink.
     let rec = Arc::new(Recorder::new());
-    let mut rt = Runtime::new(
-        GpuSpec::v100(),
-        RuntimeConfig {
-            devices: 2,
-            ..RuntimeConfig::default()
-        },
-    );
-    rt.set_trace_sink(rec.clone());
-    let out = rt.serve(&requests).expect("serve");
+    let (out, snap) = run_instrumented(Some(rec.clone() as Arc<dyn TraceSink>));
     println!(
         "profiling serve: {} requests, {} batches, cache hit rate {:.1}%, p99 {:.4} ms",
         out.report.served,
@@ -138,32 +119,15 @@ fn trace_serve(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
     std::fs::create_dir_all(&cli.out_dir)?;
     let path = std::path::Path::new(&cli.out_dir).join("trace_serve.json");
     std::fs::write(&path, trace::to_chrome_json(&data))?;
-    Ok((path, data))
+    Ok((path, data, snap))
 }
 
-fn chaos_serve(cli: &Cli) -> std::io::Result<std::path::PathBuf> {
+fn chaos_serve(cli: &Cli) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
     // Same matrix mix as the clean serve trace, so the two runs are
-    // directly comparable in the counters.
-    let matrices: Vec<Arc<Csr<f32>>> = (0..4)
-        .map(|i| {
-            Arc::new(sparse::gen::powerlaw(
-                3_000 + 800 * i,
-                3_000 + 800 * i,
-                40_000 + 8_000 * i,
-                1.6,
-                100 + i as u64,
-            ))
-        })
-        .collect();
-    let requests = zipf_workload(
-        &matrices,
-        &WorkloadSpec {
-            requests: SERVE_REQUESTS,
-            zipf_s: 1.1,
-            mean_interarrival_ms: 0.004,
-            seed: 42,
-        },
-    );
+    // directly comparable in the counters. (The clean scenario appends
+    // two tiny batchable matrices; chaos uses only the mid-size four.)
+    let matrices: Vec<Arc<Csr<f32>>> = serve_matrices().into_iter().take(4).collect();
+    let requests = serve_requests(&matrices);
     let mut rt = Runtime::new(
         GpuSpec::v100(),
         RuntimeConfig {
@@ -184,6 +148,10 @@ fn chaos_serve(cli: &Cli) -> std::io::Result<std::path::PathBuf> {
             .with_stall(0.3, 0.15),
     );
     rt.set_fault_plan(2, FaultPlan::healthy(0xDEAD).with_kill_at(0.5));
+    // The chaos run is instrumented too: tight deadlines and fault
+    // storms are exactly what the SLO detectors exist for.
+    let collector = Arc::new(TelemetryCollector::new(collector_config()));
+    rt.set_trace_sink(collector.clone());
     let out = rt.serve(&requests).expect("chaos serve");
     let rep = &out.report;
     assert!(rep.reconciles(), "request accounting must balance");
@@ -239,7 +207,15 @@ fn chaos_serve(cli: &Cli) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(&cli.out_dir)?;
     let path = std::path::Path::new(&cli.out_dir).join("chaos_serve.json");
     std::fs::write(&path, j)?;
-    Ok(path)
+
+    let snap = collector.finish();
+    println!(
+        "chaos telemetry: {} windows, {} SLO alerts",
+        snap.registry.max_window().map_or(0, |w| w + 1),
+        snap.alerts.len()
+    );
+    let tele = export_snapshot(&cli.out_dir, "chaos_telemetry", &snap)?;
+    Ok((path, tele.csv))
 }
 
 /// Run both traced workloads plus the chaos scenario, write the trace
@@ -247,7 +223,7 @@ fn chaos_serve(cli: &Cli) -> std::io::Result<std::path::PathBuf> {
 /// summaries.
 pub fn run(cli: &Cli) -> std::io::Result<ProfileOutputs> {
     let (spmv_json, spmv_data) = trace_spmv(cli)?;
-    let (serve_json, serve_data) = trace_serve(cli)?;
+    let (serve_json, serve_data, serve_snap) = trace_serve(cli)?;
 
     let mut csv = CsvWriter::create(
         &cli.out_dir,
@@ -264,18 +240,29 @@ pub fn run(cli: &Cli) -> std::io::Result<ProfileOutputs> {
         }
     }
     let longpoles_csv = csv.finish()?;
-    let chaos_json = chaos_serve(cli)?;
+    let tele = export_snapshot(&cli.out_dir, "telemetry_serve", &serve_snap)?;
+    let (chaos_json, chaos_telemetry_csv) = chaos_serve(cli)?;
 
     println!("\n---- SpMV trace ----\n{}", trace::summary::render(&spmv_data));
     println!("\n---- serve trace ----\n{}", trace::summary::render(&serve_data));
+    println!(
+        "\n---- telemetry dashboard ----\n{}",
+        telemetry::dashboard::render(&serve_snap)
+    );
     println!("wrote {}", spmv_json.display());
     println!("wrote {}", serve_json.display());
     println!("wrote {}", longpoles_csv.display());
+    println!("wrote {}", tele.csv.display());
+    println!("wrote {}", tele.prom.display());
     println!("wrote {}", chaos_json.display());
+    println!("wrote {}", chaos_telemetry_csv.display());
     Ok(ProfileOutputs {
         spmv_json,
         serve_json,
         longpoles_csv,
         chaos_json,
+        telemetry_csv: tele.csv,
+        telemetry_prom: tele.prom,
+        chaos_telemetry_csv,
     })
 }

@@ -1,0 +1,411 @@
+//! The telemetry serve scenario and the perf-regression gate.
+//!
+//! One deterministic instrumented serving run is shared by three
+//! consumers:
+//!
+//! * the `profile` binary, which exports its windowed time series
+//!   (`telemetry_serve.csv`), a Prometheus snapshot
+//!   (`telemetry_serve.prom`), and a text dashboard;
+//! * the `telemetry_gate` binary, which extracts a small set of
+//!   headline metrics from a fresh run and diffs them against the
+//!   pinned `results/baseline_metrics.json`;
+//! * the root `telemetry` integration tests, which assert the run is
+//!   bitwise identical with and without the collector attached.
+//!
+//! The gate's baseline stores values rounded to [`SIG_DIGITS`]
+//! significant digits. A fresh run therefore differs from the baseline
+//! only in the rounded-away tail: well inside the default relative
+//! tolerance, but *not* equal — so `--tolerance 0` demonstrably fails,
+//! which CI uses to prove the gate actually compares numbers.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use runtime::{zipf_workload, Request, Runtime, RuntimeConfig, ServeResult, WorkloadSpec};
+use simt::GpuSpec;
+use sparse::Csr;
+use telemetry::{TelemetryCollector, TelemetryConfig, TelemetrySnapshot};
+use trace::TraceSink;
+
+/// Requests in the telemetry serve scenario (same stream as the
+/// `profile` serve trace).
+pub const SERVE_REQUESTS: usize = 240;
+
+/// Simulated-time window width of the scenario's registry (ms).
+pub const WINDOW_MS: f64 = 0.25;
+
+/// Significant digits kept when writing the gate baseline.
+pub const SIG_DIGITS: i32 = 6;
+
+/// Default relative tolerance of the gate comparison.
+pub const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// The matrix mix of the serve scenario: four mid-size power-law
+/// matrices plus two tiny batchable ones — identical to the `profile`
+/// serve trace so the two stay comparable.
+pub fn serve_matrices() -> Vec<Arc<Csr<f32>>> {
+    let mut matrices: Vec<Arc<Csr<f32>>> = (0..4)
+        .map(|i| {
+            Arc::new(sparse::gen::powerlaw(
+                3_000 + 800 * i,
+                3_000 + 800 * i,
+                40_000 + 8_000 * i,
+                1.6,
+                100 + i as u64,
+            ))
+        })
+        .collect();
+    matrices.extend((0..2).map(|i| {
+        Arc::new(sparse::gen::uniform(64, 64, 500, 200 + i)) as Arc<Csr<f32>>
+    }));
+    matrices
+}
+
+/// The deterministic request stream of the scenario (Zipf tenants,
+/// Poisson arrivals, seed 42).
+pub fn serve_requests(matrices: &[Arc<Csr<f32>>]) -> Vec<Request> {
+    zipf_workload(
+        matrices,
+        &WorkloadSpec {
+            requests: SERVE_REQUESTS,
+            zipf_s: 1.1,
+            mean_interarrival_ms: 0.004,
+            seed: 42,
+        },
+    )
+}
+
+/// The scenario's collector configuration: [`WINDOW_MS`] windows, the
+/// default SLO policy, and the V100's SM count for utilization math.
+pub fn collector_config() -> TelemetryConfig {
+    TelemetryConfig {
+        window_ms: WINDOW_MS,
+        sms_per_device: GpuSpec::v100().num_sms,
+        ..TelemetryConfig::default()
+    }
+}
+
+fn scenario_runtime() -> Runtime {
+    Runtime::new(
+        GpuSpec::v100(),
+        RuntimeConfig {
+            devices: 2,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// Run the scenario **without** any sink attached — the control arm of
+/// the bitwise-invisibility contract.
+pub fn run_uninstrumented() -> ServeResult {
+    let mut rt = scenario_runtime();
+    rt.serve(&serve_requests(&serve_matrices()))
+        .expect("telemetry scenario serve")
+}
+
+/// Run the scenario with a [`TelemetryCollector`] attached (optionally
+/// fanned out to `extra`, e.g. the profile recorder) and return both
+/// the serve result and the finished snapshot.
+pub fn run_instrumented(extra: Option<Arc<dyn TraceSink>>) -> (ServeResult, TelemetrySnapshot) {
+    let collector = Arc::new(TelemetryCollector::new(collector_config()));
+    let sink: Arc<dyn TraceSink> = match extra {
+        Some(extra) => Arc::new(trace::Fanout::new(vec![
+            collector.clone() as Arc<dyn TraceSink>,
+            extra,
+        ])),
+        None => collector.clone(),
+    };
+    let mut rt = scenario_runtime();
+    rt.set_trace_sink(sink);
+    let out = rt
+        .serve(&serve_requests(&serve_matrices()))
+        .expect("telemetry scenario serve");
+    (out, collector.finish())
+}
+
+/// Extract the gate's headline metrics from a finished run: the
+/// report's request accounting and latency stats plus telemetry-derived
+/// series (window count, tenant-0 demand, alert count).
+pub fn gate_metrics(out: &ServeResult, snap: &TelemetrySnapshot) -> BTreeMap<String, f64> {
+    let rep = &out.report;
+    let mut m = BTreeMap::new();
+    m.insert("served".into(), rep.served as f64);
+    m.insert("rejected".into(), rep.rejected as f64);
+    m.insert("deadline_missed".into(), rep.deadline_missed as f64);
+    m.insert("failed".into(), rep.failed as f64);
+    m.insert("batches".into(), rep.batches as f64);
+    m.insert("cache_hit_rate".into(), rep.cache.hit_rate());
+    m.insert("latency_p50_ms".into(), rep.latency_p50_ms);
+    m.insert("latency_p99_ms".into(), rep.latency_p99_ms);
+    m.insert("latency_mean_ms".into(), rep.latency_mean_ms);
+    m.insert("makespan_ms".into(), rep.makespan_ms);
+    let windows = snap.registry.max_window().map_or(0, |w| w + 1);
+    m.insert("windows".into(), windows as f64);
+    m.insert("alerts".into(), snap.alerts.len() as f64);
+    let tenant0 = snap
+        .registry
+        .counter_total("tenant_requests_total", "tenant=\"0\"");
+    m.insert("tenant0_requests".into(), tenant0);
+    let h = snap.registry.hist_total("request_latency_ms", "tenant=\"0\"");
+    if h.count > 0 {
+        m.insert("tenant0_p99_ms".into(), h.quantile(0.99));
+    }
+    m
+}
+
+/// Round to `digits` significant digits (the baseline's precision).
+pub fn round_sig(v: f64, digits: i32) -> f64 {
+    if v == 0.0 || !v.is_finite() {
+        return v;
+    }
+    let mag = v.abs().log10().floor() as i32;
+    let factor = 10f64.powi(digits - 1 - mag);
+    (v * factor).round() / factor
+}
+
+/// Render metrics as the baseline JSON: one sorted `"key": value` pair
+/// per line, values rounded to [`SIG_DIGITS`] significant digits.
+pub fn baseline_json(metrics: &BTreeMap<String, f64>) -> String {
+    let mut j = String::from("{\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        j.push_str(&format!("  \"{k}\": {}{sep}\n", round_sig(*v, SIG_DIGITS)));
+    }
+    j.push_str("}\n");
+    j
+}
+
+/// Parse a baseline written by [`baseline_json`] (flat string→number
+/// object, one pair per line).
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut m = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("bad baseline line: {line}"))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad baseline value in: {line}"))?;
+        m.insert(key, value);
+    }
+    if m.is_empty() {
+        return Err("baseline is empty".into());
+    }
+    Ok(m)
+}
+
+/// Compare a fresh run against the baseline with relative tolerance
+/// `tol`. Returns one human-readable line per violation — empty means
+/// the gate passes. Missing or extra keys are violations too (schema
+/// drift is a regression in the gate's book).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tol: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (k, b) in baseline {
+        match fresh.get(k) {
+            None => failures.push(format!("{k}: in baseline but missing from fresh run")),
+            Some(f) => {
+                let rel = (f - b).abs() / b.abs().max(1e-12);
+                if rel > tol {
+                    failures.push(format!(
+                        "{k}: baseline {b}, fresh {f} (rel diff {rel:.3e} > tol {tol:.3e})"
+                    ));
+                }
+            }
+        }
+    }
+    for k in fresh.keys() {
+        if !baseline.contains_key(k) {
+            failures.push(format!("{k}: in fresh run but missing from baseline"));
+        }
+    }
+    failures
+}
+
+/// Everything one gate invocation needs to know.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Violation lines (empty = pass).
+    pub failures: Vec<String>,
+    /// The fresh run's metrics.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Run the scenario and gate it against `baseline_path`.
+pub fn run_gate(baseline_path: &Path, tol: f64) -> Result<GateOutcome, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+    let baseline = parse_baseline(&text)?;
+    let (out, snap) = run_instrumented(None);
+    let metrics = gate_metrics(&out, &snap);
+    Ok(GateOutcome {
+        failures: compare(&baseline, &metrics, tol),
+        metrics,
+    })
+}
+
+/// Run the scenario and (re)write the baseline at `baseline_path`.
+pub fn write_baseline(baseline_path: &Path) -> std::io::Result<BTreeMap<String, f64>> {
+    let (out, snap) = run_instrumented(None);
+    let metrics = gate_metrics(&out, &snap);
+    if let Some(dir) = baseline_path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(baseline_path, baseline_json(&metrics))?;
+    Ok(metrics)
+}
+
+/// The `telemetry_gate` entry point: parse flags, run the gate (or
+/// rewrite the baseline), print the verdict, return the process exit
+/// code. The gate has its own parser because its flags
+/// (`--tolerance`, `--write-baseline`, `--baseline`) are not part of
+/// the common [`crate::Cli`] set.
+pub fn gate_main<I: IntoIterator<Item = String>>(args: I) -> i32 {
+    let mut baseline = PathBuf::from("results/baseline_metrics.json");
+    let mut tol = DEFAULT_TOLERANCE;
+    let mut write = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline = PathBuf::from(p),
+                None => {
+                    eprintln!("--baseline needs a path");
+                    return 2;
+                }
+            },
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tol = t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number");
+                    return 2;
+                }
+            },
+            "--write-baseline" => write = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --baseline PATH    baseline JSON (default results/baseline_metrics.json)\n       --tolerance F      relative tolerance (default {DEFAULT_TOLERANCE})\n       --write-baseline   rewrite the baseline from a fresh run"
+                );
+                return 2;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (try --help)");
+                return 2;
+            }
+        }
+    }
+
+    if write {
+        match write_baseline(&baseline) {
+            Ok(metrics) => {
+                println!(
+                    "wrote {} ({} metrics, {} sig digits)",
+                    baseline.display(),
+                    metrics.len(),
+                    SIG_DIGITS
+                );
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", baseline.display());
+                return 2;
+            }
+        }
+    }
+
+    match run_gate(&baseline, tol) {
+        Ok(outcome) if outcome.failures.is_empty() => {
+            println!(
+                "telemetry gate PASS: {} metrics within tolerance {tol} of {}",
+                outcome.metrics.len(),
+                baseline.display()
+            );
+            0
+        }
+        Ok(outcome) => {
+            eprintln!(
+                "telemetry gate FAIL vs {} (tolerance {tol}):",
+                baseline.display()
+            );
+            for f in &outcome.failures {
+                eprintln!("  {f}");
+            }
+            1
+        }
+        Err(msg) => {
+            eprintln!("telemetry gate error: {msg}");
+            2
+        }
+    }
+}
+
+/// Paths the profile run's telemetry export wrote.
+#[derive(Debug, Clone)]
+pub struct TelemetryOutputs {
+    /// Windowed time-series CSV.
+    pub csv: PathBuf,
+    /// Prometheus text-format snapshot.
+    pub prom: PathBuf,
+}
+
+/// Export a snapshot under `out_dir` as `<stem>.csv` +
+/// `<stem>.prom`.
+pub fn export_snapshot(
+    out_dir: &str,
+    stem: &str,
+    snap: &TelemetrySnapshot,
+) -> std::io::Result<TelemetryOutputs> {
+    std::fs::create_dir_all(out_dir)?;
+    let csv = Path::new(out_dir).join(format!("{stem}.csv"));
+    std::fs::write(&csv, telemetry::to_csv(snap))?;
+    let prom = Path::new(out_dir).join(format!("{stem}.prom"));
+    std::fs::write(&prom, telemetry::to_prometheus(snap))?;
+    Ok(TelemetryOutputs { csv, prom })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_sig_keeps_leading_digits() {
+        assert_eq!(round_sig(1.23456789, 6), 1.23457);
+        assert_eq!(round_sig(0.000123456789, 6), 0.000123457);
+        assert_eq!(round_sig(123456789.0, 6), 123457000.0);
+        assert_eq!(round_sig(0.0, 6), 0.0);
+        assert_eq!(round_sig(-1.23456789, 3), -1.23);
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.25);
+        m.insert("b".to_string(), 240.0);
+        let parsed = parse_baseline(&baseline_json(&m)).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn compare_flags_drift_and_schema_changes() {
+        let mut base = BTreeMap::new();
+        base.insert("x".to_string(), 100.0);
+        let mut fresh = base.clone();
+        assert!(compare(&base, &fresh, 0.0).is_empty());
+        fresh.insert("x".to_string(), 101.0);
+        assert!(compare(&base, &fresh, 0.02).is_empty());
+        assert_eq!(compare(&base, &fresh, 0.001).len(), 1);
+        fresh.remove("x");
+        fresh.insert("y".to_string(), 1.0);
+        assert_eq!(compare(&base, &fresh, 0.5).len(), 2);
+    }
+}

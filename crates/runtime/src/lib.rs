@@ -55,7 +55,7 @@ use loops::heuristic::Heuristic;
 use loops::schedule::ScheduleKind;
 use simt::{CostModel, DeviceSim, FaultCounters, FaultPlan, GpuSpec, LaunchReport, SimError, StreamId};
 use sparse::{Csr, DenseMatrix, Prng};
-use trace::{CounterKind, RequestPhase, TraceEvent, TraceSink, TunePhase};
+use trace::{CounterKind, RequestPhase, TenantOutcome, TraceEvent, TraceSink, TunePhase};
 
 pub use autotune::{Autotuner, TuneAction, TuneConfig, TuneStats};
 pub use cache::{CacheStats, PlanCache, PlanKey};
@@ -160,6 +160,12 @@ impl Default for RuntimeConfig {
 pub struct Request {
     /// Caller-chosen identifier, echoed in the [`Completion`].
     pub id: u64,
+    /// Tenant the request belongs to. Purely an accounting label — it
+    /// never influences scheduling or routing — but the telemetry layer
+    /// keys per-tenant latency histograms and deadline-miss budgets on
+    /// it. The Zipf workload generator assigns each matrix's popularity
+    /// rank as its tenant.
+    pub tenant: u32,
     /// The (shared) matrix.
     pub matrix: Arc<Csr<f32>>,
     /// The (shared) input vector; must have `matrix.cols()` entries.
@@ -334,14 +340,19 @@ impl RuntimeReport {
     /// account for every submission too — each request was either
     /// forwarded to a shard or shed by the global admission layer
     /// (`routed + shard_rejects == submitted`), and global sheds are a
-    /// subset of all rejections.
+    /// subset of all rejections. Batching counters must agree with each
+    /// other as well: a fused launch always covers at least two
+    /// members, so `batches` and `batched_requests` are zero together
+    /// and otherwise `batched_requests ≥ 2 × batches`.
     pub fn reconciles(&self) -> bool {
         let base =
             self.submitted == self.served + self.rejected + self.deadline_missed + self.failed;
         let sharded = !self.shard.is_active()
             || (self.shard.routed + self.shard.shard_rejects == self.submitted
                 && self.rejected >= self.shard.shard_rejects);
-        base && sharded
+        let batching = (self.batches == 0) == (self.batched_requests == 0)
+            && self.batched_requests >= 2 * self.batches;
+        base && sharded && batching
     }
 }
 
@@ -968,6 +979,11 @@ impl Runtime {
                     let at: f64 = $at;
                     let members = std::mem::take(&mut pending);
                     deadline = f64::INFINITY;
+                    self.emit(TraceEvent::Counter {
+                        counter: CounterKind::BatcherOccupancy,
+                        ts_ms: at,
+                        value: 0.0,
+                    });
                     // Members whose deadline already passed while waiting
                     // for batch-mates are dropped before the launch forms
                     // (a batch can time out whole if every member did).
@@ -984,6 +1000,12 @@ impl Runtime {
                                 id: r.id,
                                 phase: RequestPhase::DeadlineMiss,
                                 ts_ms: at,
+                            });
+                            self.emit(TraceEvent::TenantSample {
+                                tenant: r.tenant,
+                                ts_ms: at,
+                                latency_ms: at - r.arrival_ms,
+                                outcome: TenantOutcome::DeadlineMiss,
                             });
                         } else {
                             live.push((r, pt));
@@ -1049,6 +1071,12 @@ impl Runtime {
                             phase: RequestPhase::Reject,
                             ts_ms: t,
                         });
+                        self.emit(TraceEvent::TenantSample {
+                            tenant: r.tenant,
+                            ts_ms: t,
+                            latency_ms: t - r.arrival_ms,
+                            outcome: TenantOutcome::Rejected,
+                        });
                         continue;
                     }
                     QueuePolicy::Block => {
@@ -1075,6 +1103,12 @@ impl Runtime {
                     phase: RequestPhase::DeadlineMiss,
                     ts_ms: t,
                 });
+                self.emit(TraceEvent::TenantSample {
+                    tenant: r.tenant,
+                    ts_ms: t,
+                    latency_ms: t - r.arrival_ms,
+                    outcome: TenantOutcome::DeadlineMiss,
+                });
                 continue;
             }
             let tiny = self.cfg.batch_max > 1 && r.matrix.nnz() <= self.cfg.tiny_nnz;
@@ -1088,6 +1122,11 @@ impl Runtime {
                     ts_ms: t,
                 });
                 pending.push((r, t));
+                self.emit(TraceEvent::Counter {
+                    counter: CounterKind::BatcherOccupancy,
+                    ts_ms: t,
+                    value: pending.len() as f64,
+                });
                 if pending.len() >= self.cfg.batch_max {
                     flush_batch!(t);
                 }
@@ -1290,6 +1329,12 @@ impl Runtime {
                         phase: RequestPhase::DeadlineMiss,
                         ts_ms: when,
                     });
+                    self.emit(TraceEvent::TenantSample {
+                        tenant: r.tenant,
+                        ts_ms: when,
+                        latency_ms: when - r.arrival_ms,
+                        outcome: TenantOutcome::DeadlineMiss,
+                    });
                 }
                 return Ok(SubmitOutcome::Dropped(DropReason::DeadlineMissed, when));
             }
@@ -1303,6 +1348,14 @@ impl Runtime {
                     }
                     None => {
                         ctrs.failed += members.len();
+                        for (r, _) in members {
+                            self.emit(TraceEvent::TenantSample {
+                                tenant: r.tenant,
+                                ts_ms: when,
+                                latency_ms: when - r.arrival_ms,
+                                outcome: TenantOutcome::Failed,
+                            });
+                        }
                         return Ok(SubmitOutcome::Dropped(DropReason::Failed, when));
                     }
                 }
@@ -1355,6 +1408,14 @@ impl Runtime {
                     }
                     if attempt > self.cfg.max_retries {
                         ctrs.failed += members.len();
+                        for (r, _) in members {
+                            self.emit(TraceEvent::TenantSample {
+                                tenant: r.tenant,
+                                ts_ms: at_ms,
+                                latency_ms: at_ms - r.arrival_ms,
+                                outcome: TenantOutcome::Failed,
+                            });
+                        }
                         return Ok(SubmitOutcome::Dropped(DropReason::Failed, at_ms));
                     }
                     // Exponential backoff with seeded jitter.
@@ -1386,6 +1447,12 @@ impl Runtime {
                     id: r.id,
                     phase: RequestPhase::Complete,
                     ts_ms: job.end_ms,
+                });
+                self.emit(TraceEvent::TenantSample {
+                    tenant: r.tenant,
+                    ts_ms: job.end_ms,
+                    latency_ms: job.end_ms - r.arrival_ms,
+                    outcome: TenantOutcome::Served,
                 });
             }
         }
@@ -1794,6 +1861,7 @@ mod tests {
         let m = corpus(1, 900);
         let reqs = vec![Request {
             id: 0,
+            tenant: 0,
             matrix: Arc::clone(&m[0]),
             x: Arc::from(sparse::dense::test_vector(m[0].cols()).into_boxed_slice()),
             arrival_ms: 0.0,
@@ -1854,6 +1922,93 @@ mod tests {
         assert!(out.report.rejected > 0);
         let text = format!("{}", out.report);
         assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn full_report_reconciles_and_displays_every_counter() {
+        // Every counter nonzero, mutually consistent: 16 submissions =
+        // 10 served + 3 rejected + 2 deadline-missed + 1 failed; 14
+        // routed + 2 global sheds = 16; 2 fused launches covering 5.
+        let rep = RuntimeReport {
+            submitted: 16,
+            served: 10,
+            rejected: 3,
+            deadline_missed: 2,
+            failed: 1,
+            retries: 4,
+            failovers: 2,
+            plan_fallbacks: 1,
+            device_evictions: 1,
+            batches: 2,
+            batched_requests: 5,
+            cache: CacheStats {
+                hits: 7,
+                misses: 9,
+                evictions: 1,
+            },
+            tune_explores: 3,
+            tune_promotes: 1,
+            latency_p50_ms: 0.5,
+            latency_p99_ms: 2.5,
+            latency_mean_ms: 0.75,
+            makespan_ms: 12.0,
+            shard: ShardCounters {
+                routed: 14,
+                halo_bytes: 4096,
+                merges: 6,
+                shard_rejects: 2,
+            },
+            devices: vec![DeviceReport {
+                device: 0,
+                jobs: 10,
+                sm_occupancy: 0.5,
+                makespan_ms: 12.0,
+                faults: simt::FaultCounters {
+                    transient_launch_failures: 3,
+                    stalled_dispatches: 2,
+                    lost_dispatches: 1,
+                    degraded_sms: 4,
+                },
+            }],
+        };
+        assert!(rep.reconciles());
+        let text = format!("{rep}");
+        // Every counter's value and label surface in the Display output.
+        for needle in [
+            "served 10/16 requests (3 rejected)",
+            "7 hits / 9 misses",
+            "1 evictions",
+            "p50 0.5",
+            "p99 2.5",
+            "mean 0.75",
+            "2 fused launches covering 5 requests",
+            "3 exploration serves, 1 promotions",
+            "14 routed, 6 merges, 4096 halo bytes, 2 global rejects",
+            "4 retries, 2 failovers, 2 deadline-missed, 1 failed",
+            "1 plan fallbacks, 1 device evictions",
+            "device 0: 10 jobs",
+            "3 transient, 2 stalled, 1 lost, 4 degraded SMs",
+        ] {
+            assert!(text.contains(needle), "Display missing {needle:?}:\n{text}");
+        }
+
+        // Each accounting identity is load-bearing: breaking any one
+        // breaks reconciliation.
+        let mut bad = rep.clone();
+        bad.served += 1;
+        assert!(!bad.reconciles(), "submission identity");
+        let mut bad = rep.clone();
+        bad.shard.routed -= 1;
+        assert!(!bad.reconciles(), "routing identity");
+        let mut bad = rep.clone();
+        bad.shard.shard_rejects = 4;
+        assert!(!bad.reconciles(), "shed subset identity");
+        let mut bad = rep.clone();
+        bad.batched_requests = 0;
+        assert!(!bad.reconciles(), "batching identity");
+        let mut bad = rep;
+        bad.batches = 3;
+        assert!(!bad.reconciles(), "batch-coverage identity");
     }
 
     #[test]
@@ -1944,6 +2099,7 @@ mod tests {
         let reqs: Vec<Request> = (0..9)
             .map(|i| Request {
                 id: i,
+                tenant: (i % 3) as u32,
                 matrix: Arc::clone(&m[(i % 3) as usize]),
                 x: Arc::from(
                     sparse::dense::test_vector(m[(i % 3) as usize].cols()).into_boxed_slice(),
@@ -2059,6 +2215,7 @@ mod tests {
         let reqs: Vec<Request> = (0..80)
             .map(|i| Request {
                 id: i,
+                tenant: (i % 2) as u32,
                 matrix: Arc::clone(&m[(i % 2) as usize]),
                 x: Arc::from(
                     sparse::dense::test_vector(m[(i % 2) as usize].cols()).into_boxed_slice(),

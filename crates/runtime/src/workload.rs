@@ -39,7 +39,8 @@ impl Default for WorkloadSpec {
 /// Generate an open-loop request stream over `matrices`: request `i`
 /// targets a Zipf-popular matrix (rank = input order) and arrives after
 /// an exponential gap. Each matrix gets one shared deterministic input
-/// vector.
+/// vector. The matrix's popularity rank doubles as the request's tenant
+/// id, so per-tenant telemetry follows the Zipf skew.
 pub fn zipf_workload(matrices: &[Arc<Csr<f32>>], spec: &WorkloadSpec) -> Vec<Request> {
     assert!(!matrices.is_empty(), "workload needs at least one matrix");
     let mut rng = Prng::seed_from_u64(spec.seed);
@@ -66,6 +67,7 @@ pub fn zipf_workload(matrices: &[Arc<Csr<f32>>], spec: &WorkloadSpec) -> Vec<Req
         let idx = cdf.partition_point(|&c| c < u).min(matrices.len() - 1);
         out.push(Request {
             id: id as u64,
+            tenant: idx as u32,
             matrix: Arc::clone(&matrices[idx]),
             x: Arc::clone(&xs[idx]),
             arrival_ms: t,

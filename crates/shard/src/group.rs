@@ -34,7 +34,7 @@ use runtime::{
 use simt::exchange::halo_exchange;
 use simt::{GpuSpec, MultiGpuSpec};
 use sparse::{Csr, ShardPlan, ShardStrategy};
-use trace::{ShardPhase, TraceEvent, TraceSink};
+use trace::{ShardPhase, TenantOutcome, TraceEvent, TraceSink};
 
 use crate::ring::HashRing;
 
@@ -178,6 +178,17 @@ impl ShardGroup {
         }
     }
 
+    fn emit_tenant(&self, tenant: u32, ts_ms: f64, latency_ms: f64, outcome: TenantOutcome) {
+        if let Some(s) = &self.sink {
+            s.event(&TraceEvent::TenantSample {
+                tenant,
+                ts_ms,
+                latency_ms,
+                outcome,
+            });
+        }
+    }
+
     /// Partition (or recall) the split-mode plan for `a`.
     fn split_entry(&mut self, a: &Arc<Csr<f32>>) -> &SplitEntry {
         let key = Arc::as_ptr(a) as usize;
@@ -248,6 +259,7 @@ impl ShardGroup {
                     r.arrival_ms,
                     r.id as f64,
                 );
+                self.emit_tenant(r.tenant, r.arrival_ms, 0.0, TenantOutcome::Rejected);
                 dropped.push(DroppedRequest {
                     id: r.id,
                     ts_ms: r.arrival_ms,
@@ -262,6 +274,12 @@ impl ShardGroup {
             let start = r.arrival_ms.max(busy_until);
             if start - r.arrival_ms > self.cfg.runtime.deadline_ms {
                 deadline_missed += 1;
+                self.emit_tenant(
+                    r.tenant,
+                    start,
+                    start - r.arrival_ms,
+                    TenantOutcome::DeadlineMiss,
+                );
                 dropped.push(DroppedRequest {
                     id: r.id,
                     ts_ms: start,
@@ -289,6 +307,7 @@ impl ShardGroup {
             counters.merges += 1;
             self.emit(home, ShardPhase::Merge, end, 4.0 * run.y.len() as f64);
 
+            self.emit_tenant(r.tenant, end, end - r.arrival_ms, TenantOutcome::Served);
             let active = subs.iter().filter(|s| s.rows() > 0).count();
             completions.push(Completion {
                 id: r.id,
@@ -354,6 +373,36 @@ impl ShardGroup {
                 None => rep,
                 Some(acc) => merge_reports(acc, rep),
             });
+        }
+
+        // Shard-local runtimes have no sink wired, so per-tenant
+        // outcome samples are emitted here at the group boundary from
+        // the merged completion/drop record.
+        if self.sink.is_some() {
+            let tenants: HashMap<u64, (u32, f64)> = requests
+                .iter()
+                .map(|r| (r.id, (r.tenant, r.arrival_ms)))
+                .collect();
+            for c in &completions {
+                if let Some(&(tenant, _)) = tenants.get(&c.id) {
+                    self.emit_tenant(
+                        tenant,
+                        c.end_ms,
+                        c.end_ms - c.arrival_ms,
+                        TenantOutcome::Served,
+                    );
+                }
+            }
+            for d in &dropped {
+                if let Some(&(tenant, arrival_ms)) = tenants.get(&d.id) {
+                    let outcome = match d.reason {
+                        DropReason::Rejected => TenantOutcome::Rejected,
+                        DropReason::DeadlineMissed => TenantOutcome::DeadlineMiss,
+                        DropReason::Failed => TenantOutcome::Failed,
+                    };
+                    self.emit_tenant(tenant, d.ts_ms, (d.ts_ms - arrival_ms).max(0.0), outcome);
+                }
+            }
         }
 
         let mut report = merged.unwrap_or_else(|| {

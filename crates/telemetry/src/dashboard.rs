@@ -1,0 +1,166 @@
+//! The text dashboard: the operator's one-screen view of a run.
+//!
+//! Three blocks — a per-window table (traffic, latency, queue, cache,
+//! device busy), a per-tenant SLO table (outcomes, miss rate, budget
+//! burn), and the alert log. Rendered from a [`TelemetrySnapshot`], so
+//! it shares the exporters' determinism guarantees.
+
+use crate::collect::TelemetrySnapshot;
+use crate::metrics::NO_LABELS;
+
+fn tenant_of(label_set: &str) -> Option<u32> {
+    label_set
+        .strip_prefix("tenant=\"")?
+        .strip_suffix('"')?
+        .parse()
+        .ok()
+}
+
+/// Render the dashboard.
+pub fn render(snap: &TelemetrySnapshot) -> String {
+    let reg = &snap.registry;
+    let mut out = String::new();
+    let windows = reg.max_window().map_or(0, |w| w + 1);
+    let latency = reg.hist_total("request_latency_ms", NO_LABELS);
+    out.push_str(&format!(
+        "== telemetry dashboard: {windows} windows × {} ms, {} requests, {} served, p50 {:.4} ms, p99 {:.4} ms, {} alerts ==\n",
+        reg.window_ms(),
+        reg.counter_total("requests_total", NO_LABELS),
+        reg.counter_total("served_total", NO_LABELS),
+        latency.quantile(0.5),
+        latency.quantile(0.99),
+        snap.alerts.len(),
+    ));
+    if windows == 0 {
+        out.push_str("  (no samples)\n");
+        return out;
+    }
+
+    // Per-window table.
+    let device_labels = reg.counter_label_sets("device_busy_ms");
+    let devices = device_labels.len().max(1) as f64;
+    out.push_str(&format!(
+        "\n{:>6} {:>10} {:>8} {:>8} {:>6} {:>10} {:>7} {:>7} {:>8} {:>7}\n",
+        "window", "start ms", "requests", "served", "miss", "p99 ms", "queue", "cache%", "util%", "alerts"
+    ));
+    for w in 0..windows {
+        let requests = reg.counter_window("requests_total", NO_LABELS, w);
+        let served = reg.counter_window("served_total", NO_LABELS, w);
+        let miss = reg.counter_window("deadline_miss_total", NO_LABELS, w);
+        let p99 = reg
+            .hist_window("request_latency_ms", NO_LABELS, w)
+            .map_or(0.0, |h| h.quantile(0.99));
+        let queue = reg
+            .gauge_window("queue_depth", NO_LABELS, w)
+            .map_or(0.0, |g| g.max);
+        let hits = reg.counter_window("plan_cache_hits_total", NO_LABELS, w);
+        let misses = reg.counter_window("plan_cache_misses_total", NO_LABELS, w);
+        let cache = if hits + misses > 0.0 {
+            100.0 * hits / (hits + misses)
+        } else {
+            0.0
+        };
+        let busy: f64 = device_labels
+            .iter()
+            .map(|l| reg.counter_window("device_busy_ms", l, w))
+            .sum();
+        let util = 100.0 * busy / (devices * reg.window_ms());
+        let alerts = snap.alerts.iter().filter(|a| a.window == w).count();
+        out.push_str(&format!(
+            "{w:>6} {:>10.1} {requests:>8.0} {served:>8.0} {miss:>6.0} {p99:>10.4} {queue:>7.0} {cache:>7.1} {util:>8.1} {alerts:>7}\n",
+            reg.window_start_ms(w),
+        ));
+    }
+
+    // Per-tenant SLO table.
+    let mut tenants: Vec<(u32, String)> = reg
+        .counter_label_sets("tenant_requests_total")
+        .into_iter()
+        .filter_map(|l| Some((tenant_of(l)?, l.to_string())))
+        .collect();
+    tenants.sort_unstable();
+    if !tenants.is_empty() {
+        out.push_str(&format!(
+            "\nper-tenant SLO (budget {:.2}% misses/window, alert at {:.1}× burn):\n",
+            100.0 * snap.config.slo.deadline_miss_budget,
+            snap.config.slo.burn_rate_alert,
+        ));
+        out.push_str(&format!(
+            "{:>7} {:>9} {:>8} {:>7} {:>8} {:>9} {:>10}\n",
+            "tenant", "requests", "served", "missed", "miss%", "burn", "p99 ms"
+        ));
+        for (tenant, label) in &tenants {
+            let requests = reg.counter_total("tenant_requests_total", label);
+            let missed = reg.counter_total("tenant_deadline_miss_total", label);
+            let h = reg.hist_total("request_latency_ms", label);
+            let miss_rate = if requests > 0.0 { missed / requests } else { 0.0 };
+            let burn = miss_rate / snap.config.slo.deadline_miss_budget;
+            out.push_str(&format!(
+                "{tenant:>7} {requests:>9.0} {:>8} {missed:>7.0} {:>8.2} {burn:>9.2} {:>10.4}\n",
+                h.count,
+                100.0 * miss_rate,
+                h.quantile(0.99),
+            ));
+        }
+    }
+
+    // Alert log.
+    if !snap.alerts.is_empty() {
+        out.push_str("\nalerts:\n");
+        for a in &snap.alerts {
+            let scope = if a.tenant == u32::MAX {
+                String::from("system")
+            } else {
+                format!("tenant {}", a.tenant)
+            };
+            out.push_str(&format!(
+                "  window {:>4} {scope:<10} {:<18} value {:.4} vs threshold {:.4}\n",
+                a.window,
+                a.kind.name(),
+                a.value,
+                a.threshold,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::{TelemetryCollector, TelemetryConfig};
+    use trace::{TenantOutcome, TraceEvent, TraceSink};
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let snap = TelemetryCollector::default().finish();
+        let text = render(&snap);
+        assert!(text.contains("telemetry dashboard"));
+        assert!(text.contains("(no samples)"));
+    }
+
+    #[test]
+    fn dashboard_shows_windows_tenants_and_alerts() {
+        let mut config = TelemetryConfig::default();
+        config.slo.min_window_samples = 1;
+        let c = TelemetryCollector::new(config);
+        c.event(&TraceEvent::TenantSample {
+            tenant: 4,
+            ts_ms: 1.0,
+            latency_ms: 2.0,
+            outcome: TenantOutcome::Served,
+        });
+        c.event(&TraceEvent::TenantSample {
+            tenant: 4,
+            ts_ms: 11.0,
+            latency_ms: 0.0,
+            outcome: TenantOutcome::DeadlineMiss,
+        });
+        let snap = c.finish();
+        let text = render(&snap);
+        assert!(text.contains("per-tenant SLO"));
+        assert!(text.contains("alerts:"));
+        assert!(text.contains("tenant 4"));
+        assert!(text.contains("slo_burn_rate"));
+    }
+}

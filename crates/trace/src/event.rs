@@ -163,6 +163,8 @@ pub enum CounterKind {
     QueueDepth,
     /// Live entries in the plan cache.
     CacheOccupancy,
+    /// Tiny requests parked in the pending batch.
+    BatcherOccupancy,
 }
 
 impl CounterKind {
@@ -171,6 +173,58 @@ impl CounterKind {
         match self {
             Self::QueueDepth => "queue_depth",
             Self::CacheOccupancy => "cache_occupancy",
+            Self::BatcherOccupancy => "batcher_occupancy",
+        }
+    }
+}
+
+/// Terminal outcomes of one request, as charged to its tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantOutcome {
+    /// The request completed on a device.
+    Served,
+    /// Admission control dropped it.
+    Rejected,
+    /// It could not start before its deadline.
+    DeadlineMiss,
+    /// Every dispatch attempt failed.
+    Failed,
+}
+
+impl TenantOutcome {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Served => "served",
+            Self::Rejected => "rejected",
+            Self::DeadlineMiss => "deadline_miss",
+            Self::Failed => "failed",
+        }
+    }
+}
+
+/// SLO alert categories raised by the telemetry engine's detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// A tenant's windowed deadline-miss rate burned its error budget
+    /// faster than the policy allows.
+    SloBurnRate,
+    /// The plan-cache hit rate collapsed below the policy floor.
+    CacheHitCollapse,
+    /// The in-flight queue's window peak grew past the policy bound.
+    QueueGrowth,
+    /// Routed load skewed across shards beyond the policy bound.
+    ShardImbalance,
+}
+
+impl AlertKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SloBurnRate => "slo_burn_rate",
+            Self::CacheHitCollapse => "cache_hit_collapse",
+            Self::QueueGrowth => "queue_growth",
+            Self::ShardImbalance => "shard_imbalance",
         }
     }
 }
@@ -320,6 +374,37 @@ pub enum TraceEvent {
         /// result bytes for `Merge`.
         value: f64,
     },
+    /// One request's terminal outcome, charged to its tenant — the
+    /// sample the telemetry layer folds into per-tenant latency
+    /// histograms and deadline-miss budgets.
+    TenantSample {
+        /// Tenant the request belonged to.
+        tenant: u32,
+        /// When the outcome was decided on the serving clock.
+        ts_ms: f64,
+        /// Arrival-to-completion latency for `Served`; time spent
+        /// waiting before the drop for the other outcomes.
+        latency_ms: f64,
+        /// How the request ended.
+        outcome: TenantOutcome,
+    },
+    /// A typed SLO alert raised by a telemetry detector over one
+    /// complete window.
+    Alert {
+        /// Which detector fired.
+        kind: AlertKind,
+        /// Tenant the alert is scoped to ([`u32::MAX`] for
+        /// system-wide detectors).
+        tenant: u32,
+        /// Index of the simulated-time window the detector evaluated.
+        window: u64,
+        /// Window end on the simulated clock.
+        ts_ms: f64,
+        /// The observed value (burn rate, hit rate, queue peak, skew).
+        value: f64,
+        /// The policy threshold the value crossed.
+        threshold: f64,
+    },
     /// An injected fault fired on a device.
     Fault {
         /// Device the fault hit.
@@ -364,5 +449,14 @@ mod tests {
         assert_eq!(ShardPhase::HaloExchange.name(), "halo_exchange");
         assert_eq!(ShardPhase::Merge.name(), "shard_merge");
         assert_eq!(ShardPhase::Reject.name(), "shard_reject");
+        assert_eq!(CounterKind::BatcherOccupancy.name(), "batcher_occupancy");
+        assert_eq!(TenantOutcome::Served.name(), "served");
+        assert_eq!(TenantOutcome::Rejected.name(), "rejected");
+        assert_eq!(TenantOutcome::DeadlineMiss.name(), "deadline_miss");
+        assert_eq!(TenantOutcome::Failed.name(), "failed");
+        assert_eq!(AlertKind::SloBurnRate.name(), "slo_burn_rate");
+        assert_eq!(AlertKind::CacheHitCollapse.name(), "cache_hit_collapse");
+        assert_eq!(AlertKind::QueueGrowth.name(), "queue_growth");
+        assert_eq!(AlertKind::ShardImbalance.name(), "shard_imbalance");
     }
 }

@@ -1,5 +1,7 @@
 //! The sink trait: where instrumentation points deliver their events.
 
+use std::sync::Arc;
+
 use crate::event::TraceEvent;
 
 /// A consumer of [`TraceEvent`]s.
@@ -27,4 +29,27 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn event(&self, _ev: &TraceEvent) {}
+}
+
+/// A sink that replicates every event to each of its children in order —
+/// lets one instrumented run feed a [`crate::Recorder`] timeline and a
+/// telemetry collector at once.
+#[derive(Debug, Default)]
+pub struct Fanout {
+    children: Vec<Arc<dyn TraceSink>>,
+}
+
+impl Fanout {
+    /// A fanout over the given children.
+    pub fn new(children: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { children }
+    }
+}
+
+impl TraceSink for Fanout {
+    fn event(&self, ev: &TraceEvent) {
+        for child in &self.children {
+            child.event(ev);
+        }
+    }
 }

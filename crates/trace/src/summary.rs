@@ -3,7 +3,9 @@
 //! long-pole-block report — the terminal-friendly view of the same data
 //! the Chrome exporter ships to Perfetto.
 
-use crate::event::TraceEvent;
+use std::collections::BTreeMap;
+
+use crate::event::{ShardPhase, TraceEvent, TunePhase};
 use crate::recorder::{Histogram, TraceData};
 
 fn bar(count: u64, max: u64, width: usize) -> String {
@@ -103,7 +105,151 @@ pub fn render(data: &TraceData) -> String {
             ));
         }
     }
+
+    render_tune(&mut out, data);
+    render_shards(&mut out, data);
+    render_faults(&mut out, data);
+    render_alerts(&mut out, data);
     out
+}
+
+/// Autotuner activity: exploration counts per (kernel, schedule) and the
+/// promotion decisions in order.
+fn render_tune(out: &mut String, data: &TraceData) {
+    let mut explores: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    let mut promotes: Vec<(&str, &str, f64, f64)> = Vec::new();
+    for ev in &data.events {
+        if let TraceEvent::Tune {
+            kernel,
+            schedule,
+            phase,
+            ts_ms,
+            cost_ms,
+        } = ev
+        {
+            match phase {
+                TunePhase::Explore => *explores.entry((kernel, schedule)).or_insert(0) += 1,
+                TunePhase::Promote => promotes.push((kernel, schedule, *ts_ms, *cost_ms)),
+            }
+        }
+    }
+    if explores.is_empty() && promotes.is_empty() {
+        return;
+    }
+    out.push_str("\nautotuner activity:\n");
+    out.push_str(&format!(
+        "  {:<12} {:<24} {:>9}\n",
+        "kernel", "schedule", "explores"
+    ));
+    for ((kernel, schedule), n) in &explores {
+        out.push_str(&format!("  {kernel:<12} {schedule:<24} {n:>9}\n"));
+    }
+    if !promotes.is_empty() {
+        out.push_str(&format!(
+            "  {:<12} {:<24} {:>12} {:>12}\n",
+            "promoted", "schedule", "at ms", "cost ms"
+        ));
+        for (kernel, schedule, ts, cost) in &promotes {
+            out.push_str(&format!(
+                "  {kernel:<12} {schedule:<24} {ts:>12.5} {cost:>12.5}\n"
+            ));
+        }
+    }
+}
+
+/// Sharded-serving activity: per-shard route counts, communication
+/// bytes, and rejects.
+fn render_shards(out: &mut String, data: &TraceData) {
+    #[derive(Default)]
+    struct Row {
+        routed: u64,
+        halo_bytes: f64,
+        merge_bytes: f64,
+        rejects: u64,
+    }
+    let mut rows: BTreeMap<u32, Row> = BTreeMap::new();
+    for ev in &data.events {
+        if let TraceEvent::Shard {
+            shard,
+            phase,
+            value,
+            ..
+        } = ev
+        {
+            let row = rows.entry(*shard).or_default();
+            match phase {
+                ShardPhase::Route => row.routed += 1,
+                ShardPhase::HaloExchange => row.halo_bytes += value,
+                ShardPhase::Merge => row.merge_bytes += value,
+                ShardPhase::Reject => row.rejects += 1,
+            }
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str("\nshard activity:\n");
+    out.push_str(&format!(
+        "  {:<6} {:>8} {:>14} {:>14} {:>8}\n",
+        "shard", "routed", "halo bytes", "merge bytes", "rejects"
+    ));
+    for (shard, row) in &rows {
+        out.push_str(&format!(
+            "  {shard:<6} {:>8} {:>14.0} {:>14.0} {:>8}\n",
+            row.routed, row.halo_bytes, row.merge_bytes, row.rejects
+        ));
+    }
+}
+
+/// Injected-fault counts per device and kind.
+fn render_faults(out: &mut String, data: &TraceData) {
+    let mut counts: BTreeMap<(u32, &str), u64> = BTreeMap::new();
+    for ev in &data.events {
+        if let TraceEvent::Fault { device, kind, .. } = ev {
+            *counts.entry((*device, kind.name())).or_insert(0) += 1;
+        }
+    }
+    if counts.is_empty() {
+        return;
+    }
+    out.push_str("\ninjected faults:\n");
+    for ((device, kind), n) in &counts {
+        out.push_str(&format!("  device {device}: {kind} ×{n}\n"));
+    }
+}
+
+/// SLO alerts raised by the telemetry layer, in emission order.
+fn render_alerts(out: &mut String, data: &TraceData) {
+    let alerts: Vec<&TraceEvent> = data
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Alert { .. }))
+        .collect();
+    if alerts.is_empty() {
+        return;
+    }
+    out.push_str(&format!("\nSLO alerts ({}):\n", alerts.len()));
+    for ev in alerts {
+        if let TraceEvent::Alert {
+            kind,
+            tenant,
+            window,
+            value,
+            threshold,
+            ..
+        } = ev
+        {
+            let scope = if *tenant == u32::MAX {
+                String::from("system")
+            } else {
+                format!("tenant {tenant}")
+            };
+            out.push_str(&format!(
+                "  window {window:>4} {scope:<10} {:<18} value {value:.4} vs threshold {threshold:.4}\n",
+                kind.name()
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -156,5 +302,87 @@ mod tests {
         let r = Recorder::new();
         let text = render(&r.snapshot());
         assert!(text.contains("0 kernels"));
+        assert!(!text.contains("autotuner activity"));
+        assert!(!text.contains("shard activity"));
+        assert!(!text.contains("SLO alerts"));
+    }
+
+    #[test]
+    fn renders_tune_events() {
+        let r = Recorder::new();
+        r.event(&TraceEvent::Tune {
+            kernel: "spmv",
+            schedule: "group-mapped(16)",
+            phase: crate::event::TunePhase::Explore,
+            ts_ms: 1.0,
+            cost_ms: 0.5,
+        });
+        r.event(&TraceEvent::Tune {
+            kernel: "spmv",
+            schedule: "group-mapped(16)",
+            phase: crate::event::TunePhase::Promote,
+            ts_ms: 2.0,
+            cost_ms: 0.25,
+        });
+        let text = render(&r.snapshot());
+        assert!(text.contains("autotuner activity"));
+        assert!(text.contains("group-mapped(16)"));
+        assert!(text.contains("promoted"));
+    }
+
+    #[test]
+    fn renders_shard_events() {
+        let r = Recorder::new();
+        for (phase, value) in [
+            (crate::event::ShardPhase::Route, 3.0),
+            (crate::event::ShardPhase::HaloExchange, 4096.0),
+            (crate::event::ShardPhase::Merge, 8192.0),
+            (crate::event::ShardPhase::Reject, 5.0),
+        ] {
+            r.event(&TraceEvent::Shard {
+                shard: 1,
+                phase,
+                ts_ms: 0.5,
+                value,
+            });
+        }
+        let text = render(&r.snapshot());
+        assert!(text.contains("shard activity"));
+        assert!(text.contains("4096"));
+        assert!(text.contains("8192"));
+    }
+
+    #[test]
+    fn renders_fault_and_alert_events() {
+        let r = Recorder::new();
+        r.event(&TraceEvent::Fault {
+            device: 2,
+            kind: crate::event::FaultKind::Stall,
+            ts_ms: 1.0,
+            value: 2.0,
+        });
+        r.event(&TraceEvent::Alert {
+            kind: crate::event::AlertKind::QueueGrowth,
+            tenant: u32::MAX,
+            window: 3,
+            ts_ms: 40.0,
+            value: 12.0,
+            threshold: 4.0,
+        });
+        r.event(&TraceEvent::Alert {
+            kind: crate::event::AlertKind::SloBurnRate,
+            tenant: 7,
+            window: 3,
+            ts_ms: 40.0,
+            value: 2.5,
+            threshold: 1.0,
+        });
+        let text = render(&r.snapshot());
+        assert!(text.contains("injected faults"));
+        assert!(text.contains("stall"));
+        assert!(text.contains("SLO alerts (2)"));
+        assert!(text.contains("system"));
+        assert!(text.contains("tenant 7"));
+        assert!(text.contains("slo_burn_rate"));
     }
 }

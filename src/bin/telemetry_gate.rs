@@ -1,0 +1,7 @@
+//! Workspace-root alias for the telemetry perf-regression gate, so
+//! `cargo run --release --bin telemetry_gate` works without `-p bench`.
+//! See [`bench::telemetry`].
+
+fn main() {
+    std::process::exit(bench::telemetry::gate_main(std::env::args().skip(1)));
+}

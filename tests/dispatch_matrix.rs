@@ -516,6 +516,7 @@ fn tuned_runtime_outputs_match_untuned_kernels_for_every_kernel() {
     for i in 0..16u64 {
         let req = runtime::Request {
             id: i,
+            tenant: 0,
             matrix: std::sync::Arc::clone(&a),
             x: std::sync::Arc::clone(&x),
             arrival_ms: 0.0,

@@ -158,6 +158,7 @@ fn request_stream(matrices: &[Arc<Csr<f32>>], n: usize, interarrival: f64) -> Ve
             let m = &matrices[i % matrices.len()];
             Request {
                 id: i as u64,
+                tenant: (i % matrices.len()) as u32,
                 matrix: Arc::clone(m),
                 x: Arc::from(sparse::dense::test_vector(m.cols()).into_boxed_slice()),
                 arrival_ms: i as f64 * interarrival,
