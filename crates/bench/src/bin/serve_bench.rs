@@ -110,4 +110,63 @@ fn main() {
     }
     let path = csv.finish().unwrap();
     eprintln!("wrote {}", path.display());
+    host_backend_wall_clock();
+}
+
+/// Host-backend wall-clock comparison on a large power-law workload.
+///
+/// Simulated time is pinned bitwise across backends (the
+/// `tests/host_parallel.rs` oracle), so the only number allowed to move
+/// is how long the *host* takes to compute it — which is exactly what
+/// this table measures, and why it goes to stdout only: the CSV above
+/// is already finished and stays byte-identical under any backend.
+/// Speedup is bounded by this machine's core count; on a single-core
+/// runner the parallel rows only pay thread overhead.
+fn host_backend_wall_clock() {
+    use simt::HostBackend;
+
+    let hub = Arc::new(sparse::gen::powerlaw(30_000, 30_000, 600_000, 1.8, 77));
+    let requests = zipf_workload(
+        &[hub],
+        &WorkloadSpec {
+            requests: 64,
+            zipf_s: 1.1,
+            mean_interarrival_ms: 0.001,
+            seed: 7,
+        },
+    );
+    println!("\n== host backend wall clock: powerlaw 30k x 30k, 64 requests, devices=4 ==");
+    println!("{:<13} {:>10} {:>9}", "backend", "wall ms", "speedup");
+
+    let serve = |backend: Option<HostBackend>| {
+        let mut rt = Runtime::new(
+            GpuSpec::v100(),
+            RuntimeConfig {
+                devices: 4,
+                host_backend: backend,
+                ..RuntimeConfig::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let out = rt.serve(&requests).expect("serve");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (wall_ms, out.report.makespan_ms.to_bits(), out.report.served)
+    };
+
+    let (seq_ms, seq_makespan, seq_served) = serve(None);
+    println!("{:<13} {:>10.1} {:>8.2}x", "sequential", seq_ms, 1.0);
+    for threads in [2usize, 4, 8] {
+        let (ms, makespan, served) = serve(Some(HostBackend::Parallel { threads }));
+        assert_eq!(
+            (makespan, served),
+            (seq_makespan, seq_served),
+            "parallel({threads}) diverged from the sequential backend"
+        );
+        println!(
+            "{:<13} {:>10.1} {:>8.2}x",
+            format!("parallel({threads})"),
+            ms,
+            seq_ms / ms
+        );
+    }
 }

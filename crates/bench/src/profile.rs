@@ -122,7 +122,11 @@ fn trace_serve(
     Ok((path, data, snap))
 }
 
-fn chaos_serve(cli: &Cli) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+/// Run the chaos scenario and write `chaos_serve.json` +
+/// `chaos_telemetry.{csv,prom}` under `cli.out_dir`, returning the JSON
+/// and CSV paths. Public so tests can regenerate the committed artifacts
+/// (e.g. under a different [`simt::HostBackend`]) and byte-compare.
+pub fn chaos_serve(cli: &Cli) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
     // Same matrix mix as the clean serve trace, so the two runs are
     // directly comparable in the counters. (The clean scenario appends
     // two tiny batchable matrices; chaos uses only the mid-size four.)

@@ -184,5 +184,59 @@ pub fn run(cli: &Cli) -> std::io::Result<PathBuf> {
     }
     let path = csv.finish()?;
     eprintln!("wrote {}", path.display());
+    host_backend_wall_clock(take);
     Ok(path)
+}
+
+/// Host-backend wall clock for the powerlaw family's 4-shard split.
+///
+/// Stdout only: the CSV above is already finished, and the simulated
+/// columns are pinned bitwise across backends (`tests/host_parallel.rs`),
+/// so the host's own compute time is the one number that may move.
+/// Speedup is bounded by this machine's core count.
+fn host_backend_wall_clock(take: usize) {
+    use simt::HostBackend;
+
+    let family = &FAMILIES[0]; // powerlaw — the skewed, hub-heavy case
+    let matrices: Vec<Arc<Csr<f32>>> = (0..take).map(|i| Arc::new((family.gen)(i))).collect();
+    let requests = zipf_workload(
+        &matrices,
+        &WorkloadSpec {
+            requests: REQUESTS,
+            zipf_s: 1.1,
+            mean_interarrival_ms: 0.001,
+            seed: 42,
+        },
+    );
+    println!("\n== host backend wall clock: powerlaw x 4 shards (nnz1d) ==");
+    println!("{:<13} {:>10} {:>9}", "backend", "wall ms", "speedup");
+
+    let serve = |backend: HostBackend| {
+        let mut cfg = ShardGroupConfig::new(4);
+        cfg.strategy = ShardStrategy::Nnz1D;
+        cfg.link_bw_gbs = LINK_BW_GBS;
+        cfg.link_latency_us = LINK_LATENCY_US;
+        let mut group = ShardGroup::new(GpuSpec::test_tiny(), cfg);
+        let t0 = std::time::Instant::now();
+        let out = simt::host::scoped(backend, || group.serve_split(&requests)).expect("serve");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        (wall_ms, out.report.makespan_ms.to_bits(), out.report.served)
+    };
+
+    let (seq_ms, seq_makespan, seq_served) = serve(HostBackend::Sequential);
+    println!("{:<13} {:>10.1} {:>8.2}x", "sequential", seq_ms, 1.0);
+    for threads in [2usize, 4, 8] {
+        let (ms, makespan, served) = serve(HostBackend::Parallel { threads });
+        assert_eq!(
+            (makespan, served),
+            (seq_makespan, seq_served),
+            "parallel({threads}) diverged from the sequential backend"
+        );
+        println!(
+            "{:<13} {:>10.1} {:>8.2}x",
+            format!("parallel({threads})"),
+            ms,
+            seq_ms / ms
+        );
+    }
 }

@@ -45,14 +45,22 @@ pub fn bfs_with_model(
     while !frontier.is_empty() && (level as usize) <= n {
         let next = level + 1;
         let mut out_flags = vec![0u32; n];
+        // Wave snapshot: the frontier decision compares against the
+        // depths at wave start, not `fetch_min`'s return. The return
+        // value depends on which block relaxes a shared neighbor first —
+        // the one cross-block ordering in the kernel — while the
+        // snapshot (and the atomic's *final* value, an exact integer
+        // min) is order-free, keeping results and charges bitwise
+        // identical on the parallel host backend.
+        let depth_before = depth.clone();
         let report = {
             let gdepth = GlobalMem::new(&mut depth);
             let gout = GlobalMem::new(&mut out_flags);
             expand(spec, model, g, &frontier, kind, |lane, edge, _src| {
                 let neighbor = g.neighbor(edge);
-                let previous = gdepth.fetch_min(neighbor, next);
+                gdepth.fetch_min(neighbor, next);
                 lane.charge_atomic();
-                if previous > next {
+                if depth_before[neighbor] > next {
                     gout.store(neighbor, 1);
                     lane.write_bytes(4);
                 }

@@ -3,8 +3,10 @@
 //! Frontier-based relaxation: each iteration expands the frontier's
 //! incident edges under any load-balancing schedule, relaxes distances
 //! with `atomicMin`, and collects improved vertices into the next
-//! frontier — the exact kernel body of Listing 5, with the schedule
-//! completely hidden behind the abstraction.
+//! frontier — Listing 5's kernel with the schedule completely hidden
+//! behind the abstraction, restructured to relax against a per-wave
+//! snapshot so the launch is bitwise deterministic on the parallel host
+//! backend (see the comment in [`sssp_with_model`]).
 
 use crate::graph::{Frontier, Graph};
 use crate::traversal::expand;
@@ -51,19 +53,30 @@ pub fn sssp_with_model(
     // Bellman-Ford bound: at most |V| rounds with non-negative weights.
     while !frontier.is_empty() && iterations <= n {
         let mut out_flags = vec![0u32; n];
+        // Wave snapshot (Jacobi-style): each wave relaxes against the
+        // distances at wave start. Listing 5 reads `gdist` mid-wave and
+        // branches on `fetch_min`'s return, both of which depend on
+        // which block relaxes a shared vertex first — harmless on one
+        // host thread, order-sensitive on many. The snapshot makes every
+        // candidate, frontier flag, and write charge a pure function of
+        // wave-start state; the atomic's *final* value is an exact f32
+        // min, so the launch is bitwise identical on any host backend. A
+        // vertex is flagged iff some candidate beats its wave-start
+        // distance, i.e. iff its distance dropped this wave — the same
+        // frontier Listing 5 builds, reached in at most |V| waves by the
+        // usual Bellman-Ford argument.
+        let dist_before = dist.clone();
         let report = {
             let gdist = GlobalMem::new(&mut dist);
             let gout = GlobalMem::new(&mut out_flags);
             expand(spec, model, g, &frontier, kind, |lane, edge, source| {
-                // Listing 5's body, line for line.
                 let neighbor = g.neighbor(edge);
                 let weight = g.edge_weight(edge);
-                let source_dist = gdist.load(source);
-                let neighbor_dist = source_dist + weight;
-                // Check if the destination has been claimed as a child.
-                let recover_distance = gdist.fetch_min(neighbor, neighbor_dist);
+                let neighbor_dist = dist_before[source] + weight;
+                // Claim the destination as a child if we improve it.
+                gdist.fetch_min(neighbor, neighbor_dist);
                 lane.charge_atomic();
-                if neighbor_dist < recover_distance {
+                if neighbor_dist < dist_before[neighbor] {
                     gout.store(neighbor, 1);
                     lane.write_bytes(4);
                 }

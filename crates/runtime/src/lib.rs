@@ -127,6 +127,12 @@ pub struct RuntimeConfig {
     /// with `tune.enabled == false` every output is bitwise identical
     /// to a runtime without the tuner.
     pub tune: TuneConfig,
+    /// Host execution backend for every launch this runtime performs
+    /// (see [`simt::host`]). `None` (the default) defers to the ambient
+    /// thread-scoped backend or the `LOOPS_HOST_THREADS` environment
+    /// default. Results, reports, and the simulated clock are bitwise
+    /// identical for every backend; only host wall-clock changes.
+    pub host_backend: Option<simt::HostBackend>,
 }
 
 impl Default for RuntimeConfig {
@@ -150,6 +156,7 @@ impl Default for RuntimeConfig {
             cooldown_ms: 5.0,
             plan_fail_prob: 0.0,
             tune: TuneConfig::default(),
+            host_backend: None,
         }
     }
 }
@@ -947,11 +954,20 @@ impl Runtime {
 
     /// Serve a request stream to completion. Requests are processed in
     /// arrival order (ties by id); the call is deterministic for a given
-    /// runtime state and input.
+    /// runtime state and input — including under
+    /// [`RuntimeConfig::host_backend`], which changes host wall-clock
+    /// only, never results or the simulated timeline.
+    pub fn serve(&mut self, requests: &[Request]) -> simt::Result<ServeResult> {
+        match self.cfg.host_backend {
+            Some(b) => simt::host::scoped(b, || self.serve_inner(requests)),
+            None => self.serve_inner(requests),
+        }
+    }
+
     // (The batch-flush macro resets `deadline` on every use; the final
     // flush's reset is intentionally dead.)
     #[allow(unused_assignments)]
-    pub fn serve(&mut self, requests: &[Request]) -> simt::Result<ServeResult> {
+    fn serve_inner(&mut self, requests: &[Request]) -> simt::Result<ServeResult> {
         let cache_before = self.cache.stats();
         let tune_before = self.tuner.stats();
         let mut order: Vec<&Request> = requests.iter().collect();

@@ -1,12 +1,14 @@
-//! Kernel launching: configuration, the block-kernel trait, and the
-//! parallel executor.
+//! Kernel launching: configuration, the block-kernel trait, and block
+//! execution on the active host backend.
 //!
-//! Blocks execute functionally on a pool of host threads (work-stealing by
-//! atomic counter); each block produces a [`BlockCost`], and the device
-//! timing model turns the collection into a [`LaunchReport`]. Execution is
-//! deterministic *per block*; cross-block global-memory interleavings vary
-//! like they would on hardware, which is why the provided kernels only
-//! communicate through atomics or disjoint writes.
+//! Blocks execute functionally — in ascending block order on the calling
+//! thread under [`HostBackend::Sequential`](crate::host::HostBackend)
+//! (the default), or on a pool of worker threads under
+//! `HostBackend::Parallel` — and each block produces a [`BlockCost`] the
+//! device timing model turns into a [`LaunchReport`]. Either way the
+//! launch is fully deterministic: the parallel executor merges costs and
+//! deferred float atomics back in block order (see [`crate::host`]), so
+//! results and reports are bitwise identical at any thread count.
 
 use crate::block::{BlockCost, BlockCtx};
 use crate::cost::CostModel;
@@ -17,7 +19,6 @@ use crate::occupancy::Occupancy;
 use crate::report::LaunchReport;
 use crate::scheduler::{device_time_traced, TraceCtx};
 use crate::spec::GpuSpec;
-use std::sync::atomic::{AtomicU32, Ordering};
 use trace::{KernelId, TraceEvent};
 
 /// Launch geometry: 1-D grid of 1-D blocks plus declared shared memory.
@@ -190,7 +191,12 @@ where
     })
 }
 
-/// Execute all blocks, in parallel when the grid is large enough.
+/// Execute all blocks on the active [host backend](crate::host).
+///
+/// Sequential (the default) runs blocks in ascending index order on the
+/// calling thread; `Parallel { threads }` hands the grid to the
+/// [`HostExecutor`](crate::host), whose deterministic merge makes the
+/// two paths bitwise identical.
 pub(crate) fn run_blocks<K: BlockKernel>(
     spec: &GpuSpec,
     model: &CostModel,
@@ -199,12 +205,8 @@ pub(crate) fn run_blocks<K: BlockKernel>(
     stats: bool,
 ) -> Result<Vec<BlockCost>> {
     let n = cfg.grid_dim;
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n as usize)
-        .max(1);
-    if workers == 1 || n < 4 {
+    let threads = crate::host::current().threads().min(n as usize).max(1);
+    if threads == 1 {
         let mut out = Vec::with_capacity(n as usize);
         for b in 0..n {
             let mut ctx =
@@ -214,49 +216,11 @@ pub(crate) fn run_blocks<K: BlockKernel>(
         }
         return Ok(out);
     }
-    let next = AtomicU32::new(0);
-    let results = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut local: Vec<(u32, std::result::Result<BlockCost, LaunchError>)> =
-                        Vec::new();
-                    loop {
-                        let b = next.fetch_add(1, Ordering::Relaxed);
-                        if b >= n {
-                            break;
-                        }
-                        let mut ctx = BlockCtx::with_stats(
-                            b,
-                            cfg.block_dim,
-                            n,
-                            cfg.shared_bytes,
-                            spec,
-                            model,
-                            stats,
-                        );
-                        kernel.run(&mut ctx);
-                        local.push((b, ctx.finish()));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("block worker panicked"))
-            .collect::<Vec<_>>()
-    });
-
-    let mut out: Vec<Option<BlockCost>> = vec![None; n as usize];
-    for (b, res) in results {
-        out[b as usize] = Some(res?);
-    }
-    Ok(out
-        .into_iter()
-        .map(|c| c.expect("every block index executed exactly once"))
-        .collect())
+    crate::host::HostExecutor::new(threads).run(n, |b| {
+        let mut ctx = BlockCtx::with_stats(b, cfg.block_dim, n, cfg.shared_bytes, spec, model, stats);
+        kernel.run(&mut ctx);
+        ctx.finish()
+    })
 }
 
 #[cfg(test)]
@@ -370,8 +334,14 @@ mod tests {
     fn shared_overflow_propagates_from_parallel_executor() {
         let spec = GpuSpec::test_tiny();
         let cfg = LaunchConfig::new(8, 8).with_shared(16);
-        let r = launch(&spec, cfg, &|b: &mut BlockCtx<'_>| {
+        let overflow = |b: &mut BlockCtx<'_>| {
             let _ = b.alloc_shared::<u64>(100);
+        };
+        let r = launch(&spec, cfg, &overflow);
+        assert!(matches!(r, Err(LaunchError::SharedMemOverflow { .. })));
+        // Same error from the parallel backend.
+        let r = crate::host::scoped(crate::host::HostBackend::Parallel { threads: 4 }, || {
+            launch(&spec, cfg, &overflow)
         });
         assert!(matches!(r, Err(LaunchError::SharedMemOverflow { .. })));
     }
@@ -431,20 +401,27 @@ mod tests {
     fn large_grid_executes_every_block_once() {
         let spec = GpuSpec::test_tiny();
         let n_blocks = 10_000u32;
-        let mut hits = vec![0u32; n_blocks as usize];
-        {
-            let g = GlobalMem::new(&mut hits);
-            launch(&spec, LaunchConfig::new(n_blocks, 8), &|b: &mut BlockCtx<'_>| {
-                let idx = b.block_idx() as usize;
-                b.for_each_thread(|t| {
-                    if t.thread_idx() == 0 {
-                        g.fetch_add(idx, 1);
-                    }
-                });
-            })
-            .unwrap();
+        for backend in [
+            crate::host::HostBackend::Sequential,
+            crate::host::HostBackend::Parallel { threads: 4 },
+        ] {
+            let mut hits = vec![0u32; n_blocks as usize];
+            {
+                let g = GlobalMem::new(&mut hits);
+                crate::host::scoped(backend, || {
+                    launch(&spec, LaunchConfig::new(n_blocks, 8), &|b: &mut BlockCtx<'_>| {
+                        let idx = b.block_idx() as usize;
+                        b.for_each_thread(|t| {
+                            if t.thread_idx() == 0 {
+                                g.fetch_add(idx, 1);
+                            }
+                        });
+                    })
+                })
+                .unwrap();
+            }
+            assert!(hits.iter().all(|&h| h == 1), "backend {backend}");
         }
-        assert!(hits.iter().all(|&h| h == 1));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! GPU, so `simt` provides the closest synthetic equivalent: kernels are
 //! written per-thread against a CUDA-like hierarchy (grid → block →
 //! warp/group → lane), are executed **functionally** (real results are
-//! computed, in parallel across host cores), and are **timed analytically**
+//! computed — sequentially by default, or across host worker threads via
+//! the bitwise-equivalent [`HostBackend`]), and are **timed analytically**
 //! with a cost model that captures exactly the phenomena the paper studies:
 //!
 //! * **lockstep divergence** — a warp's cost is the *maximum* over its
@@ -75,6 +76,7 @@ pub mod error;
 pub mod exchange;
 pub mod fault;
 pub mod group;
+pub mod host;
 pub mod lane;
 pub mod launch;
 pub mod memory;
@@ -94,6 +96,7 @@ pub use error::{LaunchError, Result, SimError, SimResult};
 pub use exchange::{halo_exchange, ExchangeCost};
 pub use fault::{FaultCounters, FaultPlan};
 pub use group::GroupCtx;
+pub use host::HostBackend;
 pub use lane::LaneCtx;
 pub use launch::{
     launch, launch_groups, launch_groups_with_model, launch_threads, launch_threads_with_model,

@@ -123,7 +123,7 @@ int_scalar!(i32, AtomicU32);
 int_scalar!(i64, AtomicU64);
 
 macro_rules! float_scalar {
-    ($t:ty, $a:ty, $bits:ty) => {
+    ($t:ty, $a:ty, $bits:ty, $defer:ident) => {
         impl Scalar for $t {
             type Atomic = $a;
             #[inline]
@@ -136,6 +136,15 @@ macro_rules! float_scalar {
             }
             #[inline]
             fn atomic_add(cell: &Self::Atomic, v: Self) -> Self {
+                // Float addition is not associative, so under the
+                // parallel host backend the add is *logged* and replayed
+                // in block order at merge time (see `crate::host`). The
+                // return value then reflects the launch-start cell and
+                // is unspecified for ordering-sensitive uses; portable
+                // kernels must not branch on `atomicAdd`'s return.
+                if crate::host::$defer(cell, v) {
+                    return Self::atomic_load(cell);
+                }
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let old = <$t>::from_bits(cur);
@@ -206,8 +215,8 @@ macro_rules! float_scalar {
     };
 }
 
-float_scalar!(f32, AtomicU32, u32);
-float_scalar!(f64, AtomicU64, u64);
+float_scalar!(f32, AtomicU32, u32, defer_add_f32);
+float_scalar!(f64, AtomicU64, u64, defer_add_f64);
 
 /// A view of a host buffer as simulated device global memory.
 ///

@@ -77,6 +77,13 @@ pub fn device_time_traced(
 
     for (bi, b) in blocks.iter().enumerate() {
         // Greedy: dispatch to the SM that currently finishes earliest.
+        // Ties break to the *lowest* SM index — the strict `<` keeps the
+        // first minimum the fold sees — so the SM assignment is a pure
+        // function of the block sequence. The parallel host backend
+        // relies on this: merging `BlockCost`s back in block order is
+        // sufficient for bitwise-identical timing, with no hidden
+        // dependence on comparison order (pinned by
+        // `ties_break_to_the_lowest_sm_index`).
         let (sm, _) = load
             .iter()
             .enumerate()
@@ -188,6 +195,49 @@ mod tests {
         let t = device_time(&spec, &CostModel::standard(), &[], &occ(&spec));
         assert_eq!(t.compute_ms, 0.0);
         assert!((t.elapsed_ms - spec.launch_overhead_us * 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_blocks_produce_empty_sm_timeline_and_zero_units() {
+        // Edge case behind every `grid_dim ≥ 1` guard upstream: with no
+        // blocks the dispatcher must not touch any SM state.
+        let spec = GpuSpec::v100();
+        let t = device_time(&spec, &CostModel::standard(), &[], &occ(&spec));
+        assert_eq!(t.total_units, 0.0);
+        assert_eq!(t.sm_utilization, 0.0);
+        assert!(t.sm_times_ms.iter().all(|&ms| ms == 0.0));
+        assert_eq!(t.memory_ms, 0.0);
+        assert_eq!(t.bound, Boundedness::Compute);
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_sm_index() {
+        // All SMs start equally loaded (empty), so the first block must
+        // land on SM 0; after one identical block per SM, every SM is
+        // tied again and the next wave must repeat the 0..num_sms order.
+        let spec = GpuSpec::v100();
+        let model = CostModel::standard();
+        let o = occ(&spec);
+        let num_sms = spec.num_sms as usize;
+        let blocks: Vec<_> = (0..2 * num_sms).map(|_| block_of(&[100.0; 8])).collect();
+        let rec = trace::Recorder::new();
+        let ctx = TraceCtx {
+            sink: &rec,
+            kernel: KernelId::next(),
+            device: 0,
+        };
+        device_time_traced(&spec, &model, &blocks, &o, Some(&ctx));
+        let sms: Vec<u32> = rec
+            .snapshot()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Block { sm, .. } => Some(*sm),
+                _ => None,
+            })
+            .collect();
+        let want: Vec<u32> = (0..num_sms as u32).chain(0..num_sms as u32).collect();
+        assert_eq!(sms, want, "greedy argmin must resolve ties by lowest SM index");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 use crate::cost::{CostModel, MemSummary};
 use crate::error::{Result, SimError, SimResult};
 use crate::fault::{FaultCounters, FaultPlan, FaultRng};
+use crate::host::HostBackend;
 use crate::launch::{run_blocks, validate, BlockKernel, LaunchConfig};
 use crate::report::{Boundedness, LaunchReport, TimingBreakdown};
 use crate::spec::GpuSpec;
@@ -126,6 +127,9 @@ pub struct DeviceSim {
     /// Injected fault state; `None` keeps every path bitwise identical
     /// to a healthy device.
     faults: Option<DeviceFaults>,
+    /// Host execution backend override; `None` defers to the ambient
+    /// [`crate::host::current`] resolution (TLS scope, then env).
+    host_backend: Option<HostBackend>,
 }
 
 impl DeviceSim {
@@ -149,6 +153,7 @@ impl DeviceSim {
             sink: None,
             device_id: 0,
             faults: None,
+            host_backend: None,
         }
     }
 
@@ -169,6 +174,16 @@ impl DeviceSim {
     /// Detach any trace sink.
     pub fn clear_trace(&mut self) {
         self.sink = None;
+    }
+
+    /// Pin the host execution backend for this device's launches.
+    ///
+    /// Simulated timing, reports, and results are bitwise identical for
+    /// every backend (see [`crate::host`]); only host wall-clock
+    /// changes. `None` (the default) defers to the ambient thread-scoped
+    /// backend or the `LOOPS_HOST_THREADS` process default.
+    pub fn set_host_backend(&mut self, backend: HostBackend) {
+        self.host_backend = Some(backend);
     }
 
     /// Attach a fault plan: subsequent dispatches run under the plan's
@@ -377,7 +392,12 @@ impl DeviceSim {
             .or(scoped.as_ref().map(|(s, l)| (s.as_ref(), *l)));
         let kernel_id = sink.map(|_| KernelId::next());
         let t0 = std::time::Instant::now();
-        let blocks = run_blocks(&self.spec, &self.model, &cfg, kernel, sink.is_some())?;
+        let blocks = match self.host_backend {
+            Some(b) => crate::host::scoped(b, || {
+                run_blocks(&self.spec, &self.model, &cfg, kernel, sink.is_some())
+            })?,
+            None => run_blocks(&self.spec, &self.model, &cfg, kernel, sink.is_some())?,
+        };
         let host_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         // Greedy block dispatch against the shared per-SM timeline,

@@ -216,6 +216,114 @@ fn random_fault_plans_never_perturb_spmv_results() {
 }
 
 #[test]
+fn parallel_host_backend_matches_sequential_on_random_cases() {
+    // Property: for ANY random matrix, schedule, and worker-thread
+    // count, the parallel host backend's results and launch report
+    // (minus the host wall-clock diagnostic) are bitwise identical to
+    // the sequential backend's. This is the randomized counterpart of
+    // the fixed matrix in `tests/host_parallel.rs`.
+    let mut rng = Prng::seed_from_u64(0x686f_7374);
+    let schedules = [
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::WarpMapped,
+        ScheduleKind::BlockMapped,
+        ScheduleKind::GroupMapped(16),
+        ScheduleKind::MergePath,
+        ScheduleKind::WorkQueue(8),
+        ScheduleKind::Lrb,
+    ];
+    for case in 0..CASES {
+        let rows = rng.index(1, 250);
+        let cols = rng.index(1, 250);
+        let nnz = rows * cols * rng.index(0, 30) / 100;
+        let mseed = rng.index(0, 1000) as u64;
+        let a = sparse::gen::powerlaw(rows, cols, nnz, 1.4 + 0.1 * (case % 8) as f64, mseed);
+        let x = sparse::dense::test_vector(cols);
+        let kind = schedules[rng.index(0, schedules.len())];
+        let threads = [2usize, 3, 4, 8][rng.index(0, 4)];
+        let spec = GpuSpec::test_tiny();
+
+        let strip = |mut r: simt::LaunchReport| {
+            r.host_wall_ms = 0.0;
+            r
+        };
+        let seq = kernels::spmv(&spec, &a, &x, kind).unwrap();
+        let par = simt::host::scoped(simt::HostBackend::Parallel { threads }, || {
+            kernels::spmv(&spec, &a, &x, kind)
+        })
+        .unwrap();
+        let (sb, pb): (Vec<u32>, Vec<u32>) = (
+            seq.y.iter().map(|v| v.to_bits()).collect(),
+            par.y.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(
+            sb, pb,
+            "case {case}: {kind} {rows}x{cols} nnz={nnz} mseed={mseed} threads={threads}"
+        );
+        assert_eq!(seq.schedule, par.schedule, "case {case}: resolved schedule moved");
+        assert_eq!(
+            strip(seq.report),
+            strip(par.report),
+            "case {case}: {kind} threads={threads} launch report diverged"
+        );
+    }
+}
+
+#[test]
+fn fault_plans_inject_identically_under_the_parallel_backend() {
+    // Property: a thread-scoped `FaultPlan` must produce the *same*
+    // injected failures, degraded timing, and results whether blocks
+    // execute sequentially or on worker threads — the worker threads
+    // re-install the caller's fault scope, so fault streams stay keyed
+    // to the launch, never to the executing thread.
+    let mut rng = Prng::seed_from_u64(0x6661_7568);
+    for case in 0..24 {
+        let rows = rng.index(1, 150);
+        let cols = rng.index(1, 150);
+        let nnz = rows * cols * rng.index(0, 30) / 100;
+        let mseed = rng.index(0, 1000) as u64;
+        let a = sparse::gen::uniform(rows, cols, nnz, mseed);
+        let x = sparse::dense::test_vector(cols);
+        let kind = [
+            ScheduleKind::ThreadMapped,
+            ScheduleKind::MergePath,
+            ScheduleKind::WarpMapped,
+            ScheduleKind::Lrb,
+        ][rng.index(0, 4)];
+        let threads = [2usize, 4, 8][rng.index(0, 3)];
+
+        let mut plan = simt::FaultPlan::healthy(rng.index(0, 1 << 30) as u64);
+        let lo = rng.f64_range(0.05, 0.6);
+        let hi = rng.f64_range(lo, 1.0);
+        plan = plan.with_degraded_sms(rng.f64_range(0.2, 1.0), lo, hi);
+        if rng.chance(0.5) {
+            plan = plan.with_stall(rng.f64_range(0.0, 1.0), rng.f64_range(0.0, 5.0));
+        }
+
+        let spec = GpuSpec::test_tiny();
+        let strip = |mut r: simt::LaunchReport| {
+            r.host_wall_ms = 0.0;
+            r
+        };
+        let seq = simt::fault::scoped(plan, || kernels::spmv(&spec, &a, &x, kind)).unwrap();
+        let par = simt::host::scoped(simt::HostBackend::Parallel { threads }, || {
+            simt::fault::scoped(plan, || kernels::spmv(&spec, &a, &x, kind))
+        })
+        .unwrap();
+        let (sb, pb): (Vec<u32>, Vec<u32>) = (
+            seq.y.iter().map(|v| v.to_bits()).collect(),
+            par.y.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(sb, pb, "case {case}: results moved under faults, plan={plan:?}");
+        assert_eq!(
+            strip(seq.report),
+            strip(par.report),
+            "case {case}: {kind} threads={threads} degraded timing diverged, plan={plan:?}"
+        );
+    }
+}
+
+#[test]
 fn row_stats_invariants() {
     let mut rng = Prng::seed_from_u64(0x7374_6174);
     for _ in 0..CASES {

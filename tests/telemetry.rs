@@ -148,6 +148,64 @@ fn telemetry_exports_are_byte_identical_across_runs() {
 }
 
 #[test]
+fn parallel_backend_reproduces_committed_artifacts_byte_for_byte() {
+    // The committed `results/` artifacts were generated on the
+    // sequential backend. Regenerating them under `Parallel { 4 }` must
+    // produce the *same bytes* — the end-to-end witness that the
+    // parallel host executor changes nothing observable: every counter,
+    // every `{:.9}`-rendered latency, the wrapping result checksum, and
+    // every windowed telemetry row.
+    use bench::cli::Cli;
+    use bench::telemetry::export_snapshot;
+    use simt::HostBackend;
+
+    let out_dir = std::env::temp_dir().join("loops_parallel_artifact_diff");
+    let out_dir = out_dir.to_str().expect("utf-8 temp dir").to_string();
+    let backend = HostBackend::Parallel { threads: 4 };
+
+    let committed = |name: &str| {
+        let path = format!("{}/results/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+    };
+    let generated = |path: &std::path::Path| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+    };
+
+    // Chaos report + chaos telemetry, exactly as `profile` writes them.
+    let cli = Cli {
+        limit: Some(2),
+        out_dir: out_dir.clone(),
+        validate: false,
+    };
+    let (chaos_json, chaos_csv) =
+        simt::host::scoped(backend, || bench::profile::chaos_serve(&cli)).expect("chaos serve");
+    assert_eq!(
+        generated(&chaos_json),
+        committed("chaos_serve.json"),
+        "chaos_serve.json must be byte-identical under the parallel backend"
+    );
+    assert_eq!(
+        generated(&chaos_csv),
+        committed("chaos_telemetry.csv"),
+        "chaos_telemetry.csv must be byte-identical under the parallel backend"
+    );
+
+    // Clean serve telemetry, exactly as `profile` exports it.
+    let (_, snap) = simt::host::scoped(backend, || run_instrumented(None));
+    let tele = export_snapshot(&out_dir, "telemetry_serve", &snap).expect("export");
+    assert_eq!(
+        generated(&tele.csv),
+        committed("telemetry_serve.csv"),
+        "telemetry_serve.csv must be byte-identical under the parallel backend"
+    );
+    assert_eq!(
+        generated(&tele.prom),
+        committed("telemetry_serve.prom"),
+        "telemetry_serve.prom must be byte-identical under the parallel backend"
+    );
+}
+
+#[test]
 fn gate_passes_at_default_tolerance_and_fails_at_zero() {
     // Round-trip a fresh baseline exactly the way `--write-baseline`
     // does, then gate a second fresh run against it.
