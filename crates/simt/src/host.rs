@@ -31,15 +31,26 @@
 //! 2. **Deferred float accumulation.** IEEE-754 addition is commutative
 //!    but not associative, so concurrent `atomicAdd` on `f32`/`f64`
 //!    cells would make the final sum depend on interleaving. Under the
-//!    parallel backend, float `fetch_add`s are *logged* per block
-//!    instead of applied, then replayed in (block index, program order)
-//!    — exactly the sequence the sequential backend applies live. The
-//!    returned "previous value" is unspecified under the parallel
-//!    backend (it reflects the launch-start cell); portable kernels must
-//!    not branch on `atomicAdd`'s return value, and none in this
-//!    workspace do. Integer atomics and float `fetch_min`/`fetch_max`
-//!    apply live: their *final* cell value is exact and
-//!    order-independent.
+//!    parallel backend, float `fetch_add`s against *launch-level*
+//!    buffers are *logged* per block instead of applied, then replayed
+//!    in (block index, program order) — exactly the sequence the
+//!    sequential backend applies live. The returned "previous value" is
+//!    unspecified under the parallel backend (it reflects the
+//!    launch-start cell); portable kernels must not branch on
+//!    `atomicAdd`'s return value, and none in this workspace do.
+//!    Integer atomics and float `fetch_min`/`fetch_max` apply live:
+//!    their *final* cell value is exact and order-independent.
+//!
+//!    Deferral is **creation-scoped** so replay never touches dead
+//!    memory: every [`GlobalMem`](crate::memory::GlobalMem) snapshots a
+//!    global launch-epoch counter at construction, and an add is only
+//!    deferred when the target `GlobalMem` predates the executor run
+//!    that is executing the block ([`defer_add_f32`]). A `GlobalMem`
+//!    created *during* the run — block-local scratch inside the kernel
+//!    body, or one built on any thread the kernel spawns — applies its
+//!    adds live on the worker, which is safe and still bitwise equal to
+//!    the sequential path (only that block can reach block-local
+//!    storage, so accumulation stays in program order).
 //! 3. **TLS propagation.** A thread-scoped trace sink
 //!    ([`crate::tracing::scoped`]) or fault plan
 //!    ([`crate::fault::scoped`]) active at launch is re-installed inside
@@ -49,9 +60,15 @@
 //! What the contract *requires of kernels* (true of all nine in-repo
 //! kernels, asserted by the equivalence harness): a block must not read
 //! a cell that another block of the same launch writes (disjoint stores
-//! and idempotent flag-stores are fine), and float `fetch_add` targets
-//! must outlive the launch (any [`GlobalMem`](crate::memory::GlobalMem)
-//! created outside the kernel body qualifies).
+//! and idempotent flag-stores are fine), and a block must not `load`,
+//! `store`, `fetch_min`/`fetch_max`, or `cas` a *launch-level* float
+//! cell it has itself `fetch_add`ed during the same launch — the add is
+//! deferred, so the cell still holds the launch-start value and the two
+//! backends would silently diverge. Debug builds panic on such an
+//! access ([`debug_assert_no_pending_add`]); block-local scratch is
+//! exempt because its adds apply live. On `Err` from any launch, buffer
+//! contents are **unspecified under every backend** (the two backends
+//! stop at different points); callers must discard, not read, them.
 //!
 //! # Selection
 //!
@@ -153,10 +170,19 @@ pub fn current() -> HostBackend {
 
 /// One logged floating-point `atomicAdd`, to be replayed at merge time.
 ///
-/// The cell address is carried as `usize`: the target is a cell inside a
-/// [`GlobalMem`](crate::memory::GlobalMem) whose borrow outlives the
-/// launch (the backend contract above), and the replay happens before
-/// `run_blocks` returns, while that borrow is still live.
+/// The cell address is carried as `usize`, which is sound because
+/// deferral is creation-scoped: [`defer_add_f32`] only logs a cell when
+/// its [`GlobalMem`](crate::memory::GlobalMem) was created *before* the
+/// executor run now executing the block (its [`creation_epoch`]
+/// snapshot predates the run's generation). A `GlobalMem` that old can
+/// only be reachable inside a block through the kernel closure's
+/// environment — captures, or conduits (locks, channels) typed with the
+/// `GlobalMem`'s borrow lifetime — so the borrow checker forces its
+/// backing buffer to outlive the whole [`HostExecutor::run`] call, and
+/// the replay happens inside that call, after every worker has joined.
+/// Buffers created during the run (block-local scratch, or a `GlobalMem`
+/// built on a thread the kernel spawned) snapshot an epoch `>=` the
+/// run's generation, are never logged, and apply their adds live.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum DeferredAdd {
     /// `f32` add against an `AtomicU32` cell.
@@ -165,59 +191,124 @@ pub(crate) enum DeferredAdd {
     F64 { cell: usize, v: f64 },
 }
 
+/// Monotonic launch-epoch counter: bumped once per parallel executor
+/// run, snapshotted by every `GlobalMem` at construction. The pair
+/// orders "buffer created" against "run started" across threads.
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// The epoch a `GlobalMem` constructed right now should record
+/// (compared against the run generation by [`defer_add_f32`]).
+#[inline]
+pub(crate) fn creation_epoch() -> u64 {
+    EPOCH.load(Ordering::Relaxed)
+}
+
 thread_local! {
-    /// Fast flag: is the current thread executing a block under the
-    /// parallel backend? Checked on every float `fetch_add`.
-    static DEFER_ON: Cell<bool> = const { Cell::new(false) };
+    /// The generation of the executor run this thread is executing a
+    /// block for (`0` = not inside a parallel block). Checked on every
+    /// float `fetch_add`.
+    static ACTIVE_GEN: Cell<u64> = const { Cell::new(0) };
     /// The current block's deferred-add log (program order).
     static DEFER_LOG: RefCell<Vec<DeferredAdd>> = const { RefCell::new(Vec::new()) };
 }
 
-/// If the calling thread is deferring (parallel backend, inside a
-/// block), log an `f32` add and return `true`; otherwise return `false`
-/// so the caller applies it live.
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Debug builds: cells with a pending deferred add from the current
+    /// block, to catch same-block read-your-own-write divergence.
+    static DEFER_CELLS: RefCell<std::collections::HashSet<usize>> =
+        RefCell::new(std::collections::HashSet::new());
+}
+
+/// If the calling thread is inside a parallel block *and* the target
+/// `GlobalMem` predates the run (`created_epoch` below the run's
+/// generation), log an `f32` add and return `true`; otherwise return
+/// `false` so the caller applies it live.
 #[inline]
-pub(crate) fn defer_add_f32(cell: &AtomicU32, v: f32) -> bool {
-    if !DEFER_ON.with(Cell::get) {
+pub(crate) fn defer_add_f32(cell: &AtomicU32, v: f32, created_epoch: u64) -> bool {
+    let gen = ACTIVE_GEN.with(Cell::get);
+    if gen == 0 || created_epoch >= gen {
         return false;
     }
     let cell = cell as *const AtomicU32 as usize;
     DEFER_LOG.with(|l| l.borrow_mut().push(DeferredAdd::F32 { cell, v }));
+    #[cfg(debug_assertions)]
+    DEFER_CELLS.with(|s| {
+        s.borrow_mut().insert(cell);
+    });
     true
 }
 
 /// [`defer_add_f32`] for `f64`.
 #[inline]
-pub(crate) fn defer_add_f64(cell: &AtomicU64, v: f64) -> bool {
-    if !DEFER_ON.with(Cell::get) {
+pub(crate) fn defer_add_f64(cell: &AtomicU64, v: f64, created_epoch: u64) -> bool {
+    let gen = ACTIVE_GEN.with(Cell::get);
+    if gen == 0 || created_epoch >= gen {
         return false;
     }
     let cell = cell as *const AtomicU64 as usize;
     DEFER_LOG.with(|l| l.borrow_mut().push(DeferredAdd::F64 { cell, v }));
+    #[cfg(debug_assertions)]
+    DEFER_CELLS.with(|s| {
+        s.borrow_mut().insert(cell);
+    });
     true
 }
 
+/// Debug-build contract check: panic if `cell` has a deferred add
+/// pending from the current block. A kernel that `load`s / `store`s /
+/// `min`s / `max`es / `cas`es a launch-level float cell after its own
+/// `fetch_add` would silently read the stale launch-start value under
+/// the parallel backend while the sequential backend sees the sum —
+/// fail loudly instead of diverging. No-op in release builds and
+/// outside a deferral window.
+#[inline]
+pub(crate) fn debug_assert_no_pending_add(cell: usize) {
+    #[cfg(debug_assertions)]
+    {
+        // Outside a deferral window (sequential backend, coordinator
+        // thread) nothing can be pending: skip the set lookup.
+        if ACTIVE_GEN.with(Cell::get) == 0 {
+            return;
+        }
+        DEFER_CELLS.with(|s| {
+            assert!(
+                !s.borrow().contains(&cell),
+            "bitwise-contract violation: this block read or modified a float cell it \
+             `fetch_add`ed earlier in the same launch; under the parallel host backend the \
+             add is deferred to merge time, so the access would observe the launch-start \
+             value and diverge from the sequential backend (see `simt::host` docs)"
+            );
+        });
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = cell;
+}
+
 /// RAII scope for one block's deferral window; panic-safe (a worker
-/// panic clears the flag before the thread is reused or unwinds).
+/// panic clears the generation before the thread is reused or unwinds).
 struct DeferScope;
 
 impl DeferScope {
-    fn begin() -> Self {
-        DEFER_ON.with(|f| f.set(true));
+    fn begin(gen: u64) -> Self {
+        debug_assert_ne!(gen, 0, "generation 0 means 'not in a run'");
+        ACTIVE_GEN.with(|f| f.set(gen));
         DeferScope
     }
 
     /// End the window and take the block's log.
     fn take(self) -> Vec<DeferredAdd> {
         DEFER_LOG.with(|l| std::mem::take(&mut *l.borrow_mut()))
-        // Drop clears the flag.
+        // Drop clears the generation and the debug cell set.
     }
 }
 
 impl Drop for DeferScope {
     fn drop(&mut self) {
-        DEFER_ON.with(|f| f.set(false));
+        ACTIVE_GEN.with(|f| f.set(0));
         DEFER_LOG.with(|l| l.borrow_mut().clear());
+        #[cfg(debug_assertions)]
+        DEFER_CELLS.with(|s| s.borrow_mut().clear());
     }
 }
 
@@ -231,10 +322,13 @@ fn replay(adds: &[DeferredAdd]) {
     for a in adds {
         match *a {
             DeferredAdd::F32 { cell, v } => {
-                // SAFETY: `cell` was derived from a live `&AtomicU32`
-                // inside a `GlobalMem` whose underlying borrow outlives
-                // the launch (module contract); workers are joined, so
-                // the coordinator is the only accessor.
+                // SAFETY: `cell` was logged by `defer_add_f32`, which
+                // only accepts cells of a `GlobalMem` created before
+                // this executor run began; such a view is reachable in
+                // a block only through the kernel closure's environment,
+                // so its borrow outlives the `run` call this replay is
+                // part of (see `DeferredAdd` docs). Workers are joined,
+                // so the coordinator is the only accessor.
                 let c = unsafe { &*(cell as *const AtomicU32) };
                 let old = f32::from_bits(c.load(Ordering::Relaxed));
                 c.store((old + v).to_bits(), Ordering::Relaxed);
@@ -274,11 +368,18 @@ impl HostExecutor {
     /// Execute blocks `0..n` via `run_block`, returning costs in block
     /// order. Bitwise equal to the sequential loop for kernels honoring
     /// the module contract; on error, the error of the *lowest* block
-    /// index is returned (the one the sequential loop would have hit).
+    /// index is returned (the one the sequential loop would have hit),
+    /// and buffer contents are unspecified — blocks after the failing
+    /// index may or may not have run, so callers must not read them
+    /// (true of the sequential path's partial state too).
     pub(crate) fn run<F>(&self, n: u32, run_block: F) -> Result<Vec<BlockCost>>
     where
         F: Fn(u32) -> std::result::Result<BlockCost, LaunchError> + Sync,
     {
+        // Mint this run's generation: a GlobalMem is eligible for
+        // deferred float adds only if it snapshotted an earlier epoch,
+        // i.e. provably existed before the run (see `DeferredAdd`).
+        let gen = EPOCH.fetch_add(1, Ordering::Relaxed) + 1;
         // Capture the caller's ambient contexts for re-installation in
         // the workers: a worker is a fresh thread with empty TLS stacks.
         let trace = crate::tracing::current();
@@ -304,7 +405,7 @@ impl HostExecutor {
                                 }
                                 let end = (base + chunk).min(n as usize);
                                 for b in base as u32..end as u32 {
-                                    let scope = DeferScope::begin();
+                                    let scope = DeferScope::begin(gen);
                                     let res = run_block(b);
                                     local.push((b, res, scope.take()));
                                 }
@@ -450,6 +551,65 @@ mod tests {
             .unwrap();
         }
         assert_eq!(seq[0].to_bits(), par[0].to_bits());
+    }
+
+    #[test]
+    fn block_local_global_mem_applies_live_and_reads_back() {
+        // The once-unsound scenario: a GlobalMem over a scratch buffer
+        // created *inside* the kernel body. Its epoch postdates the run,
+        // so adds are never logged (no pointer survives the block) and
+        // read-your-own-write behaves exactly like the sequential
+        // backend.
+        let ex = HostExecutor::new(4);
+        ex.run(16, |b| {
+            let mut scratch = vec![0.0f32; 1];
+            let g = crate::memory::GlobalMem::new(&mut scratch);
+            g.fetch_add(0, b as f32);
+            g.fetch_add(0, 0.5);
+            assert_eq!(
+                g.load(0).to_bits(),
+                (b as f32 + 0.5).to_bits(),
+                "block-local adds must apply live, in program order"
+            );
+            Ok(cost(1.0))
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pre_run_global_mem_is_deferred_but_block_local_is_not() {
+        let mut shared = vec![0.0f64; 1];
+        let g = crate::memory::GlobalMem::new(&mut shared);
+        let ex = HostExecutor::new(2);
+        ex.run(8, |_| {
+            // Launch-level view: the add is logged, the cell still holds
+            // the launch-start value inside the block.
+            g.fetch_add(0, 1.0);
+            // Block-local view: applied immediately.
+            let mut local = vec![10.0f64; 1];
+            let l = crate::memory::GlobalMem::new(&mut local);
+            l.fetch_add(0, 1.0);
+            assert_eq!(l.load(0), 11.0);
+            Ok(cost(1.0))
+        })
+        .unwrap();
+        assert_eq!(g.load(0), 8.0, "deferred adds replay at merge time");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "host executor worker panicked")]
+    fn debug_build_panics_on_read_after_deferred_add() {
+        let mut shared = vec![0.0f32; 1];
+        let g = crate::memory::GlobalMem::new(&mut shared);
+        let ex = HostExecutor::new(2);
+        let _ = ex.run(4, |_| {
+            g.fetch_add(0, 1.0);
+            // Same-block read of a deferred-add target: diverges from
+            // the sequential backend, so debug builds must fail loudly.
+            let _ = g.load(0);
+            Ok(cost(1.0))
+        });
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub(crate) fn validate(spec: &GpuSpec, cfg: &LaunchConfig) -> Result<Occupancy> 
 }
 
 /// Launch a block kernel with an explicit cost model.
+///
+/// # Errors
+///
+/// On `Err`, the contents of any buffer the kernel writes are
+/// **unspecified under every host backend**: the sequential loop stops
+/// at the failing block, while the parallel executor may have run
+/// blocks after the failing index (live integer atomics applied) and
+/// drops deferred float adds. Callers must discard, not read, kernel
+/// output after an error.
 pub fn launch_with_model<K: BlockKernel>(
     spec: &GpuSpec,
     model: &CostModel,
@@ -133,6 +142,9 @@ pub fn launch_with_model<K: BlockKernel>(
 }
 
 /// Launch a block kernel with the standard cost model.
+///
+/// On `Err`, buffer contents are unspecified under any host backend —
+/// see [`launch_with_model`]'s error docs.
 pub fn launch<K: BlockKernel>(spec: &GpuSpec, cfg: LaunchConfig, kernel: &K) -> Result<LaunchReport> {
     launch_with_model(spec, &CostModel::standard(), cfg, kernel)
 }
@@ -197,6 +209,10 @@ where
 /// calling thread; `Parallel { threads }` hands the grid to the
 /// [`HostExecutor`](crate::host), whose deterministic merge makes the
 /// two paths bitwise identical.
+///
+/// On `Err`, the set of blocks that ran — and therefore every buffer
+/// the kernel writes — is backend-dependent and unspecified; callers
+/// must not read kernel output after an error.
 pub(crate) fn run_blocks<K: BlockKernel>(
     spec: &GpuSpec,
     model: &CostModel,

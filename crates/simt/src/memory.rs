@@ -12,6 +12,17 @@
 //! A racy kernel therefore produces an unspecified *value*, never undefined
 //! behaviour — matching CUDA's semantics for conflicting non-atomic global
 //! writes closely enough for a simulator.
+//!
+//! Under the parallel host backend ([`crate::host`]), float `fetch_add`s
+//! on views created *before* the launch are deferred and replayed in
+//! block order (each view snapshots a launch-epoch counter at
+//! construction, so eligibility is decided per view, never by raw
+//! pointer). Two contract points follow: the return value of a deferred
+//! add is unspecified, and the same block must not `load`/`store`/
+//! `fetch_min`/`fetch_max`/`cas` a cell it has `fetch_add`ed during the
+//! launch (debug builds panic). Views created inside a kernel body —
+//! block-local scratch — always apply adds live, so scratch accumulation
+//! and read-back behave identically on every backend.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
@@ -46,6 +57,16 @@ pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + sealed::Sea
     /// Compare-and-swap: if the current value equals `expect`, store `new`;
     /// returns the value observed before the operation.
     fn atomic_cas(cell: &Self::Atomic, expect: Self, new: Self) -> Self;
+    /// Parallel-backend hook: try to *defer* a `fetch_add` instead of
+    /// applying it (floats only — integer addition is associative, so
+    /// integers always apply live and this default stands). Returns
+    /// `true` when the add was logged for replay at merge time; see
+    /// [`crate::host::defer_add_f32`] for the eligibility rule keyed on
+    /// `created_epoch` (the owning [`GlobalMem`]'s creation snapshot).
+    #[inline]
+    fn try_defer_add(_cell: &Self::Atomic, _v: Self, _created_epoch: u64) -> bool {
+        false
+    }
 }
 
 macro_rules! int_scalar {
@@ -136,15 +157,6 @@ macro_rules! float_scalar {
             }
             #[inline]
             fn atomic_add(cell: &Self::Atomic, v: Self) -> Self {
-                // Float addition is not associative, so under the
-                // parallel host backend the add is *logged* and replayed
-                // in block order at merge time (see `crate::host`). The
-                // return value then reflects the launch-start cell and
-                // is unspecified for ordering-sensitive uses; portable
-                // kernels must not branch on `atomicAdd`'s return.
-                if crate::host::$defer(cell, v) {
-                    return Self::atomic_load(cell);
-                }
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let old = <$t>::from_bits(cur);
@@ -211,6 +223,16 @@ macro_rules! float_scalar {
                     Ok(prev) | Err(prev) => <$t>::from_bits(prev),
                 }
             }
+            #[inline]
+            fn try_defer_add(cell: &Self::Atomic, v: Self, created_epoch: u64) -> bool {
+                // Float addition is not associative, so under the
+                // parallel host backend adds against launch-level
+                // buffers are *logged* and replayed in block order at
+                // merge time (see `crate::host`); block-local buffers
+                // (created during the run) fall through to the live CAS
+                // loop, which is both sound and order-deterministic.
+                crate::host::$defer(cell, v, created_epoch)
+            }
         }
     };
 }
@@ -224,6 +246,12 @@ float_scalar!(f64, AtomicU64, u64, defer_add_f64);
 /// simulator is the only writer; every access goes through atomic cells.
 pub struct GlobalMem<'a, T: Scalar> {
     cells: &'a [T::Atomic],
+    /// Launch-epoch snapshot taken at construction. The parallel host
+    /// backend defers float `fetch_add`s only for views whose snapshot
+    /// predates the executor run — i.e. buffers that provably outlive
+    /// the launch — and applies adds on block-local scratch live (see
+    /// [`crate::host`]).
+    epoch: u64,
 }
 
 // Manual impls: the derive would demand `T::Atomic: Clone`, but the view is
@@ -253,7 +281,18 @@ impl<'a, T: Scalar> GlobalMem<'a, T> {
         // aliasing pattern afterwards.
         let cells =
             unsafe { std::slice::from_raw_parts(data.as_ptr() as *const T::Atomic, data.len()) };
-        Self { cells }
+        Self {
+            cells,
+            epoch: crate::host::creation_epoch(),
+        }
+    }
+
+    /// Debug-build guard against same-block read-your-own-write on a
+    /// deferred float `fetch_add` target (no-op in release; see
+    /// [`crate::host::debug_assert_no_pending_add`]).
+    #[inline]
+    fn check_no_pending_add(&self, i: usize) {
+        crate::host::debug_assert_no_pending_add(&self.cells[i] as *const T::Atomic as usize);
     }
 
     /// Number of elements.
@@ -269,25 +308,38 @@ impl<'a, T: Scalar> GlobalMem<'a, T> {
     /// Ordinary global load.
     #[inline]
     pub fn load(&self, i: usize) -> T {
+        self.check_no_pending_add(i);
         T::atomic_load(&self.cells[i])
     }
 
     /// Ordinary global store.
     #[inline]
     pub fn store(&self, i: usize, v: T) {
+        self.check_no_pending_add(i);
         T::atomic_store(&self.cells[i], v)
     }
 
     /// `atomicAdd`: add `v` to element `i`, returning the previous value.
+    ///
+    /// Under the parallel host backend, a float add on a launch-level
+    /// view is deferred to merge time: the return value then reflects
+    /// the launch-start cell and is unspecified for ordering-sensitive
+    /// uses, and the cell must not be read again by this block during
+    /// the launch (debug builds panic; see [`crate::host`]).
     #[inline]
     pub fn fetch_add(&self, i: usize, v: T) -> T {
-        T::atomic_add(&self.cells[i], v)
+        let cell = &self.cells[i];
+        if T::try_defer_add(cell, v, self.epoch) {
+            return T::atomic_load(cell);
+        }
+        T::atomic_add(cell, v)
     }
 
     /// `atomicMin`: lower element `i` to `v` if smaller, returning the
     /// previous value.
     #[inline]
     pub fn fetch_min(&self, i: usize, v: T) -> T {
+        self.check_no_pending_add(i);
         T::atomic_min(&self.cells[i], v)
     }
 
@@ -295,12 +347,14 @@ impl<'a, T: Scalar> GlobalMem<'a, T> {
     /// previous value.
     #[inline]
     pub fn fetch_max(&self, i: usize, v: T) -> T {
+        self.check_no_pending_add(i);
         T::atomic_max(&self.cells[i], v)
     }
 
     /// `atomicCAS` on element `i`.
     #[inline]
     pub fn cas(&self, i: usize, expect: T, new: T) -> T {
+        self.check_no_pending_add(i);
         T::atomic_cas(&self.cells[i], expect, new)
     }
 }

@@ -159,8 +159,11 @@ fn parallel_backend_reproduces_committed_artifacts_byte_for_byte() {
     use bench::telemetry::export_snapshot;
     use simt::HostBackend;
 
-    let out_dir = std::env::temp_dir().join("loops_parallel_artifact_diff");
-    let out_dir = out_dir.to_str().expect("utf-8 temp dir").to_string();
+    // Unique per-process scratch dir: concurrent invocations (CI legs,
+    // a local run alongside CI) must not race on the same files.
+    let out_path =
+        std::env::temp_dir().join(format!("loops_parallel_artifact_diff_{}", std::process::id()));
+    let out_dir = out_path.to_str().expect("utf-8 temp dir").to_string();
     let backend = HostBackend::Parallel { threads: 4 };
 
     let committed = |name: &str| {
@@ -203,6 +206,8 @@ fn parallel_backend_reproduces_committed_artifacts_byte_for_byte() {
         committed("telemetry_serve.prom"),
         "telemetry_serve.prom must be byte-identical under the parallel backend"
     );
+
+    let _ = std::fs::remove_dir_all(&out_path);
 }
 
 #[test]
