@@ -187,8 +187,17 @@ fn run_family(index: usize, name: &str, scale: f64) -> FamilyResult {
         .select(hottest.rows(), hottest.cols(), hottest.nnz())
         .to_string();
     let tuned_schedule = tuned
-        .tuned_schedule("spmv", hottest)
-        .map_or_else(|| "<unpromoted>".into(), |k| k.to_string());
+        .tuned_candidate(loops::dispatch::KernelKind::Spmv, hottest)
+        .map_or_else(
+            || "<unpromoted>".into(),
+            |(k, f)| {
+                if f == sparse::FormatKind::Csr {
+                    k.to_string()
+                } else {
+                    format!("{k}@{f}")
+                }
+            },
+        );
 
     FamilyResult {
         family: name.to_string(),

@@ -5,7 +5,7 @@
 
 use std::process::Command;
 
-const BINS: [&str; 16] = [
+const BINS: [&str; 17] = [
     "fig2",
     "fig3",
     "fig4",
@@ -21,6 +21,7 @@ const BINS: [&str; 16] = [
     "corpus_stats",
     "serve_bench",
     "autotune_bench",
+    "format_ablation",
     "shard_bench",
 ];
 

@@ -35,6 +35,7 @@
 pub mod autotune;
 pub mod cli;
 pub mod csv;
+pub mod format_ablation;
 pub mod loc;
 pub mod microbench;
 pub mod plot;

@@ -85,7 +85,7 @@ fn trace_spmv(cli: &Cli) -> std::io::Result<(std::path::PathBuf, TraceData)> {
         ScheduleKind::MergePath,
         ScheduleKind::WorkQueue(256),
     ] {
-        let label = loops::dispatch::trace_label("spmv", kind);
+        let label = loops::dispatch::trace_label(loops::dispatch::KernelKind::Spmv, kind);
         let run = simt::tracing::scoped(rec.clone() as Arc<dyn trace::TraceSink>, label, || {
             kernels::spmv(&spec, &a, &x, kind)
         })

@@ -6,7 +6,7 @@
 //! be row-major sorted, i.e. canonical); CSC's *columns* are the tiles.
 
 use crate::work::TileSet;
-use sparse::{Coo, Csc, Csr, Ell};
+use sparse::{Coo, Csc, Csr, Ell, Hybrid};
 
 /// A CSR matrix as a tile set: tiles = rows, atoms = nonzeros.
 #[derive(Debug, Clone, Copy)]
@@ -57,11 +57,23 @@ impl CooTiles {
     ///
     /// # Panics
     /// If the matrix is not sorted row-major ([`Coo::is_canonical`]).
+    /// Use [`try_new`](Self::try_new) on untrusted input.
     pub fn new<V: Copy>(coo: &Coo<V>) -> Self {
-        assert!(
-            coo.is_canonical(),
-            "COO tile set requires canonical (row-major sorted) entries"
-        );
+        Self::try_new(coo).unwrap_or_else(|_| {
+            panic!("COO tile set requires canonical (row-major sorted) entries")
+        })
+    }
+
+    /// Fallible constructor: returns
+    /// [`LaunchError::InvalidWork`](simt::LaunchError::InvalidWork) when
+    /// the matrix is not in canonical row-major order, so serving paths
+    /// surface a configuration error instead of a panic.
+    pub fn try_new<V: Copy>(coo: &Coo<V>) -> Result<Self, simt::LaunchError> {
+        if !coo.is_canonical() {
+            return Err(simt::LaunchError::InvalidWork {
+                reason: "COO tile set requires canonical (row-major sorted) entries".to_owned(),
+            });
+        }
         let mut offsets = vec![0usize; coo.rows() + 1];
         for &r in coo.row_indices() {
             offsets[r as usize + 1] += 1;
@@ -69,7 +81,7 @@ impl CooTiles {
         for i in 0..coo.rows() {
             offsets[i + 1] += offsets[i];
         }
-        Self { offsets }
+        Ok(Self { offsets })
     }
 }
 
@@ -165,6 +177,45 @@ impl<V: Copy + Default + Sync> TileSet for EllTiles<'_, V> {
     }
 }
 
+/// A hybrid matrix's **slab** as a tile set: tiles = rows, atoms = slab
+/// slots (padding included) — the regular half of the split. The COO
+/// spill tail is not part of this tile set; kernels serve it with a
+/// per-entry scatter over [`sparse::Hybrid::tail`] (fused into the
+/// slab launch for SpMV, a second launch for SpMM).
+#[derive(Debug, Clone, Copy)]
+pub struct HybridSlabTiles<'a, V = f32> {
+    hybrid: &'a Hybrid<V>,
+}
+
+impl<'a, V: Copy + Default + Sync> HybridSlabTiles<'a, V> {
+    /// Wrap a hybrid matrix's slab.
+    pub fn new(hybrid: &'a Hybrid<V>) -> Self {
+        Self { hybrid }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &'a Hybrid<V> {
+        self.hybrid
+    }
+}
+
+impl<V: Copy + Default + Sync> TileSet for HybridSlabTiles<'_, V> {
+    fn num_tiles(&self) -> usize {
+        self.hybrid.rows()
+    }
+    fn num_atoms(&self) -> usize {
+        self.hybrid.slab_slots()
+    }
+    #[inline]
+    fn tile_atoms(&self, t: usize) -> std::ops::Range<usize> {
+        self.hybrid.row_slots(t)
+    }
+    #[inline]
+    fn tile_offset(&self, i: usize) -> usize {
+        i * self.hybrid.width()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +272,30 @@ mod tests {
         for t in 0..3 {
             assert_eq!(w.atoms_in_tile(t), 3);
         }
+        assert!(w.validate());
+    }
+
+    #[test]
+    fn coo_try_new_surfaces_a_config_error() {
+        let bad = Coo::from_parts(2, 2, vec![1, 0], vec![0, 0], vec![1.0f32, 2.0]).unwrap();
+        let err = CooTiles::try_new(&bad).unwrap_err();
+        assert!(matches!(err, simt::LaunchError::InvalidWork { .. }));
+        assert!(err.to_string().contains("canonical"));
+        let good = convert::csr_to_coo(&sample());
+        assert!(CooTiles::try_new(&good).is_ok());
+    }
+
+    #[test]
+    fn hybrid_slab_tiles_cover_slots_not_tail() {
+        let a = sample();
+        let h = Hybrid::from_csr(&a, 2);
+        let w = HybridSlabTiles::new(&h);
+        assert_eq!(w.num_tiles(), 3);
+        assert_eq!(w.num_atoms(), 6); // 3 rows × width 2, padding included
+        for t in 0..3 {
+            assert_eq!(w.atoms_in_tile(t), 2);
+        }
+        assert_eq!(h.tail_nnz(), 1); // spilled entry is outside the tile set
         assert!(w.validate());
     }
 

@@ -38,6 +38,7 @@ use crate::schedule::{
 use crate::ranges::{step_range, Charged, StepRange};
 use crate::work::{SubsetTiles, TileSet};
 use simt::{CostModel, GpuSpec, LaneCtx, LaunchConfig, LaunchReport};
+use sparse::{FormatKind, FormatStats};
 
 /// Default threads per block (the paper's Listing 3 uses 256).
 pub const DEFAULT_BLOCK: u32 = 256;
@@ -119,12 +120,121 @@ pub fn largest_divisor_leq(n: u32, k: u32) -> u32 {
     best
 }
 
-/// Enumerate the candidate schedule space worth exploring for `kernel`
-/// over the CSR pattern `a` — the search space an online autotuner walks
-/// (paper §6.2: the schedule is a one-identifier swap, so the whole
-/// space is enumerable).
+/// Identifier for a kernel the engine can dispatch — the typed
+/// replacement for the `&str` names that used to thread through
+/// [`candidates`], plan-cache keys, and trace labels. `Display` emits the
+/// lowercase name and [`std::str::FromStr`] round-trips it, mirroring
+/// [`ScheduleKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Sparse matrix × dense vector.
+    Spmv,
+    /// Sparse matrix × dense matrix.
+    Spmm,
+    /// Breadth-first search (frontier traversal).
+    Bfs,
+    /// Single-source shortest paths (frontier traversal).
+    Sssp,
+    /// PageRank power iteration (SpMV-shaped inner loop).
+    Pagerank,
+}
+
+impl KernelKind {
+    /// The stable lowercase identifier used in trace labels, CSV columns,
+    /// and plan-cache keys.
+    pub fn base_name(&self) -> &'static str {
+        match self {
+            Self::Spmv => "spmv",
+            Self::Spmm => "spmm",
+            Self::Bfs => "bfs",
+            Self::Sssp => "sssp",
+            Self::Pagerank => "pagerank",
+        }
+    }
+
+    /// Every kernel kind, in declaration order.
+    pub const ALL: [KernelKind; 5] = [
+        KernelKind::Spmv,
+        KernelKind::Spmm,
+        KernelKind::Bfs,
+        KernelKind::Sssp,
+        KernelKind::Pagerank,
+    ];
+
+    /// Frontier kernels rebuild their tile set every level, so per-plan
+    /// artifacts (LRB bins) and one-time format conversions never
+    /// amortize.
+    pub fn is_frontier(&self) -> bool {
+        matches!(self, Self::Bfs | Self::Sssp)
+    }
+
+    /// Whether the kernel has a format-generic execution path worth
+    /// exploring beyond CSR (SpMV-shaped folds over a fixed matrix).
+    pub fn supports_formats(&self) -> bool {
+        matches!(self, Self::Spmv | Self::Spmm | Self::Pagerank)
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.base_name())
+    }
+}
+
+/// Error returned when a string names no [`KernelKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelError(String);
+
+impl std::fmt::Display for ParseKernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kernel {:?} (expected spmv, spmm, bfs, sssp, or pagerank)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseKernelError {}
+
+impl std::str::FromStr for KernelKind {
+    type Err = ParseKernelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "spmv" => Ok(Self::Spmv),
+            "spmm" => Ok(Self::Spmm),
+            "bfs" => Ok(Self::Bfs),
+            "sssp" => Ok(Self::Sssp),
+            "pagerank" => Ok(Self::Pagerank),
+            _ => Err(ParseKernelError(s.to_owned())),
+        }
+    }
+}
+
+/// One cell of the autotuner's two-axis search space: a schedule paired
+/// with the storage format it runs over.
+pub type Candidate = (ScheduleKind, FormatKind);
+
+/// ELL candidates are only worth measuring when padding stays below this
+/// many slots per stored nonzero ([`FormatStats::ell_fill`]).
+pub const ELL_MAX_FILL: f64 = 1.5;
+
+/// Hybrid candidates need visible row-length skew: coefficient of
+/// variation at least this…
+pub const HYBRID_MIN_CV: f64 = 0.5;
+
+/// …or a longest row at least this multiple of the mean
+/// ([`FormatStats::max_over_mean`]).
+pub const HYBRID_MIN_MAX_OVER_MEAN: f64 = 4.0;
+
+/// Enumerate the (schedule × format) candidate space worth exploring for
+/// `kernel` over the CSR pattern `a` — the search space an online
+/// autotuner walks (paper §6.2: the schedule is a one-identifier swap, so
+/// the whole space is enumerable; §5.2.1: the format axis only changes
+/// the tile iterator, so it composes into the same sweep).
 ///
-/// The set spans every schedule family plus the tunable group-size and
+/// The schedule axis spans every family plus the tunable group-size and
 /// chunk-width variants (warp and block widths are covered by
 /// `WarpMapped`/`BlockMapped`, so the explicit `GroupMapped` entries
 /// probe the sizes between and beyond them). Work-queue chunk widths
@@ -132,23 +242,39 @@ pub fn largest_divisor_leq(n: u32, k: u32) -> u32 {
 /// keep the sweep short. Frontier kernels (`bfs`, `sssp`) exclude LRB:
 /// they rebuild tile sets every level, so the binning pass is paid per
 /// launch and never amortizes into a cached plan. `spmm` coerces every
-/// family except merge-path to thread-mapped, so its space collapses to
-/// those two — exploring coerced aliases would just re-measure the same
-/// launch.
+/// family except merge-path to thread-mapped, so its schedule space
+/// collapses to those two — exploring coerced aliases would just
+/// re-measure the same launch.
+///
+/// The format axis is filtered by [`FormatStats`] so the tuner never
+/// pays to convert a structurally hopeless candidate: ELL only when the
+/// padding overhead is bounded ([`ELL_MAX_FILL`]); the hybrid ELL+COO
+/// split only when the row lengths are skewed enough that the slab
+/// actually truncates hub rows. Canonical COO enumerates identically to
+/// CSR (same offsets, same fold order, same cost) and CSC serves
+/// column-major traversals, not row folds — neither earns a cell.
+/// Frontier kernels stay CSR-only: their per-level tile sets make any
+/// conversion cost unamortizable.
 ///
 /// The order is deterministic — exploration policies that want an
 /// unbiased walk shuffle it with their own seeded generator.
-pub fn candidates(kernel: &str, a: &sparse::Csr<f32>) -> Vec<ScheduleKind> {
+pub fn candidates(kernel: KernelKind, a: &sparse::Csr<f32>) -> Vec<Candidate> {
     let rows = a.rows();
     if rows == 0 || a.nnz() == 0 {
         // Degenerate patterns: every schedule is a no-op; don't burn
         // exploration serves distinguishing identical costs.
-        return vec![ScheduleKind::ThreadMapped];
+        return vec![(ScheduleKind::ThreadMapped, FormatKind::Csr)];
     }
-    if kernel == "spmm" {
-        return vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath];
+    let stats = FormatStats::of(a);
+    if kernel == KernelKind::Spmm {
+        let mut space = vec![
+            (ScheduleKind::ThreadMapped, FormatKind::Csr),
+            (ScheduleKind::MergePath, FormatKind::Csr),
+        ];
+        space.extend(format_cells(kernel, &stats));
+        return space;
     }
-    let mut space = vec![
+    let mut space: Vec<Candidate> = [
         ScheduleKind::ThreadMapped,
         ScheduleKind::WarpMapped,
         ScheduleKind::BlockMapped,
@@ -156,16 +282,42 @@ pub fn candidates(kernel: &str, a: &sparse::Csr<f32>) -> Vec<ScheduleKind> {
         ScheduleKind::GroupMapped(16),
         ScheduleKind::GroupMapped(64),
         ScheduleKind::MergePath,
-    ];
+    ]
+    .into_iter()
+    .map(|k| (k, FormatKind::Csr))
+    .collect();
     for chunk in [64u32, 256, 1024] {
         if chunk == 64 || (chunk as usize) < rows {
-            space.push(ScheduleKind::WorkQueue(chunk));
+            space.push((ScheduleKind::WorkQueue(chunk), FormatKind::Csr));
         }
     }
-    if !matches!(kernel, "bfs" | "sssp") {
-        space.push(ScheduleKind::Lrb);
+    if !kernel.is_frontier() {
+        space.push((ScheduleKind::Lrb, FormatKind::Csr));
     }
+    space.extend(format_cells(kernel, &stats));
     space
+}
+
+/// The non-CSR cells of the candidate space (see [`candidates`] for the
+/// filtering rationale). Non-CSR formats run thread-mapped only: ELL's
+/// padded geometry keeps its bitwise contract under the flat-span
+/// schedules but work-queue merely re-chunks the same one-row spans,
+/// and the hybrid serve is a fused one-thread-per-tile launch whose
+/// schedule axis is fixed by construction — extra cells would burn
+/// exploration serves on duplicates.
+fn format_cells(kernel: KernelKind, stats: &FormatStats) -> Vec<Candidate> {
+    let mut cells = Vec::new();
+    if !kernel.supports_formats() || kernel.is_frontier() {
+        return cells;
+    }
+    if stats.ell_fill > 0.0 && stats.ell_fill <= ELL_MAX_FILL {
+        cells.push((ScheduleKind::ThreadMapped, FormatKind::Ell));
+    }
+    let skewed = stats.cv >= HYBRID_MIN_CV || stats.max_over_mean >= HYBRID_MIN_MAX_OVER_MEAN;
+    if skewed && stats.hybrid_width < stats.max_row {
+        cells.push((ScheduleKind::ThreadMapped, FormatKind::Hybrid));
+    }
+    cells
 }
 
 /// The interned trace span label for `kernel` under `kind`:
@@ -173,7 +325,7 @@ pub fn candidates(kernel: &str, a: &sparse::Csr<f32>) -> Vec<ScheduleKind> {
 /// timeline row groups all group sizes / chunk widths of one family.
 /// This is also the kernel component serving-runtime plan-cache keys are
 /// derived from.
-pub fn trace_label(kernel: &str, kind: ScheduleKind) -> &'static str {
+pub fn trace_label(kernel: KernelKind, kind: ScheduleKind) -> &'static str {
     trace::label::intern(&format!("{kernel}/{}", kind.base_name()))
 }
 
@@ -763,16 +915,29 @@ mod tests {
     #[test]
     fn trace_labels_are_parameterless_and_interned() {
         assert_eq!(
-            trace_label("spmv", ScheduleKind::WorkQueue(256)),
+            trace_label(KernelKind::Spmv, ScheduleKind::WorkQueue(256)),
             "spmv/work-queue"
         );
         assert_eq!(
-            trace_label("bfs", ScheduleKind::GroupMapped(64)),
+            trace_label(KernelKind::Bfs, ScheduleKind::GroupMapped(64)),
             "bfs/group-mapped"
         );
-        let a = trace_label("spmm", ScheduleKind::MergePath);
-        let b = trace_label("spmm", ScheduleKind::MergePath);
+        let a = trace_label(KernelKind::Spmm, ScheduleKind::MergePath);
+        let b = trace_label(KernelKind::Spmm, ScheduleKind::MergePath);
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn kernel_kinds_round_trip_display_and_reject_junk() {
+        for kind in KernelKind::ALL {
+            let parsed: KernelKind = kind.to_string().parse().expect("round-trip");
+            assert_eq!(parsed, kind, "{kind}");
+        }
+        assert_eq!(KernelKind::Pagerank.to_string(), "pagerank");
+        for bad in ["SpMV", "spgemm", ""] {
+            let err = bad.parse::<KernelKind>().unwrap_err();
+            assert!(err.to_string().contains("unknown kernel"), "{bad}");
+        }
     }
 
     #[test]
@@ -804,32 +969,71 @@ mod tests {
     #[test]
     fn candidate_space_is_deterministic_and_covers_variants() {
         let a = sparse::gen::uniform(2000, 2000, 20_000, 7);
-        let space = candidates("spmv", &a);
-        assert_eq!(space, candidates("spmv", &a), "order must be stable");
-        assert!(space.contains(&ScheduleKind::MergePath));
-        assert!(space.contains(&ScheduleKind::GroupMapped(8)));
-        assert!(space.contains(&ScheduleKind::WorkQueue(1024)));
-        assert!(space.contains(&ScheduleKind::Lrb));
+        let space = candidates(KernelKind::Spmv, &a);
+        assert_eq!(space, candidates(KernelKind::Spmv, &a), "order must be stable");
+        assert!(space.contains(&(ScheduleKind::MergePath, FormatKind::Csr)));
+        assert!(space.contains(&(ScheduleKind::GroupMapped(8), FormatKind::Csr)));
+        assert!(space.contains(&(ScheduleKind::WorkQueue(1024), FormatKind::Csr)));
+        assert!(space.contains(&(ScheduleKind::Lrb, FormatKind::Csr)));
         // Each candidate appears once.
         for k in &space {
-            assert_eq!(space.iter().filter(|c| *c == k).count(), 1, "{k}");
+            assert_eq!(space.iter().filter(|c| *c == k).count(), 1, "{k:?}");
         }
-        // Frontier kernels rebuild tile sets per level: no LRB.
-        let frontier = candidates("bfs", &a);
-        assert!(!frontier.contains(&ScheduleKind::Lrb));
-        assert!(frontier.contains(&ScheduleKind::MergePath));
+        // Frontier kernels rebuild tile sets per level: no LRB, no
+        // non-CSR formats (conversions never amortize).
+        let frontier = candidates(KernelKind::Bfs, &a);
+        assert!(!frontier.contains(&(ScheduleKind::Lrb, FormatKind::Csr)));
+        assert!(frontier.contains(&(ScheduleKind::MergePath, FormatKind::Csr)));
+        assert!(frontier.iter().all(|&(_, f)| f == FormatKind::Csr));
         // Chunk widths that exceed the tile count are pruned.
-        let tiny = candidates("spmv", &sparse::gen::uniform(100, 100, 400, 1));
-        assert!(tiny.contains(&ScheduleKind::WorkQueue(64)));
-        assert!(!tiny.contains(&ScheduleKind::WorkQueue(1024)));
+        let tiny = candidates(KernelKind::Spmv, &sparse::gen::uniform(100, 100, 400, 1));
+        assert!(tiny.contains(&(ScheduleKind::WorkQueue(64), FormatKind::Csr)));
+        assert!(!tiny.contains(&(ScheduleKind::WorkQueue(1024), FormatKind::Csr)));
         // Degenerate patterns collapse to a single no-op candidate.
-        let empty = candidates("spmv", &sparse::gen::uniform(5, 5, 0, 1));
-        assert_eq!(empty, vec![ScheduleKind::ThreadMapped]);
+        let empty = candidates(KernelKind::Spmv, &sparse::gen::uniform(5, 5, 0, 1));
+        assert_eq!(empty, vec![(ScheduleKind::ThreadMapped, FormatKind::Csr)]);
         // SpMM coerces all non-merge-path families to thread-mapped, so
-        // its space is exactly those two.
+        // its CSR schedule space is exactly those two (plus any
+        // thread-mapped format cells).
+        let spmm = candidates(KernelKind::Spmm, &a);
         assert_eq!(
-            candidates("spmm", &a),
+            spmm.iter()
+                .filter(|&&(_, f)| f == FormatKind::Csr)
+                .map(|&(k, _)| k)
+                .collect::<Vec<_>>(),
             vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath]
         );
+        assert!(spmm
+            .iter()
+            .all(|&(k, f)| f == FormatKind::Csr || k == ScheduleKind::ThreadMapped));
+    }
+
+    #[test]
+    fn format_cells_follow_the_structural_filters() {
+        // A regular banded matrix: ELL fill ≈ 1, no skew → ELL yes,
+        // hybrid no.
+        let banded = sparse::gen::banded(400, 3, 13);
+        let space = candidates(KernelKind::Spmv, &banded);
+        assert!(space.contains(&(ScheduleKind::ThreadMapped, FormatKind::Ell)));
+        assert!(!space.iter().any(|&(_, f)| f == FormatKind::Hybrid));
+        // A power law: ELL fill explodes → no ELL; heavy skew → the
+        // hybrid cell (thread-mapped only: the fused serve fixes its
+        // own geometry, so other schedules would be duplicates).
+        let pl = sparse::gen::powerlaw(2000, 2000, 30_000, 1.8, 7);
+        let space = candidates(KernelKind::Spmv, &pl);
+        assert!(!space.iter().any(|&(_, f)| f == FormatKind::Ell));
+        assert!(space.contains(&(ScheduleKind::ThreadMapped, FormatKind::Hybrid)));
+        assert!(
+            space
+                .iter()
+                .all(|&(k, f)| f != FormatKind::Hybrid || k == ScheduleKind::ThreadMapped),
+            "hybrid earns exactly the thread-mapped cell"
+        );
+        // COO and CSC never earn cells (identical cost / wrong traversal).
+        for kernel in KernelKind::ALL {
+            for &(_, f) in &candidates(kernel, &pl) {
+                assert!(f != FormatKind::Coo && f != FormatKind::Csc, "{kernel}");
+            }
+        }
     }
 }

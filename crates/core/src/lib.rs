@@ -89,10 +89,12 @@ pub mod heuristic;
 pub mod iterators;
 pub mod ranges;
 pub mod schedule;
+pub mod view;
 pub mod work;
 
-pub use adapters::{CooTiles, CscTiles, CsrTiles, EllTiles};
-pub use dispatch::{BalancedLaunch, Dispatch, KernelPlan, TileExec};
+pub use adapters::{CooTiles, CscTiles, CsrTiles, EllTiles, HybridSlabTiles};
+pub use dispatch::{BalancedLaunch, Candidate, Dispatch, KernelKind, KernelPlan, TileExec};
+pub use view::MatrixView;
 pub use heuristic::Heuristic;
 pub use ranges::{
     block_stride_range, grid_stride_range, infinite_range, step_range, warp_stride_range,

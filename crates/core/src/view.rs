@@ -1,0 +1,147 @@
+//! Format-polymorphic matrix access for kernels (paper §5.2.1).
+//!
+//! A [`TileSet`](crate::work::TileSet) tells the engine where a format's
+//! tiles and atoms *live*; [`MatrixView`] tells a kernel what a flat atom
+//! index *means* — the stored `(column, value)` pair, or `None` for a
+//! padded slot. Together they are the paper's "slightly more complex
+//! iterator": a kernel written once against `MatrixView` runs over CSR,
+//! canonical COO, ELL, or the hybrid slab without changing its fold.
+//!
+//! The contract that keeps format-generic kernels bitwise-equal to the
+//! CSR path: within a tile, iterating the tile's atoms in ascending
+//! order and folding the `Some` entries left-to-right must visit the
+//! stored entries in the same order CSR stores them. CSR/COO satisfy it
+//! trivially; ELL and the hybrid slab satisfy it because rows are packed
+//! front-aligned in storage order with padding only at the end.
+
+use sparse::{Coo, Csr, Ell, Hybrid};
+
+/// Uniform read access to a sparse matrix's stored entries by flat atom
+/// index, with padding made explicit.
+pub trait MatrixView: Sync {
+    /// Number of rows (tiles, for row-major formats).
+    fn rows(&self) -> usize;
+
+    /// Number of columns of the logical matrix.
+    fn cols(&self) -> usize;
+
+    /// The `(column, value)` stored at flat atom index `atom`, or `None`
+    /// when the slot is padding (ELL / hybrid slab).
+    fn entry(&self, atom: usize) -> Option<(u32, f32)>;
+}
+
+impl MatrixView for Csr<f32> {
+    fn rows(&self) -> usize {
+        Csr::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Csr::cols(self)
+    }
+    #[inline]
+    fn entry(&self, atom: usize) -> Option<(u32, f32)> {
+        Some((self.col_indices()[atom], self.values()[atom]))
+    }
+}
+
+impl MatrixView for Coo<f32> {
+    fn rows(&self) -> usize {
+        Coo::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Coo::cols(self)
+    }
+    #[inline]
+    fn entry(&self, atom: usize) -> Option<(u32, f32)> {
+        Some((self.col_indices()[atom], self.values()[atom]))
+    }
+}
+
+impl MatrixView for Ell<f32> {
+    fn rows(&self) -> usize {
+        Ell::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Ell::cols(self)
+    }
+    #[inline]
+    fn entry(&self, atom: usize) -> Option<(u32, f32)> {
+        let c = self.col_indices()[atom];
+        (c != sparse::ell::PAD).then(|| (c, self.values()[atom]))
+    }
+}
+
+/// The **slab** half of a hybrid matrix; the COO spill tail is served by
+/// a separate scatter pass, not through this view.
+impl MatrixView for Hybrid<f32> {
+    fn rows(&self) -> usize {
+        Hybrid::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Hybrid::cols(self)
+    }
+    #[inline]
+    fn entry(&self, atom: usize) -> Option<(u32, f32)> {
+        let c = self.slab_col_indices()[atom];
+        (c != sparse::ell::PAD).then(|| (c, self.slab_values()[atom]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::convert;
+
+    fn sample() -> Csr<f32> {
+        Csr::from_parts(
+            3,
+            4,
+            vec![0, 2, 2, 5],
+            vec![0, 2, 0, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    /// Fold every view's tile atoms in order; the stored-entry sequence
+    /// must match CSR's storage order exactly (the bitwise contract).
+    #[test]
+    fn views_agree_on_stored_entry_order() {
+        let a = sample();
+        let per_row_csr: Vec<Vec<(u32, f32)>> = (0..3)
+            .map(|r| a.row_range(r).filter_map(|nz| a.entry(nz)).collect())
+            .collect();
+
+        let coo = convert::csr_to_coo(&a);
+        let coo_tiles = crate::adapters::CooTiles::new(&coo);
+        use crate::work::TileSet;
+        for (r, want) in per_row_csr.iter().enumerate() {
+            let got: Vec<_> = coo_tiles.tile_atoms(r).filter_map(|i| coo.entry(i)).collect();
+            assert_eq!(&got, want, "coo row {r}");
+        }
+
+        let ell = Ell::from_csr(&a, 10.0).unwrap();
+        for (r, want) in per_row_csr.iter().enumerate() {
+            let got: Vec<_> = (r * ell.width()..(r + 1) * ell.width())
+                .filter_map(|s| ell.entry(s))
+                .collect();
+            assert_eq!(&got, want, "ell row {r}");
+        }
+
+        let h = Hybrid::from_csr(&a, 2);
+        for (r, want) in per_row_csr.iter().enumerate() {
+            let got: Vec<_> = h.row_slots(r).filter_map(|s| h.entry(s)).collect();
+            let want_prefix: Vec<_> = want.iter().take(2).copied().collect();
+            assert_eq!(got, want_prefix, "hybrid slab row {r} is the CSR prefix");
+        }
+    }
+
+    #[test]
+    fn padding_reads_as_none() {
+        let a = sample();
+        let ell = Ell::from_csr(&a, 10.0).unwrap();
+        // Row 1 is empty: all its slots are padding.
+        assert!((ell.width()..2 * ell.width()).all(|s| ell.entry(s).is_none()));
+        assert_eq!(MatrixView::rows(&ell), 3);
+        assert_eq!(MatrixView::cols(&ell), 4);
+    }
+}

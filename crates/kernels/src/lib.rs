@@ -9,6 +9,10 @@
 //!   (Listing 3), the paper's benchmark application;
 //! * [`spmm`] — sparse matrix × dense matrix: Listing 4's "one extra loop"
 //!   around the same SpMV body;
+//! * [`formats`] — the same kernels written once against
+//!   [`loops::view::MatrixView`] and served from CSR/COO/ELL/hybrid, with
+//!   the conversion wrapper the runtime caches (§5.2.1's format
+//!   polymorphism);
 //! * [`spgemm`] — Gustavson sparse × sparse with the two-kernel
 //!   count-then-fill structure §5.3 sketches;
 //! * [`graph`], [`traversal`], [`bfs`], [`sssp`], [`pagerank`] —
@@ -31,6 +35,7 @@
 
 pub mod bfs;
 pub mod cg;
+pub mod formats;
 pub mod graph;
 pub mod pagerank;
 pub mod plan;
@@ -44,6 +49,7 @@ pub mod sssp;
 pub mod triangle;
 pub mod traversal;
 
+pub use formats::PreparedOperand;
 pub use graph::{Frontier, Graph};
 pub use plan::SpmvPlan;
 pub use spmv::{spmv, SpmvRun};

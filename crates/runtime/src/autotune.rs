@@ -35,8 +35,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use loops::dispatch::KernelPlan;
-use loops::schedule::ScheduleKind;
+use loops::dispatch::{Candidate, KernelPlan};
 use sparse::Prng;
 
 use crate::cache::PlanKey;
@@ -61,6 +60,10 @@ pub struct TuneConfig {
     /// table is full are served by the static heuristic (bounding tuner
     /// memory on long-tailed corpora).
     pub max_keys: usize,
+    /// Whether the sweep includes non-CSR format candidates. `false`
+    /// restricts the space to the schedule axis (the pre-format tuner,
+    /// kept as the ablation baseline).
+    pub formats: bool,
 }
 
 impl Default for TuneConfig {
@@ -70,6 +73,7 @@ impl Default for TuneConfig {
             epsilon: 0.4,
             seed: 0x70e5,
             max_keys: 256,
+            formats: true,
         }
     }
 }
@@ -77,13 +81,14 @@ impl Default for TuneConfig {
 /// What the tuner asks the caller to do for one plan-cache miss.
 #[derive(Debug, Clone)]
 pub enum TuneAction {
-    /// Serve under this unmeasured candidate, then report the measured
-    /// cost (and the prepared plan) back through [`Autotuner::record`].
-    Explore(ScheduleKind),
+    /// Serve under this unmeasured (schedule × format) candidate, then
+    /// report the measured cost (and the prepared plan) back through
+    /// [`Autotuner::record`].
+    Explore(Candidate),
     /// Serve under the best-measured candidate; nothing to report.
     Exploit {
-        /// The best-measured schedule so far.
-        kind: ScheduleKind,
+        /// The best-measured (schedule × format) cell so far.
+        candidate: Candidate,
         /// Its retained plan, if one was recorded (serve through it).
         plan: Option<Arc<KernelPlan>>,
         /// `true` if this key already promoted a winner but the plan
@@ -97,8 +102,8 @@ pub enum TuneAction {
 /// cache.
 #[derive(Debug, Clone)]
 pub struct Promotion {
-    /// The winning schedule.
-    pub kind: ScheduleKind,
+    /// The winning (schedule × format) cell.
+    pub candidate: Candidate,
     /// Its prepared plan, ready to insert into the cache.
     pub plan: Arc<KernelPlan>,
     /// Its measured warm-path cost in simulated milliseconds.
@@ -120,7 +125,7 @@ pub struct TuneStats {
 #[derive(Debug)]
 struct KeyState {
     /// Candidates in (seeded-shuffled) exploration order.
-    order: Vec<ScheduleKind>,
+    order: Vec<Candidate>,
     /// Measured warm-path cost per candidate, parallel to `order`.
     costs: Vec<Option<f64>>,
     /// Index and cost of the best-measured candidate.
@@ -181,7 +186,7 @@ impl Autotuner {
     pub fn choose(
         &mut self,
         key: PlanKey,
-        enumerate: impl FnOnce() -> Vec<ScheduleKind>,
+        enumerate: impl FnOnce() -> Vec<Candidate>,
     ) -> Option<TuneAction> {
         if !self.cfg.enabled {
             return None;
@@ -219,7 +224,7 @@ impl Autotuner {
         if state.promoted {
             let (bi, _) = state.best.expect("promoted key has a best");
             return Some(TuneAction::Exploit {
-                kind: state.order[bi],
+                candidate: state.order[bi],
                 plan: state.best_plan.clone(),
                 promote: true,
             });
@@ -232,7 +237,7 @@ impl Autotuner {
                     Some(TuneAction::Explore(state.order[i]))
                 } else {
                     Some(TuneAction::Exploit {
-                        kind: state.order[bi],
+                        candidate: state.order[bi],
                         plan: state.best_plan.clone(),
                         promote: false,
                     })
@@ -243,7 +248,7 @@ impl Autotuner {
             // promotion's cache entry was lost before `record` ran —
             // treat as exploit.
             (None, Some((bi, _))) => Some(TuneAction::Exploit {
-                kind: state.order[bi],
+                candidate: state.order[bi],
                 plan: state.best_plan.clone(),
                 promote: false,
             }),
@@ -259,12 +264,12 @@ impl Autotuner {
     pub fn record(
         &mut self,
         key: PlanKey,
-        kind: ScheduleKind,
+        candidate: Candidate,
         cost_ms: f64,
         plan: Option<Arc<KernelPlan>>,
     ) -> Option<Promotion> {
         let state = self.states.get_mut(&key)?;
-        let slot = state.order.iter().position(|k| *k == kind)?;
+        let slot = state.order.iter().position(|k| *k == candidate)?;
         if state.costs[slot].is_none() {
             state.costs[slot] = Some(cost_ms);
             self.explores += 1;
@@ -288,7 +293,7 @@ impl Autotuner {
                 .clone()
                 .expect("every recorded candidate carried a plan");
             return Some(Promotion {
-                kind: state.order[bi],
+                candidate: state.order[bi],
                 plan,
                 cost_ms: best_cost,
             });
@@ -302,7 +307,7 @@ impl Autotuner {
     }
 
     /// The promoted winner for `key`, if its sweep completed.
-    pub fn winner(&self, key: &PlanKey) -> Option<ScheduleKind> {
+    pub fn winner(&self, key: &PlanKey) -> Option<Candidate> {
         let state = self.states.get(key)?;
         if !state.promoted {
             return None;
@@ -315,20 +320,28 @@ impl Autotuner {
 mod tests {
     use super::*;
     use crate::fingerprint::Fingerprint;
+    use loops::dispatch::KernelKind;
+    use loops::schedule::ScheduleKind;
+    use sparse::FormatKind;
 
     fn key(rows: usize) -> PlanKey {
         // Distinct row counts guarantee distinct fingerprints (the
         // generator may drop colliding nonzeros, so distinct *nnz*
         // requests would not).
         PlanKey {
-            kernel: "spmv",
+            kernel: KernelKind::Spmv,
+            format: FormatKind::Csr,
             fp: Fingerprint::of(&sparse::gen::uniform(rows, 16, 4 * rows, 1)),
         }
     }
 
-    fn plan(kind: ScheduleKind) -> Arc<KernelPlan> {
+    fn csr(kind: ScheduleKind) -> Candidate {
+        (kind, FormatKind::Csr)
+    }
+
+    fn plan(candidate: Candidate) -> Arc<KernelPlan> {
         Arc::new(KernelPlan {
-            schedule: kind,
+            schedule: candidate.0,
             block_dim: 256,
             merge_starts: None,
             lrb: None,
@@ -336,12 +349,18 @@ mod tests {
         })
     }
 
-    fn drive_sweep(tuner: &mut Autotuner, k: PlanKey, cost_of: impl Fn(ScheduleKind) -> f64) -> Promotion {
-        let space = || vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath, ScheduleKind::WarpMapped];
+    fn drive_sweep(tuner: &mut Autotuner, k: PlanKey, cost_of: impl Fn(Candidate) -> f64) -> Promotion {
+        let space = || {
+            vec![
+                csr(ScheduleKind::ThreadMapped),
+                csr(ScheduleKind::MergePath),
+                (ScheduleKind::ThreadMapped, FormatKind::Hybrid),
+            ]
+        };
         for _ in 0..1000 {
             match tuner.choose(k, space) {
-                Some(TuneAction::Explore(kind)) => {
-                    if let Some(p) = tuner.record(k, kind, cost_of(kind), Some(plan(kind))) {
+                Some(TuneAction::Explore(c)) => {
+                    if let Some(p) = tuner.record(k, c, cost_of(c), Some(plan(c))) {
                         return p;
                     }
                 }
@@ -355,7 +374,7 @@ mod tests {
     #[test]
     fn disabled_tuner_is_never_consulted() {
         let mut t = Autotuner::new(TuneConfig::default());
-        assert!(t.choose(key(32), || vec![ScheduleKind::ThreadMapped]).is_none());
+        assert!(t.choose(key(32), || vec![csr(ScheduleKind::ThreadMapped)]).is_none());
         assert_eq!(t.stats(), TuneStats::default());
     }
 
@@ -367,23 +386,30 @@ mod tests {
         };
         let mut t = Autotuner::new(cfg);
         let k = key(48);
-        let promo = drive_sweep(&mut t, k, |kind| match kind {
-            ScheduleKind::MergePath => 0.25,
-            ScheduleKind::ThreadMapped => 1.0,
-            _ => 0.5,
+        // The hybrid cell wins: the sweep must compare across formats,
+        // not just schedules.
+        let winner = (ScheduleKind::ThreadMapped, FormatKind::Hybrid);
+        let promo = drive_sweep(&mut t, k, |c| {
+            if c == winner {
+                0.25
+            } else if c.0 == ScheduleKind::MergePath {
+                0.5
+            } else {
+                1.0
+            }
         });
-        assert_eq!(promo.kind, ScheduleKind::MergePath);
+        assert_eq!(promo.candidate, winner);
         assert_eq!(promo.cost_ms, 0.25);
         assert_eq!(t.stats().explores, 3, "each candidate measured exactly once");
         assert_eq!(t.stats().promotes, 1);
-        assert_eq!(t.winner(&k), Some(ScheduleKind::MergePath));
+        assert_eq!(t.winner(&k), Some(winner));
         // After promotion the tuner hands back the winner for cache
         // re-insertion instead of exploring again.
         match t.choose(k, || panic!("candidate space must not be re-enumerated")) {
-            Some(TuneAction::Exploit { kind, plan, promote }) => {
-                assert_eq!(kind, ScheduleKind::MergePath);
+            Some(TuneAction::Exploit { candidate, plan, promote }) => {
+                assert_eq!(candidate, winner);
                 assert!(promote);
-                assert_eq!(plan.unwrap().schedule, ScheduleKind::MergePath);
+                assert_eq!(plan.unwrap().schedule, ScheduleKind::ThreadMapped);
             }
             other => panic!("expected promoted exploit, got {other:?}"),
         }
@@ -403,17 +429,19 @@ mod tests {
             for _ in 0..20 {
                 match t.choose(k, || {
                     vec![
-                        ScheduleKind::ThreadMapped,
-                        ScheduleKind::MergePath,
-                        ScheduleKind::WarpMapped,
-                        ScheduleKind::Lrb,
+                        csr(ScheduleKind::ThreadMapped),
+                        csr(ScheduleKind::MergePath),
+                        csr(ScheduleKind::WarpMapped),
+                        (ScheduleKind::ThreadMapped, FormatKind::Ell),
                     ]
                 }) {
-                    Some(TuneAction::Explore(kind)) => {
-                        seq.push(format!("explore {kind}"));
-                        t.record(k, kind, 1.0 + seq.len() as f64, Some(plan(kind)));
+                    Some(TuneAction::Explore((kind, fmt))) => {
+                        seq.push(format!("explore {kind}/{fmt}"));
+                        t.record(k, (kind, fmt), 1.0 + seq.len() as f64, Some(plan((kind, fmt))));
                     }
-                    Some(TuneAction::Exploit { kind, .. }) => seq.push(format!("exploit {kind}")),
+                    Some(TuneAction::Exploit { candidate: (kind, fmt), .. }) => {
+                        seq.push(format!("exploit {kind}/{fmt}"));
+                    }
                     None => seq.push("none".into()),
                 }
             }
@@ -430,10 +458,10 @@ mod tests {
             ..TuneConfig::default()
         };
         let mut t = Autotuner::new(cfg);
-        assert!(t.choose(key(16), || vec![ScheduleKind::ThreadMapped]).is_some());
-        assert!(t.choose(key(17), || vec![ScheduleKind::ThreadMapped]).is_some());
+        assert!(t.choose(key(16), || vec![csr(ScheduleKind::ThreadMapped)]).is_some());
+        assert!(t.choose(key(17), || vec![csr(ScheduleKind::ThreadMapped)]).is_some());
         // A third distinct key is refused; the caller serves statically.
-        assert!(t.choose(key(18), || vec![ScheduleKind::ThreadMapped]).is_none());
+        assert!(t.choose(key(18), || vec![csr(ScheduleKind::ThreadMapped)]).is_none());
         assert_eq!(t.stats().keys, 2);
         // Known keys keep tuning.
         assert!(t.choose(key(16), || panic!("no re-enumeration")).is_some());
@@ -448,7 +476,7 @@ mod tests {
         };
         let mut t = Autotuner::new(cfg);
         let k = key(80);
-        let space = || vec![ScheduleKind::ThreadMapped, ScheduleKind::MergePath];
+        let space = || vec![csr(ScheduleKind::ThreadMapped), csr(ScheduleKind::MergePath)];
         let Some(TuneAction::Explore(first)) = t.choose(k, space) else {
             panic!("first serve must explore");
         };
@@ -456,8 +484,8 @@ mod tests {
         // With epsilon 0 the sweep stalls on exploit — always best-so-far.
         for _ in 0..10 {
             match t.choose(k, space) {
-                Some(TuneAction::Exploit { kind, promote, .. }) => {
-                    assert_eq!(kind, first);
+                Some(TuneAction::Exploit { candidate, promote, .. }) => {
+                    assert_eq!(candidate, first);
                     assert!(!promote);
                 }
                 other => panic!("expected exploit, got {other:?}"),

@@ -15,18 +15,23 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use loops::dispatch::KernelPlan;
+use loops::dispatch::{KernelKind, KernelPlan};
+use sparse::FormatKind;
 
 use crate::fingerprint::Fingerprint;
 
-/// Cache key: which kernel, on which matrix. The kernel component uses
-/// the same name that prefixes the engine's trace labels
-/// ([`loops::dispatch::trace_label`]), so the cache and the timeline
-/// agree on what a plan is for.
+/// Cache key: which kernel, over which storage format, on which matrix.
+/// The kernel component is the same [`KernelKind`] that prefixes the
+/// engine's trace labels ([`loops::dispatch::trace_label`]), so the
+/// cache and the timeline agree on what a plan is for; the format
+/// component lets per-format prepared plans coexist for one matrix (the
+/// hybrid slab's flat-span plan next to CSR's merge-path table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    /// Engine kernel name (`"spmv"`, `"spmm"`, `"bfs"`, …).
-    pub kernel: &'static str,
+    /// Engine kernel.
+    pub kernel: KernelKind,
+    /// Storage format the plan's tile geometry was prepared over.
+    pub format: FormatKind,
     /// Fingerprint of the operand's sparsity pattern.
     pub fp: Fingerprint,
 }
@@ -150,12 +155,13 @@ mod tests {
     }
 
     fn key(n: usize) -> PlanKey {
-        keyed("spmv", n)
+        keyed(KernelKind::Spmv, n)
     }
 
-    fn keyed(kernel: &'static str, n: usize) -> PlanKey {
+    fn keyed(kernel: KernelKind, n: usize) -> PlanKey {
         PlanKey {
             kernel,
+            format: FormatKind::Csr,
             fp: Fingerprint {
                 rows: n,
                 cols: n,
@@ -206,11 +212,32 @@ mod tests {
     #[test]
     fn same_matrix_different_kernels_are_distinct_entries() {
         let mut c = PlanCache::new(4);
-        c.insert(keyed("spmv", 1), plan());
-        assert!(c.get(&keyed("spmm", 1)).is_none(), "spmm must not see the spmv plan");
-        c.insert(keyed("spmm", 1), plan());
-        assert!(c.get(&keyed("spmv", 1)).is_some());
-        assert!(c.get(&keyed("spmm", 1)).is_some());
+        c.insert(keyed(KernelKind::Spmv, 1), plan());
+        assert!(
+            c.get(&keyed(KernelKind::Spmm, 1)).is_none(),
+            "spmm must not see the spmv plan"
+        );
+        c.insert(keyed(KernelKind::Spmm, 1), plan());
+        assert!(c.get(&keyed(KernelKind::Spmv, 1)).is_some());
+        assert!(c.get(&keyed(KernelKind::Spmm, 1)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn same_matrix_different_formats_are_distinct_entries() {
+        let mut c = PlanCache::new(4);
+        c.insert(key(1), plan());
+        let hybrid = PlanKey {
+            format: FormatKind::Hybrid,
+            ..key(1)
+        };
+        assert!(
+            c.get(&hybrid).is_none(),
+            "the hybrid plan must not be answered by the CSR plan"
+        );
+        c.insert(hybrid, plan());
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&hybrid).is_some());
         assert_eq!(c.len(), 2);
     }
 

@@ -11,7 +11,7 @@
 //!   exactly as the stream model allows.
 //! * **Plan cache** ([`PlanCache`]) — prepared engine
 //!   [`KernelPlan`]s memoized by
-//!   [`PlanKey`] (kernel name + matrix [`Fingerprint`]): a hit skips
+//!   [`PlanKey`] (kernel + storage format + matrix [`Fingerprint`]): a hit skips
 //!   schedule selection and setup (LRB binning, merge-path partition
 //!   search) and launches the cheaper prepartitioned kernel. Results
 //!   stay bitwise identical to the cold path. SpMV requests flow through
@@ -44,17 +44,18 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use kernels::formats::{self, PreparedOperand};
 use kernels::graph::Graph;
 use kernels::plan;
 use kernels::spmm;
 use kernels::spmv::{spmv_with_model, spmv_with_plan, SpmvRun, DEFAULT_BLOCK};
 use kernels::traversal::TRAVERSAL_BLOCK;
 use kernels::bfs;
-use loops::dispatch::{trace_label, KernelPlan};
+use loops::dispatch::{trace_label, Candidate, KernelKind, KernelPlan};
 use loops::heuristic::Heuristic;
 use loops::schedule::ScheduleKind;
 use simt::{CostModel, DeviceSim, FaultCounters, FaultPlan, GpuSpec, LaunchReport, SimError, StreamId};
-use sparse::{Csr, DenseMatrix, Prng};
+use sparse::{Csr, DenseMatrix, FormatKind, Prng};
 use trace::{CounterKind, RequestPhase, TenantOutcome, TraceEvent, TraceSink, TunePhase};
 
 pub use autotune::{Autotuner, TuneAction, TuneConfig, TuneStats};
@@ -201,6 +202,9 @@ pub struct Completion {
     pub cache_hit: Option<bool>,
     /// Schedule the job ran under.
     pub schedule: ScheduleKind,
+    /// Storage format the job was served from (non-CSR only after the
+    /// autotuner promotes a format winner; batches always fuse CSR).
+    pub format: FormatKind,
     /// Dispatch attempts the job took (1 = first try succeeded; more
     /// means faults were retried or failed over).
     pub attempts: u32,
@@ -494,6 +498,25 @@ enum SubmitOutcome {
 /// (see [`Runtime::fingerprint_of`]).
 const FP_MEMO_CAP: usize = 1024;
 
+/// Prepared-operand cache bound: past this many entries the cache is
+/// cleared outright (it is a pure memoization of deterministic
+/// conversions — the only cost of clearing is re-converting on the next
+/// format serve).
+const OPERAND_CACHE_CAP: usize = 64;
+
+/// Amortization horizon for the modeled one-time conversion cost: an
+/// exploration serve for a non-CSR candidate records
+/// `warm_cost + convert_ms / CONVERT_AMORTIZE_SERVES`, so a format only
+/// promotes when its steady-state win survives the conversion bill
+/// spread over a plausible reuse count. A key only reaches promotion
+/// after surviving a full ε-greedy sweep — i.e. it is already one of
+/// the workload's hot, repeatedly-served fingerprints, which under the
+/// Zipf-skewed streams this runtime targets means hundreds of warm
+/// serves; 256 stays on the conservative side of that. Warm serves
+/// after promotion pay nothing — the operand is cached by
+/// `(fingerprint, format)`.
+const CONVERT_AMORTIZE_SERVES: f64 = 256.0;
+
 /// The serving runtime: device pool + plan cache + batcher + queue.
 #[derive(Debug)]
 pub struct Runtime {
@@ -510,6 +533,11 @@ pub struct Runtime {
     /// matrix actually presented, because allocators reuse addresses
     /// (see [`Runtime::fingerprint_of`]).
     fp_memo: HashMap<usize, (HeaderStamp, Fingerprint)>,
+    /// Converted operands memoized by `(fingerprint, format)`: the
+    /// conversion is deterministic and its modeled cost is charged to
+    /// the tuner exactly once (amortized), so warm format serves skip
+    /// it entirely.
+    operands: HashMap<(Fingerprint, FormatKind), Arc<PreparedOperand>>,
     tuner: Autotuner,
     sink: Option<Arc<dyn TraceSink>>,
     /// Seeded stream for retry jitter and chaos draws. Healthy serves
@@ -569,6 +597,7 @@ impl Runtime {
             devices,
             streams,
             fp_memo: HashMap::new(),
+            operands: HashMap::new(),
             sink: None,
         }
     }
@@ -654,25 +683,65 @@ impl Runtime {
         self.tuner.stats()
     }
 
-    /// The schedule the autotuner promoted for `(kernel, fingerprint of
-    /// a)`, if that key's sweep has completed.
-    pub fn tuned_schedule(&mut self, kernel: &'static str, a: &Csr<f32>) -> Option<ScheduleKind> {
+    /// The (schedule × format) cell the autotuner promoted for
+    /// `(kernel, fingerprint of a)`, if that key's sweep has completed.
+    pub fn tuned_candidate(&mut self, kernel: KernelKind, a: &Csr<f32>) -> Option<Candidate> {
         let fp = Fingerprint::of(a);
-        self.tuner.winner(&PlanKey { kernel, fp })
+        self.tuner.winner(&Self::logical_key(kernel, fp))
+    }
+
+    /// The logical tuning/lookup key for a kernel over a matrix. Sweep
+    /// state is tracked once per (kernel, matrix) under the CSR format
+    /// slot — the *candidates* span formats; the winner's prepared plan
+    /// is cached under its own format's [`PlanKey`].
+    fn logical_key(kernel: KernelKind, fp: Fingerprint) -> PlanKey {
+        PlanKey {
+            kernel,
+            format: FormatKind::Csr,
+            fp,
+        }
+    }
+
+    /// Fetch (or deterministically convert and memoize) `a` prepared in
+    /// `format`. The bool is true when this call performed the
+    /// conversion — the caller charges the modeled cost exactly then.
+    fn prepared_operand(
+        &mut self,
+        fp: Fingerprint,
+        a: &Csr<f32>,
+        format: FormatKind,
+    ) -> simt::Result<(Arc<PreparedOperand>, bool)> {
+        if let Some(op) = self.operands.get(&(fp, format)) {
+            return Ok((Arc::clone(op), false));
+        }
+        let op = Arc::new(PreparedOperand::prepare(a, format)?);
+        if self.operands.len() >= OPERAND_CACHE_CAP {
+            self.operands.clear();
+        }
+        self.operands.insert((fp, format), Arc::clone(&op));
+        Ok((op, true))
     }
 
     fn emit_tune(
         &self,
-        kernel: &'static str,
-        kind: ScheduleKind,
+        kernel: KernelKind,
+        candidate: Candidate,
         phase: TunePhase,
         ts_ms: f64,
         cost_ms: f64,
     ) {
         if self.sink.is_some() {
+            let (kind, format) = candidate;
+            // CSR cells keep the plain schedule label (byte-identical
+            // timelines for schedule-only sweeps); format cells tag it.
+            let label = if format == FormatKind::Csr {
+                kind.to_string()
+            } else {
+                format!("{kind}@{format}")
+            };
             self.emit(TraceEvent::Tune {
-                kernel,
-                schedule: trace::label::intern(&kind.to_string()),
+                kernel: kernel.base_name(),
+                schedule: trace::label::intern(&label),
                 phase,
                 ts_ms,
                 cost_ms,
@@ -695,41 +764,54 @@ impl Runtime {
         x: &[f32],
         now: f64,
         ctrs: &mut ServeCounters,
-    ) -> simt::Result<Option<SpmvRun>> {
-        let Some(action) = self.tuner.choose(key, || loops::dispatch::candidates("spmv", a))
-        else {
+    ) -> simt::Result<Option<(SpmvRun, FormatKind)>> {
+        let formats_on = self.cfg.tune.formats;
+        let Some(action) = self.tuner.choose(key, || {
+            let mut space = loops::dispatch::candidates(KernelKind::Spmv, a);
+            if !formats_on {
+                space.retain(|&(_, f)| f == FormatKind::Csr);
+            }
+            space
+        }) else {
             return Ok(None);
         };
         match action {
-            TuneAction::Explore(kind) => {
-                match plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK) {
-                    Ok(plan) => {
-                        let plan = Arc::new(plan);
-                        let run = spmv_with_plan(&self.spec, &self.model, a, x, &plan)?;
-                        let cost = run.report.elapsed_ms();
-                        self.emit_tune("spmv", kind, TunePhase::Explore, now, cost);
-                        if let Some(p) = self.tuner.record(key, kind, cost, Some(plan)) {
-                            self.emit_tune("spmv", p.kind, TunePhase::Promote, now, p.cost_ms);
-                            self.cache.insert(key, p.plan);
+            TuneAction::Explore((kind, format)) => {
+                let prepared = self.spmv_candidate_plan(key.fp, a, (kind, format));
+                match prepared {
+                    Ok((plan, op)) => {
+                        let run = match &op {
+                            Some(op) => formats::spmv_format_with_plan(
+                                &self.spec, &self.model, a, op, x, &plan,
+                            )?,
+                            None => spmv_with_plan(&self.spec, &self.model, a, x, &plan)?,
+                        };
+                        // The recorded cost is the steady-state (warm)
+                        // cost plus the amortized share of the one-time
+                        // conversion — CSR's share is zero.
+                        let convert = op.as_ref().map_or(0.0, |o| o.convert_ms());
+                        let cost =
+                            run.report.elapsed_ms() + convert / CONVERT_AMORTIZE_SERVES;
+                        self.emit_tune(key.kernel, (kind, format), TunePhase::Explore, now, cost);
+                        if let Some(p) = self.tuner.record(key, (kind, format), cost, Some(plan)) {
+                            self.emit_tune(key.kernel, p.candidate, TunePhase::Promote, now, p.cost_ms);
+                            self.cache
+                                .insert(PlanKey { format: p.candidate.1, ..key }, p.plan);
                         }
-                        Ok(Some(run))
+                        Ok(Some((run, format)))
                     }
                     Err(_) => {
                         ctrs.plan_fallbacks += 1;
                         let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
-                        Ok(Some(spmv_with_model(
-                            &self.spec,
-                            &self.model,
-                            a,
-                            x,
-                            kind,
-                            DEFAULT_BLOCK,
-                        )?))
+                        Ok(Some((
+                            spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?,
+                            FormatKind::Csr,
+                        )))
                     }
                 }
             }
             TuneAction::Exploit {
-                kind,
+                candidate: (kind, format),
                 plan,
                 promote,
             } => {
@@ -738,14 +820,47 @@ impl Runtime {
                         if promote {
                             // A promoted winner fell out of the LRU cache:
                             // re-install it so the warm path resumes.
-                            self.cache.insert(key, Arc::clone(&p));
+                            self.cache
+                                .insert(PlanKey { format, ..key }, Arc::clone(&p));
                         }
-                        spmv_with_plan(&self.spec, &self.model, a, x, &p)?
+                        if format == FormatKind::Csr {
+                            spmv_with_plan(&self.spec, &self.model, a, x, &p)?
+                        } else {
+                            let (op, _) = self.prepared_operand(key.fp, a, format)?;
+                            formats::spmv_format_with_plan(&self.spec, &self.model, a, &op, x, &p)?
+                        }
                     }
-                    None => spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?,
+                    None => {
+                        return Ok(Some((
+                            spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?,
+                            FormatKind::Csr,
+                        )))
+                    }
                 };
-                Ok(Some(run))
+                Ok(Some((run, format)))
             }
+        }
+    }
+
+    /// Prepare the plan (and, for non-CSR cells, the converted operand)
+    /// an SpMV exploration serve runs through. The CSR cell takes the
+    /// pre-existing [`kernels::plan::prepare`] path so schedule-only
+    /// tuning stays byte-identical to the pre-format tuner.
+    #[allow(clippy::type_complexity)]
+    fn spmv_candidate_plan(
+        &mut self,
+        fp: Fingerprint,
+        a: &Csr<f32>,
+        (kind, format): Candidate,
+    ) -> simt::Result<(Arc<KernelPlan>, Option<Arc<PreparedOperand>>)> {
+        if format == FormatKind::Csr {
+            let plan = plan::prepare(&self.spec, &self.model, a, kind, DEFAULT_BLOCK)?;
+            Ok((Arc::new(plan), None))
+        } else {
+            let (op, _) = self.prepared_operand(fp, a, format)?;
+            let plan =
+                formats::prepare_format_plan(&self.spec, &self.model, a, &op, kind, DEFAULT_BLOCK)?;
+            Ok((Arc::new(plan), Some(op)))
         }
     }
 
@@ -757,33 +872,63 @@ impl Runtime {
         a: &Csr<f32>,
         b: &DenseMatrix<f32>,
     ) -> simt::Result<Option<spmm::SpmmRun>> {
-        let Some(action) = self.tuner.choose(key, || loops::dispatch::candidates("spmm", a))
-        else {
+        let formats_on = self.cfg.tune.formats;
+        let Some(action) = self.tuner.choose(key, || {
+            let mut space = loops::dispatch::candidates(KernelKind::Spmm, a);
+            if !formats_on {
+                space.retain(|&(_, f)| f == FormatKind::Csr);
+            }
+            space
+        }) else {
             return Ok(None);
         };
         match action {
-            TuneAction::Explore(kind) => {
-                let plan = Arc::new(spmm::prepare(&self.spec, &self.model, a, kind)?);
-                let run = spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan)?;
-                let cost = run.report.elapsed_ms();
-                self.emit_tune("spmm", kind, TunePhase::Explore, 0.0, cost);
-                if let Some(p) = self.tuner.record(key, kind, cost, Some(plan)) {
-                    self.emit_tune("spmm", p.kind, TunePhase::Promote, 0.0, p.cost_ms);
-                    self.cache.insert(key, p.plan);
+            TuneAction::Explore((kind, format)) => {
+                let (run, plan, convert) = if format == FormatKind::Csr {
+                    let plan = Arc::new(spmm::prepare(&self.spec, &self.model, a, kind)?);
+                    let run = spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan)?;
+                    (run, plan, 0.0)
+                } else {
+                    let (op, _) = self.prepared_operand(key.fp, a, format)?;
+                    let run = formats::spmm_format(&self.spec, &self.model, a, &op, b, kind)?;
+                    // A format plan is schedule-only here (format cells
+                    // coerce to flat spans, which carry no artifacts).
+                    let plan = Arc::new(formats::prepare_format_plan(
+                        &self.spec,
+                        &self.model,
+                        a,
+                        &op,
+                        run.schedule,
+                        DEFAULT_BLOCK,
+                    )?);
+                    (run, plan, op.convert_ms())
+                };
+                let cost = run.report.elapsed_ms() + convert / CONVERT_AMORTIZE_SERVES;
+                self.emit_tune(key.kernel, (kind, format), TunePhase::Explore, 0.0, cost);
+                if let Some(p) = self.tuner.record(key, (kind, format), cost, Some(plan)) {
+                    self.emit_tune(key.kernel, p.candidate, TunePhase::Promote, 0.0, p.cost_ms);
+                    self.cache
+                        .insert(PlanKey { format: p.candidate.1, ..key }, p.plan);
                 }
                 Ok(Some(run))
             }
             TuneAction::Exploit {
-                kind,
+                candidate: (kind, format),
                 plan,
                 promote,
             } => {
                 let run = match plan {
                     Some(p) => {
                         if promote {
-                            self.cache.insert(key, Arc::clone(&p));
+                            self.cache
+                                .insert(PlanKey { format, ..key }, Arc::clone(&p));
                         }
-                        spmm::spmm_with_plan(&self.spec, &self.model, a, b, &p)?
+                        if format == FormatKind::Csr {
+                            spmm::spmm_with_plan(&self.spec, &self.model, a, b, &p)?
+                        } else {
+                            let (op, _) = self.prepared_operand(key.fp, a, format)?;
+                            formats::spmm_format(&self.spec, &self.model, a, &op, b, p.schedule)?
+                        }
                     }
                     None => spmm::spmm_with_model(&self.spec, &self.model, a, b, kind)?,
                 };
@@ -809,7 +954,7 @@ impl Runtime {
         kind: ScheduleKind,
     ) -> simt::Result<PlannedRun<Vec<f32>>> {
         let fp = self.fingerprint_of(Arc::as_ptr(a) as usize, a);
-        let key = PlanKey { kernel: "spmv", fp };
+        let key = Self::logical_key(KernelKind::Spmv, fp);
         let cached = self.cache.get(&key).filter(|p| p.schedule == kind);
         let (run, cache_hit) = match cached {
             Some(p) => match spmv_with_plan(&self.spec, &self.model, a, x, &p) {
@@ -851,17 +996,34 @@ impl Runtime {
         b: &DenseMatrix<f32>,
     ) -> simt::Result<PlannedRun<DenseMatrix<f32>>> {
         let fp = self.fingerprint_of(Arc::as_ptr(a) as usize, a);
-        let key = PlanKey { kernel: "spmm", fp };
+        let logical = Self::logical_key(KernelKind::Spmm, fp);
+        // A promoted non-CSR winner lives under its own format's cache
+        // key; with tuning off the winner is always absent and the
+        // lookup is the logical (CSR) one, unchanged.
+        let winner_format = self
+            .tuner
+            .winner(&logical)
+            .map_or(FormatKind::Csr, |(_, f)| f);
+        let key = PlanKey { format: winner_format, ..logical };
         let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
         let (run, cache_hit) = match self.cache.get(&key) {
-            Some(plan) => match spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan) {
-                Ok(run) => (run, true),
-                Err(_) => {
-                    self.cache.remove(&key);
-                    (spmm::spmm_with_model(&self.spec, &self.model, a, b, kind)?, false)
+            Some(plan) => {
+                let served = if winner_format == FormatKind::Csr {
+                    spmm::spmm_with_plan(&self.spec, &self.model, a, b, &plan)
+                } else {
+                    self.prepared_operand(fp, a, winner_format).and_then(|(op, _)| {
+                        formats::spmm_format(&self.spec, &self.model, a, &op, b, plan.schedule)
+                    })
+                };
+                match served {
+                    Ok(run) => (run, true),
+                    Err(_) => {
+                        self.cache.remove(&key);
+                        (spmm::spmm_with_model(&self.spec, &self.model, a, b, kind)?, false)
+                    }
                 }
-            },
-            None => match self.spmm_tuned_miss(key, a, b)? {
+            }
+            None => match self.spmm_tuned_miss(logical, a, b)? {
                 Some(run) => (run, false),
                 None => {
                     let plan = Arc::new(spmm::prepare(&self.spec, &self.model, a, kind)?);
@@ -886,29 +1048,30 @@ impl Runtime {
     /// runs are bitwise identical.
     pub fn run_bfs(&mut self, g: &Arc<Graph>, src: usize) -> simt::Result<PlannedRun<Vec<u32>>> {
         let fp = self.fingerprint_of(Arc::as_ptr(g) as usize, g.adjacency());
-        let key = PlanKey { kernel: "bfs", fp };
-        // `exploring` carries the schedule to measure for the tuner after
-        // the run; BFS cost depends on the frontier (and therefore on
-        // `src`), so the sweep measures each candidate on whichever source
-        // its exploration serve happens to carry — acceptable for a
-        // steady-state workload that revisits sources.
+        let key = Self::logical_key(KernelKind::Bfs, fp);
+        // `exploring` carries the candidate to measure for the tuner
+        // after the run (frontier kernels are CSR-only, so its format
+        // component is always CSR); BFS cost depends on the frontier
+        // (and therefore on `src`), so the sweep measures each candidate
+        // on whichever source its exploration serve happens to carry —
+        // acceptable for a steady-state workload that revisits sources.
         let (plan, cache_hit, exploring) = match self.cache.get(&key) {
             Some(plan) => (plan, true, None),
             None => {
                 let adj = g.adjacency();
                 let tuned = self
                     .tuner
-                    .choose(key, || loops::dispatch::candidates("bfs", adj));
+                    .choose(key, || loops::dispatch::candidates(KernelKind::Bfs, adj));
                 match tuned {
-                    Some(TuneAction::Explore(kind)) => {
-                        (Self::traversal_plan(kind), false, Some(kind))
+                    Some(TuneAction::Explore(candidate)) => {
+                        (Self::traversal_plan(candidate.0), false, Some(candidate))
                     }
                     Some(TuneAction::Exploit {
-                        kind,
+                        candidate,
                         plan,
                         promote,
                     }) => {
-                        let plan = plan.unwrap_or_else(|| Self::traversal_plan(kind));
+                        let plan = plan.unwrap_or_else(|| Self::traversal_plan(candidate.0));
                         if promote {
                             self.cache.insert(key, Arc::clone(&plan));
                         }
@@ -924,11 +1087,11 @@ impl Runtime {
             }
         };
         let run = bfs::bfs_with_model(&self.spec, &self.model, g, src, plan.schedule)?;
-        if let Some(kind) = exploring {
+        if let Some(candidate) = exploring {
             let cost = run.report.elapsed_ms();
-            self.emit_tune("bfs", kind, TunePhase::Explore, 0.0, cost);
-            if let Some(p) = self.tuner.record(key, kind, cost, Some(Arc::clone(&plan))) {
-                self.emit_tune("bfs", p.kind, TunePhase::Promote, 0.0, p.cost_ms);
+            self.emit_tune(key.kernel, candidate, TunePhase::Explore, 0.0, cost);
+            if let Some(p) = self.tuner.record(key, candidate, cost, Some(Arc::clone(&plan))) {
+                self.emit_tune(key.kernel, p.candidate, TunePhase::Promote, 0.0, p.cost_ms);
                 self.cache.insert(key, p.plan);
             }
         }
@@ -1240,32 +1403,60 @@ impl Runtime {
     ) -> simt::Result<SubmitOutcome> {
         // Execute functionally + time solo, via the plan cache for solo
         // requests; fused batches are one-off shapes and bypass it.
-        let (run, cache_hit) = if members.len() == 1 {
+        let (run, cache_hit, format) = if members.len() == 1 {
             let a = &members[0].0.matrix;
             let x = &members[0].0.x;
             let fp = self.fingerprint_of(Arc::as_ptr(a) as usize, a);
-            let key = PlanKey { kernel: "spmv", fp };
+            let logical = Self::logical_key(KernelKind::Spmv, fp);
+            // A promoted non-CSR winner's plan lives under its own
+            // format's cache key; with tuning off the winner is always
+            // absent, so the lookup — and everything downstream — is
+            // byte-identical to the pre-format runtime.
+            let winner_format = self
+                .tuner
+                .winner(&logical)
+                .map_or(FormatKind::Csr, |(_, f)| f);
+            let key = PlanKey { format: winner_format, ..logical };
             let outcome = match self.cache.get(&key) {
                 // Graceful degradation: a cached plan whose launch fails
                 // is treated as poisoned — evict it and fall back to the
                 // heuristic path rather than failing the request.
-                Some(plan) => match spmv_with_plan(&self.spec, &self.model, a, x, &plan) {
-                    Ok(run) => (run, Some(true)),
-                    Err(_) => {
-                        self.cache.remove(&key);
-                        ctrs.plan_fallbacks += 1;
-                        let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
-                        (
-                            spmv_with_model(&self.spec, &self.model, a, x, kind, DEFAULT_BLOCK)?,
-                            Some(false),
-                        )
+                Some(plan) => {
+                    let served = if winner_format == FormatKind::Csr {
+                        spmv_with_plan(&self.spec, &self.model, a, x, &plan)
+                    } else {
+                        self.prepared_operand(fp, a, winner_format).and_then(|(op, _)| {
+                            formats::spmv_format_with_plan(
+                                &self.spec, &self.model, a, &op, x, &plan,
+                            )
+                        })
+                    };
+                    match served {
+                        Ok(run) => (run, Some(true), winner_format),
+                        Err(_) => {
+                            self.cache.remove(&key);
+                            ctrs.plan_fallbacks += 1;
+                            let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
+                            (
+                                spmv_with_model(
+                                    &self.spec,
+                                    &self.model,
+                                    a,
+                                    x,
+                                    kind,
+                                    DEFAULT_BLOCK,
+                                )?,
+                                Some(false),
+                                FormatKind::Csr,
+                            )
+                        }
                     }
-                },
-                None => match self.spmv_tuned_miss(key, a, x, submit_ms, ctrs)? {
+                }
+                None => match self.spmv_tuned_miss(logical, a, x, submit_ms, ctrs)? {
                     // The autotuner wanted this miss (tuning enabled and
                     // the key is tracked): it served the request under a
-                    // candidate or best-known schedule.
-                    Some(run) => (run, Some(false)),
+                    // candidate or best-known (schedule × format) cell.
+                    Some((run, fmt)) => (run, Some(false), fmt),
                     None => {
                         let kind = self.heuristic.select(a.rows(), a.cols(), a.nnz());
                         let run =
@@ -1285,7 +1476,7 @@ impl Runtime {
                             Ok(plan) => self.cache.insert(key, Arc::new(plan)),
                             Err(_) => ctrs.plan_fallbacks += 1,
                         }
-                        (run, Some(false))
+                        (run, Some(false), FormatKind::Csr)
                     }
                 },
             };
@@ -1315,6 +1506,7 @@ impl Runtime {
             (
                 spmv_with_model(&self.spec, &self.model, &fused, &x, kind, DEFAULT_BLOCK)?,
                 None,
+                FormatKind::Csr,
             )
         };
 
@@ -1324,7 +1516,7 @@ impl Runtime {
         let job_deadline = members
             .iter()
             .fold(f64::INFINITY, |m, (r, _)| m.min(r.arrival_ms + self.cfg.deadline_ms));
-        let label = trace_label("spmv", run.schedule);
+        let label = trace_label(KernelKind::Spmv, run.schedule);
         let mut when = submit_ms;
         let mut attempt = 0u32;
         let mut first_device: Option<usize> = None;
@@ -1478,6 +1670,7 @@ impl Runtime {
             &run,
             dev_idx,
             cache_hit,
+            format,
             &job,
             attempt + 1,
         )))
@@ -1528,12 +1721,14 @@ impl Runtime {
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn complete(
         &self,
         members: &[(&Request, f64)],
         run: &SpmvRun,
         device: usize,
         cache_hit: Option<bool>,
+        format: FormatKind,
         job: &simt::JobReport,
         attempts: u32,
     ) -> Vec<Completion> {
@@ -1564,6 +1759,7 @@ impl Runtime {
                 batched,
                 cache_hit,
                 schedule: run.schedule,
+                format,
                 attempts,
                 y,
             })
@@ -2401,14 +2597,17 @@ mod tests {
         assert_eq!(stats.promotes, 1, "single-matrix corpus promotes once");
         assert_eq!(out.report.tune_promotes, 1);
         assert!(format!("{}", out.report).contains("autotune:"));
-        let winner = rt.tuned_schedule("spmv", &m[0]).expect("sweep completed");
+        let winner = rt
+            .tuned_candidate(KernelKind::Spmv, &m[0])
+            .expect("sweep completed");
 
         // Post-promotion serves are warm cache hits under the winner.
         let again = rt.serve(&stream(&m, 40)).unwrap();
         assert_eq!(again.report.tune_explores, 0);
         assert_eq!(again.report.cache.misses, 0);
         for c in &again.completions {
-            assert_eq!(c.schedule, winner);
+            assert_eq!(c.schedule, winner.0);
+            assert_eq!(c.format, winner.1);
             assert_eq!(c.cache_hit, Some(true));
         }
     }
@@ -2428,18 +2627,25 @@ mod tests {
         );
         let a = Arc::new(sparse::gen::powerlaw(1_500, 1_500, 20_000, 1.8, 5));
         let b = DenseMatrix::from_fn(1_500, 4, |r, c| ((r + 2 * c) as f32).sin());
-        // SpMM's coerced candidate space has two members, so with ε = 1
-        // the sweep completes after exactly two misses.
-        rt.run_spmm(&a, &b).unwrap();
-        rt.run_spmm(&a, &b).unwrap();
-        assert_eq!(rt.tune_stats().promotes, 1);
-        let winner = rt.tuned_schedule("spmm", &a).expect("sweep completed");
+        // With ε = 1 every run before promotion is a sweep miss; the
+        // candidate space size depends on which format cells the matrix
+        // qualifies for, so drive until the promotion lands.
+        for _ in 0..16 {
+            rt.run_spmm(&a, &b).unwrap();
+            if rt.tune_stats().promotes == 1 {
+                break;
+            }
+        }
+        assert_eq!(rt.tune_stats().promotes, 1, "SpMM sweep should finish");
+        let winner = rt
+            .tuned_candidate(KernelKind::Spmm, &a)
+            .expect("sweep completed");
         let bits = |m: &DenseMatrix<f32>| {
             m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         };
         let w1 = rt.run_spmm(&a, &b).unwrap();
         assert!(w1.cache_hit);
-        assert_eq!(w1.schedule, winner);
+        assert_eq!(w1.schedule, winner.0);
         let w2 = rt.run_spmm(&a, &b).unwrap();
         assert_eq!(bits(&w1.output), bits(&w2.output));
     }

@@ -318,6 +318,7 @@ impl ShardGroup {
                 batched: false,
                 cache_hit: Some(run.cache_hits == active),
                 schedule: kind,
+                format: sparse::FormatKind::Csr,
                 attempts: 1,
                 y: self.cfg.runtime.keep_results.then_some(run.y),
             });

@@ -40,6 +40,14 @@ pub enum LaunchError {
         /// Block size it must tile.
         block_dim: u32,
     },
+    /// The work description handed to the engine is malformed (e.g. a COO
+    /// operand that is not in canonical row-major order). Surfaced as a
+    /// configuration error instead of a panic so serving paths can fall
+    /// back.
+    InvalidWork {
+        /// Human-readable description of the violated precondition.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LaunchError {
@@ -69,6 +77,7 @@ impl fmt::Display for LaunchError {
                 f,
                 "group size {group_size} does not evenly tile block of {block_dim} threads"
             ),
+            Self::InvalidWork { reason } => write!(f, "invalid work description: {reason}"),
         }
     }
 }
@@ -169,6 +178,11 @@ mod tests {
             block_dim: 256,
         };
         assert!(e.to_string().contains("48"));
+        let e = LaunchError::InvalidWork {
+            reason: "COO entries not canonical".into(),
+        };
+        assert!(e.to_string().contains("invalid work"));
+        assert!(e.to_string().contains("canonical"));
     }
 
     #[test]

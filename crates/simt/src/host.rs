@@ -45,7 +45,7 @@
 //!    memory: every [`GlobalMem`](crate::memory::GlobalMem) snapshots a
 //!    global launch-epoch counter at construction, and an add is only
 //!    deferred when the target `GlobalMem` predates the executor run
-//!    that is executing the block ([`defer_add_f32`]). A `GlobalMem`
+//!    that is executing the block (`defer_add_f32`). A `GlobalMem`
 //!    created *during* the run — block-local scratch inside the kernel
 //!    body, or one built on any thread the kernel spawns — applies its
 //!    adds live on the worker, which is safe and still bitwise equal to
@@ -65,7 +65,7 @@
 //! cell it has itself `fetch_add`ed during the same launch — the add is
 //! deferred, so the cell still holds the launch-start value and the two
 //! backends would silently diverge. Debug builds panic on such an
-//! access ([`debug_assert_no_pending_add`]); block-local scratch is
+//! access (`debug_assert_no_pending_add`); block-local scratch is
 //! exempt because its adds apply live. On `Err` from any launch, buffer
 //! contents are **unspecified under every backend** (the two backends
 //! stop at different points); callers must discard, not read, them.
@@ -171,7 +171,7 @@ pub fn current() -> HostBackend {
 /// One logged floating-point `atomicAdd`, to be replayed at merge time.
 ///
 /// The cell address is carried as `usize`, which is sound because
-/// deferral is creation-scoped: [`defer_add_f32`] only logs a cell when
+/// deferral is creation-scoped: `defer_add_f32` only logs a cell when
 /// its [`GlobalMem`](crate::memory::GlobalMem) was created *before* the
 /// executor run now executing the block (its [`creation_epoch`]
 /// snapshot predates the run's generation). A `GlobalMem` that old can
@@ -197,7 +197,7 @@ pub(crate) enum DeferredAdd {
 static EPOCH: AtomicU64 = AtomicU64::new(0);
 
 /// The epoch a `GlobalMem` constructed right now should record
-/// (compared against the run generation by [`defer_add_f32`]).
+/// (compared against the run generation by `defer_add_f32`).
 #[inline]
 pub(crate) fn creation_epoch() -> u64 {
     EPOCH.load(Ordering::Relaxed)
@@ -239,7 +239,7 @@ pub(crate) fn defer_add_f32(cell: &AtomicU32, v: f32, created_epoch: u64) -> boo
     true
 }
 
-/// [`defer_add_f32`] for `f64`.
+/// `defer_add_f32` for `f64`.
 #[inline]
 pub(crate) fn defer_add_f64(cell: &AtomicU64, v: f64, created_epoch: u64) -> bool {
     let gen = ACTIVE_GEN.with(Cell::get);

@@ -61,7 +61,7 @@ pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Send + Sync + sealed::Sea
     /// applying it (floats only — integer addition is associative, so
     /// integers always apply live and this default stands). Returns
     /// `true` when the add was logged for replay at merge time; see
-    /// [`crate::host::defer_add_f32`] for the eligibility rule keyed on
+    /// `crate::host::defer_add_f32` for the eligibility rule keyed on
     /// `created_epoch` (the owning [`GlobalMem`]'s creation snapshot).
     #[inline]
     fn try_defer_add(_cell: &Self::Atomic, _v: Self, _created_epoch: u64) -> bool {

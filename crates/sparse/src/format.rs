@@ -1,0 +1,309 @@
+//! Format identity and the cheap structural summary that drives format
+//! selection.
+//!
+//! The paper's claim (§5.2.1) is that work decomposition is independent of
+//! the storage format — a non-CSR format only needs a "slightly more
+//! complex iterator". Making that real in the engine requires a *name* for
+//! each format ([`FormatKind`], the representation-axis analogue of the
+//! schedule enum) and a *cheap summary* of a matrix's structure
+//! ([`FormatStats`]) so the candidate enumerator can prune formats that
+//! are structurally hopeless (ELL on a power law) before the autotuner
+//! ever pays to measure them.
+
+use crate::csr::Csr;
+use crate::stats::RowStats;
+
+/// Identifier for a sparse storage format — the representation-axis
+/// counterpart of the schedule enum. The autotuner sweeps the
+/// (schedule × format) product; this is the format coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatKind {
+    /// Compressed sparse row — the canonical serving format.
+    Csr,
+    /// Coordinate triplets (canonical row-major order).
+    Coo,
+    /// Compressed sparse column (tiles are columns).
+    Csc,
+    /// ELLPACK: every row padded to the longest row's width.
+    Ell,
+    /// Hybrid ELL + COO: a dense-lane slab of the first `w` entries per
+    /// row plus a coordinate spill tail for the excess.
+    Hybrid,
+}
+
+impl FormatKind {
+    /// The stable identifier used in CSV columns, trace labels, and
+    /// plan-cache keys. `Display` emits exactly this string and
+    /// [`std::str::FromStr`] round-trips it.
+    pub fn base_name(&self) -> &'static str {
+        match self {
+            Self::Csr => "csr",
+            Self::Coo => "coo",
+            Self::Csc => "csc",
+            Self::Ell => "ell",
+            Self::Hybrid => "hybrid",
+        }
+    }
+
+    /// Every format kind, in declaration order (useful for sweeps).
+    pub const ALL: [FormatKind; 5] = [
+        FormatKind::Csr,
+        FormatKind::Coo,
+        FormatKind::Csc,
+        FormatKind::Ell,
+        FormatKind::Hybrid,
+    ];
+}
+
+impl std::fmt::Display for FormatKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.base_name())
+    }
+}
+
+/// Error returned when a string names no [`FormatKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFormatError(String);
+
+impl std::fmt::Display for ParseFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown format {:?} (expected csr, coo, csc, ell, or hybrid)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFormatError {}
+
+impl std::str::FromStr for FormatKind {
+    type Err = ParseFormatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "csr" => Ok(Self::Csr),
+            "coo" => Ok(Self::Coo),
+            "csc" => Ok(Self::Csc),
+            "ell" => Ok(Self::Ell),
+            "hybrid" => Ok(Self::Hybrid),
+            _ => Err(ParseFormatError(s.to_owned())),
+        }
+    }
+}
+
+/// Modeled cost of serving one spilled tail entry relative to one slab
+/// lane slot. The tail pays a per-entry coordinate scatter (an atomic
+/// accumulate plus explicit row/col index traffic); a slab slot is one
+/// step of a dense, perfectly regular sweep. The split widens the slab
+/// while at least `1 / HYBRID_TAIL_COST` of the rows still extend past
+/// it — Bell & Garland's classic HYB rule, with this constant playing
+/// the role of their ELL-vs-COO throughput ratio.
+pub const HYBRID_TAIL_COST: f64 = 4.0;
+
+/// A cheap structural summary used to filter format candidates before
+/// the autotuner measures them.
+///
+/// One `O(rows log rows)` pass over the row lengths; no format
+/// conversion is performed. The interesting derived quantities:
+///
+/// * [`ell_fill`](Self::ell_fill) — padded slots per stored nonzero if
+///   the matrix were stored ELL. `1.0` is a perfectly regular matrix;
+///   a power law blows this up by orders of magnitude, which is the
+///   pruning signal for ELL candidates.
+/// * [`hybrid_width`](Self::hybrid_width) /
+///   [`hybrid_spill`](Self::hybrid_spill) — the stats-driven split for
+///   the [`crate::Hybrid`] format: the slab widens while at least
+///   `1 / `[`HYBRID_TAIL_COST`] of the rows still extend past it, so
+///   hub rows spill instead of inflating every row's storage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormatStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Longest row (the ELL width).
+    pub max_row: usize,
+    /// Mean row length.
+    pub mean: f64,
+    /// Coefficient of variation of row lengths (≳1 → power-law-like).
+    pub cv: f64,
+    /// Longest row over mean row length.
+    pub max_over_mean: f64,
+    /// ELL slots (`rows × max_row`) per stored nonzero; `0` when empty.
+    pub ell_fill: f64,
+    /// Stats-driven hybrid slab width (see type docs).
+    pub hybrid_width: usize,
+    /// Tail entries spilled at [`hybrid_width`](Self::hybrid_width).
+    pub hybrid_spill: usize,
+}
+
+impl FormatStats {
+    /// Summarize a CSR matrix's structure.
+    pub fn of<V: Copy>(csr: &Csr<V>) -> Self {
+        Self::from_lengths(csr.rows(), csr.cols(), &csr.row_lengths())
+    }
+
+    /// Summarize from a row-length sequence.
+    pub fn from_lengths(rows: usize, cols: usize, lengths: &[usize]) -> Self {
+        let rs = RowStats::from_lengths(lengths);
+        let ell_fill = if rs.nnz > 0 {
+            (rows * rs.max) as f64 / rs.nnz as f64
+        } else {
+            0.0
+        };
+        let (hybrid_width, hybrid_spill) = hybrid_split(lengths, rs.nnz);
+        Self {
+            rows,
+            cols,
+            nnz: rs.nnz,
+            max_row: rs.max,
+            mean: rs.mean,
+            cv: rs.cv,
+            max_over_mean: rs.max_over_mean,
+            ell_fill,
+            hybrid_width,
+            hybrid_spill,
+        }
+    }
+}
+
+/// The cost-balanced slab width and the spill `Σ max(0, len − w)` at
+/// that width. Widening the slab by one lane costs `rows` fresh slots
+/// (shorter rows pad) and rescues one tail entry from every row still
+/// longer than the slab, each worth [`HYBRID_TAIL_COST`] slots — so the
+/// split grows while `longer_than(w) · HYBRID_TAIL_COST > rows`. The
+/// predicate is monotone in `w`, so the answer is a binary search over
+/// sorted lengths.
+fn hybrid_split(lengths: &[usize], nnz: usize) -> (usize, usize) {
+    if nnz == 0 {
+        return (0, 0);
+    }
+    let mut sorted: Vec<usize> = lengths.to_vec();
+    sorted.sort_unstable();
+    // suffix[i] = sum of sorted[i..].
+    let n = sorted.len();
+    let mut suffix = vec![0usize; n + 1];
+    for i in (0..n).rev() {
+        suffix[i] = suffix[i + 1] + sorted[i];
+    }
+    let spill_at = |w: usize| -> usize {
+        // Rows with len > w spill (len − w) entries each.
+        let i = sorted.partition_point(|&l| l <= w);
+        suffix[i] - w * (n - i)
+    };
+    let longer_than = |w: usize| -> usize { n - sorted.partition_point(|&l| l <= w) };
+    let max = *sorted.last().expect("nnz > 0 implies rows > 0");
+    let (mut lo, mut hi) = (0usize, max);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if longer_than(mid) as f64 * HYBRID_TAIL_COST > n as f64 {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo, spill_at(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_display_their_base_names() {
+        assert_eq!(FormatKind::Csr.to_string(), "csr");
+        assert_eq!(FormatKind::Coo.to_string(), "coo");
+        assert_eq!(FormatKind::Csc.to_string(), "csc");
+        assert_eq!(FormatKind::Ell.to_string(), "ell");
+        assert_eq!(FormatKind::Hybrid.to_string(), "hybrid");
+    }
+
+    #[test]
+    fn from_str_round_trips_display_for_every_kind() {
+        for kind in FormatKind::ALL {
+            let parsed: FormatKind = kind.to_string().parse().expect("round-trip");
+            assert_eq!(parsed, kind, "{kind}");
+        }
+    }
+
+    #[test]
+    fn junk_strings_are_rejected_with_context() {
+        for bad in ["CSR", "ell(4)", "dense", ""] {
+            let err = bad.parse::<FormatKind>().unwrap_err();
+            assert!(err.to_string().contains("unknown format"), "{bad}");
+        }
+    }
+
+    #[test]
+    fn regular_matrix_has_unit_fill_and_full_width_split() {
+        let s = FormatStats::from_lengths(100, 100, &[5; 100]);
+        assert_eq!(s.nnz, 500);
+        assert_eq!(s.max_row, 5);
+        assert!((s.ell_fill - 1.0).abs() < 1e-12);
+        // Regular rows: every row extends to width 5, so widening the
+        // slab always pays — the split degenerates to pure ELL, no tail.
+        assert_eq!(s.hybrid_width, 5);
+        assert_eq!(s.hybrid_spill, 0);
+    }
+
+    #[test]
+    fn hub_rows_blow_up_fill_but_not_hybrid_width() {
+        // 99 rows of 2 plus one hub row of 300.
+        let mut lengths = vec![2usize; 99];
+        lengths.push(300);
+        let s = FormatStats::from_lengths(100, 1000, &lengths);
+        assert_eq!(s.nnz, 498);
+        assert_eq!(s.max_row, 300);
+        assert!(s.ell_fill > 50.0, "fill = {}", s.ell_fill);
+        // The hybrid split keeps the slab narrow: past width 2 only the
+        // hub row is left, and one row can't pay for 100 rows of
+        // padding — its 298 excess entries spill to the tail.
+        assert_eq!(s.hybrid_width, 2);
+        assert_eq!(s.hybrid_spill, 298);
+        assert!(s.cv > 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zeros() {
+        let s = FormatStats::from_lengths(5, 5, &[0; 5]);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.ell_fill, 0.0);
+        assert_eq!(s.hybrid_width, 0);
+        assert_eq!(s.hybrid_spill, 0);
+    }
+
+    #[test]
+    fn of_matches_from_lengths() {
+        let a = crate::gen::powerlaw(200, 200, 3_000, 1.8, 12);
+        let s = FormatStats::of(&a);
+        let t = FormatStats::from_lengths(a.rows(), a.cols(), &a.row_lengths());
+        assert_eq!(s, t);
+        // Power law: high fill, narrow hybrid slab relative to max row.
+        assert!(s.ell_fill > 2.0, "fill = {}", s.ell_fill);
+        assert!(s.hybrid_width < s.max_row);
+    }
+
+    #[test]
+    fn split_stops_exactly_where_widening_stops_paying() {
+        let lengths = [1usize, 3, 7, 2, 9, 4, 4, 30];
+        let s = FormatStats::from_lengths(8, 64, &lengths);
+        let spill = |w: usize| -> usize {
+            lengths.iter().map(|&l| l.saturating_sub(w)).sum()
+        };
+        let longer = |w: usize| lengths.iter().filter(|&&l| l > w).count();
+        let rows = lengths.len();
+        assert_eq!(s.hybrid_spill, spill(s.hybrid_width));
+        // At the chosen width another lane no longer pays its padding…
+        assert!(longer(s.hybrid_width) as f64 * HYBRID_TAIL_COST <= rows as f64);
+        // …and one lane earlier it still did (the width is minimal).
+        if s.hybrid_width > 0 {
+            assert!(
+                longer(s.hybrid_width - 1) as f64 * HYBRID_TAIL_COST > rows as f64,
+                "width not minimal"
+            );
+        }
+    }
+}

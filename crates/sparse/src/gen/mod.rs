@@ -9,6 +9,7 @@
 //! |---|---|---|
 //! | [`uniform`] | Erdős–Rényi random | low CV, Poisson-ish rows |
 //! | [`powerlaw`] | scale-free / web / social | heavy tail, hub rows |
+//! | [`powerlaw_floor`] | scale-free with min degree | dense floor + hub tail |
 //! | [`rmat`] | Graph500-style RMAT | power-law with locality |
 //! | [`banded`], [`stencil5`], [`stencil9`], [`diagonal`] | PDE / structured | perfectly regular |
 //! | [`block_diag`] | multibody / FEM blocks | regular, dense blocks |
@@ -21,7 +22,7 @@ mod special;
 mod structured;
 mod uniform;
 
-pub use powerlaw::powerlaw;
+pub use powerlaw::{powerlaw, powerlaw_floor};
 pub use rmat::rmat;
 pub use special::{hub_rows, single_column};
 pub use structured::{banded, block_diag, diagonal, stencil5, stencil9};

@@ -26,7 +26,9 @@ pub mod csr;
 pub mod dense;
 pub mod ell;
 pub mod error;
+pub mod format;
 pub mod gen;
+pub mod hybrid;
 pub mod mm;
 pub mod partition;
 pub mod reorder;
@@ -40,6 +42,8 @@ pub use csr::Csr;
 pub use dense::DenseMatrix;
 pub use ell::Ell;
 pub use error::{Error, Result};
+pub use format::{FormatKind, FormatStats, ParseFormatError};
+pub use hybrid::Hybrid;
 pub use partition::{ShardInfo, ShardPlan, ShardStrategy};
 pub use rng::Prng;
 pub use stats::RowStats;

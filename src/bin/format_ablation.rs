@@ -1,0 +1,8 @@
+//! Workspace-root alias for the format-axis ablation, so
+//! `cargo run --release --bin format_ablation` works without `-p bench`.
+//! See [`bench::format_ablation`].
+
+fn main() {
+    let cli = bench::Cli::parse();
+    bench::format_ablation::run(&cli).expect("format ablation run");
+}

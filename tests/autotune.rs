@@ -109,22 +109,47 @@ fn tuner_converges_past_the_heuristic_on_a_banded_corpus() {
 
     let mut rt = tuned_runtime(1.0, false);
     drive_to_promotion(&mut rt, std::slice::from_ref(&a));
-    let winner = rt.tuned_schedule("spmv", &a).expect("sweep completed");
-    assert_ne!(winner, heuristic_kind, "heuristic pick should lose here");
+    let (winner_kind, winner_format) = rt
+        .tuned_candidate(loops::dispatch::KernelKind::Spmv, &a)
+        .expect("sweep completed");
+    assert!(
+        (winner_kind, winner_format) != (heuristic_kind, sparse::FormatKind::Csr),
+        "heuristic pick should lose here"
+    );
 
-    // The promotion is justified: the winner's warm cost is strictly
-    // below the heuristic schedule's warm cost.
+    // The promotion is justified: the winner cell's warm cost is
+    // strictly below the heuristic schedule's CSR warm cost. (For a
+    // non-CSR winner the tuner additionally charged amortized
+    // conversion, so its warm cost is below by an even wider margin.)
     let x = sparse::dense::test_vector(a.cols());
-    let warm_cost = |kind| {
+    let warm_csr = |kind| {
         let plan = kernels::plan::prepare(&spec, &model, &a, kind, DEFAULT_BLOCK).unwrap();
         kernels::spmv::spmv_with_plan(&spec, &model, &a, &x, &plan)
             .unwrap()
             .report
             .elapsed_ms()
     };
+    let winner_cost = if winner_format == sparse::FormatKind::Csr {
+        warm_csr(winner_kind)
+    } else {
+        let op = kernels::PreparedOperand::prepare(&a, winner_format).unwrap();
+        let plan = kernels::formats::prepare_format_plan(
+            &spec,
+            &model,
+            &a,
+            &op,
+            winner_kind,
+            DEFAULT_BLOCK,
+        )
+        .unwrap();
+        kernels::formats::spmv_format_with_plan(&spec, &model, &a, &op, &x, &plan)
+            .unwrap()
+            .report
+            .elapsed_ms()
+    };
     assert!(
-        warm_cost(winner) < warm_cost(heuristic_kind),
-        "{winner} should be cheaper than {heuristic_kind}"
+        winner_cost < warm_csr(heuristic_kind),
+        "{winner_kind}@{winner_format} should be cheaper than {heuristic_kind}"
     );
 }
 

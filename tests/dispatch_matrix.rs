@@ -23,7 +23,7 @@ use kernels::graph::Graph;
 use kernels::spmv_multi::{spmv_multi, Partition};
 use loops::schedule::ScheduleKind;
 use simt::{CostModel, GpuSpec, LaunchReport};
-use sparse::{Csr, DenseMatrix, Prng};
+use sparse::{Csr, DenseMatrix, FormatKind, Prng};
 
 const ALL_KINDS: [ScheduleKind; 7] = [
     ScheduleKind::ThreadMapped,
@@ -479,6 +479,162 @@ mod legacy {
         };
         Ok((y, report, ScheduleKind::Lrb))
     }
+}
+
+/// The serving formats (CSC stays analysis-only — [`spmv_format`]
+/// refuses it, checked at the end of the format-axis test).
+const SERVE_FORMATS: [FormatKind; 4] = [
+    FormatKind::Csr,
+    FormatKind::Coo,
+    FormatKind::Ell,
+    FormatKind::Hybrid,
+];
+
+/// Matrices spanning the format filters: skewed (hybrid's habitat),
+/// floored scale-free (zero-pad slab), and regular (ELL's habitat).
+fn format_corpus() -> Vec<Csr<f32>> {
+    vec![
+        sparse::gen::powerlaw(200, 200, 3_000, 1.8, 12),
+        sparse::gen::powerlaw_floor(600, 600, 8, 5_130, 2.5, 19),
+        sparse::gen::banded(40, 3, 13),
+    ]
+}
+
+fn strip(r: &LaunchReport) -> LaunchReport {
+    let mut r = r.clone();
+    r.host_wall_ms = 0.0;
+    r
+}
+
+/// The format axis of the matrix: every serving format under every
+/// schedule, for SpMV, SpMM, and PageRank, against the CSR path.
+///
+/// * **Results** are bitwise-equal to the CSR path under the schedule
+///   the cell coerces to ([`kernels::formats::coerce_for_format`]) —
+///   padding, slab/tail splits, and coordinate scatter must never
+///   change a single output bit.
+/// * **LaunchReports** (sans the host wall-clock diagnostic) are
+///   compared where the geometries agree: COO shares CSR's tile/atom
+///   geometry exactly, so its reports must match CSR's number for
+///   number. The padded formats deliberately charge differently (that
+///   cost difference is what the format tuner trades on), so for them
+///   the report contract is run-to-run determinism.
+/// * **Every cell is deterministic**: a second run reproduces results
+///   and the stripped report bit for bit.
+#[test]
+fn format_axis_every_cell_matches_the_csr_path_for_spmv_spmm_pagerank() {
+    use kernels::formats::{coerce_for_format, pagerank_format, spmm_format, spmv_format};
+    use kernels::PreparedOperand;
+
+    let spec = GpuSpec::v100();
+    let model = CostModel::standard();
+
+    for a in format_corpus() {
+        let x = sparse::dense::test_vector(a.cols());
+        let b = DenseMatrix::from_fn(a.cols(), 3, |r, c| ((r + 2 * c) as f32).sin());
+        let csr_op = PreparedOperand::prepare(&a, FormatKind::Csr).unwrap();
+        for format in SERVE_FORMATS {
+            let op = PreparedOperand::prepare(&a, format).unwrap();
+            for kind in ALL_KINDS {
+                let label = format!("{kind}@{format} on {}x{}", a.rows(), a.cols());
+                let eff = coerce_for_format(format, kind);
+
+                // SpMV: results vs the CSR path under the coerced
+                // schedule; the whole run twice for determinism.
+                let run = spmv_format(&spec, &model, &a, &op, &x, kind, 256).unwrap();
+                let again = spmv_format(&spec, &model, &a, &op, &x, kind, 256).unwrap();
+                let csr = kernels::spmv::spmv_with_model(&spec, &model, &a, &x, eff, 256).unwrap();
+                assert_eq!(
+                    run.schedule, csr.schedule,
+                    "spmv {label}: resolved schedule vs the CSR path under {eff}"
+                );
+                assert_eq!(bits(&run.y), bits(&csr.y), "spmv {label}: y vs CSR path");
+                assert_eq!(bits(&run.y), bits(&again.y), "spmv {label}: determinism");
+                assert_eq!(
+                    strip(&run.report),
+                    strip(&again.report),
+                    "spmv {label}: report determinism"
+                );
+                if format == FormatKind::Coo {
+                    assert_eq!(
+                        strip(&run.report),
+                        strip(&csr.report),
+                        "spmv {label}: COO shares CSR's geometry, so reports must match"
+                    );
+                }
+
+                // SpMM: vs the CSR-operand cell under the schedule the
+                // format cell coerces to (SpMM's own merge-path/thread-
+                // mapped coercion applies first, then the format's —
+                // e.g. the ELL cell downgrades merge-path to thread-
+                // mapped, so the oracle must too).
+                let spmm_eff = coerce_for_format(
+                    format,
+                    if kind == ScheduleKind::MergePath {
+                        kind
+                    } else {
+                        ScheduleKind::ThreadMapped
+                    },
+                );
+                let run = spmm_format(&spec, &model, &a, &op, &b, kind).unwrap();
+                let again = spmm_format(&spec, &model, &a, &op, &b, kind).unwrap();
+                let csr = spmm_format(&spec, &model, &a, &csr_op, &b, spmm_eff).unwrap();
+                let flat = |c: &DenseMatrix<f32>| -> Vec<f32> {
+                    (0..a.rows())
+                        .flat_map(|r| (0..3).map(move |j| (r, j)))
+                        .map(|(r, j)| c.get(r, j))
+                        .collect()
+                };
+                assert_eq!(bits(&flat(&run.c)), bits(&flat(&csr.c)), "spmm {label}: C vs CSR path");
+                assert_eq!(bits(&flat(&run.c)), bits(&flat(&again.c)), "spmm {label}: determinism");
+                assert_eq!(
+                    strip(&run.report),
+                    strip(&again.report),
+                    "spmm {label}: report determinism"
+                );
+            }
+        }
+    }
+
+    // PageRank: the power iteration over Mᵀ prepared in each format,
+    // against the CSR-format iteration under the coerced schedule —
+    // identical inner SpMV bits mean the fixpoint trajectory never
+    // diverges.
+    let spec = GpuSpec::v100();
+    for g in [
+        Graph::from_generator(sparse::gen::powerlaw(150, 150, 2_000, 1.8, 14)),
+        Graph::from_generator(sparse::gen::banded(40, 3, 16)),
+    ] {
+        for format in SERVE_FORMATS {
+            for kind in ALL_KINDS {
+                let label = format!("pagerank {kind}@{format}");
+                let eff = coerce_for_format(format, kind);
+                let run = pagerank_format(&spec, &g, kind, format, 1e-6, 60).unwrap();
+                let again = pagerank_format(&spec, &g, kind, format, 1e-6, 60).unwrap();
+                let csr = pagerank_format(&spec, &g, eff, FormatKind::Csr, 1e-6, 60).unwrap();
+                assert_eq!(run.iterations, csr.iterations, "{label}: iteration count");
+                assert_eq!(bits(&run.rank), bits(&csr.rank), "{label}: ranks vs CSR path");
+                assert_eq!(bits(&run.rank), bits(&again.rank), "{label}: determinism");
+                assert_eq!(
+                    strip(&run.report),
+                    strip(&again.report),
+                    "{label}: report determinism"
+                );
+            }
+        }
+    }
+
+    // CSC stays analysis-only: the serve path must refuse it loudly
+    // rather than silently falling back to CSR.
+    let a = sparse::gen::uniform(30, 30, 120, 44);
+    let op = kernels::PreparedOperand::prepare(&a, FormatKind::Csc).unwrap();
+    let x = sparse::dense::test_vector(30);
+    let model = CostModel::standard();
+    assert!(
+        spmv_format(&GpuSpec::v100(), &model, &a, &op, &x, ScheduleKind::ThreadMapped, 256)
+            .is_err(),
+        "CSC must not be servable"
+    );
 }
 
 /// Autotuned serving never changes numerics: for every kernel the

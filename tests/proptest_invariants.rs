@@ -324,6 +324,135 @@ fn fault_plans_inject_identically_under_the_parallel_backend() {
 }
 
 #[test]
+fn format_roundtrips_preserve_triplets_on_random_matrices() {
+    // Property: for ANY random matrix, every storage format preserves
+    // the exact triplet set — conversion is lossless in structure and
+    // in value bits. CSR is the canonical pivot: each format converts
+    // out and back and must reproduce the original CSR exactly, and a
+    // chained tour through every format lands back on it too.
+    let mut rng = Prng::seed_from_u64(0x666d_7274);
+    for case in 0..CASES {
+        let rows = rng.index(1, 200);
+        let cols = rng.index(1, 200);
+        let nnz = rows * cols * rng.index(0, 30) / 100;
+        let mseed = rng.index(0, 1000) as u64;
+        let a = if rng.chance(0.5) {
+            sparse::gen::powerlaw(rows, cols, nnz, 1.4 + 0.1 * (case % 8) as f64, mseed)
+        } else {
+            sparse::gen::uniform(rows, cols, nnz, mseed)
+        };
+        let ctx = format!("case {case}: {rows}x{cols} nnz={} mseed={mseed}", a.nnz());
+
+        // CSR ↔ COO
+        let coo = sparse::convert::csr_to_coo(&a);
+        assert_eq!(sparse::convert::coo_to_csr(&coo), a, "{ctx}: COO");
+
+        // CSR ↔ ELL (unbounded fill so no matrix is refused here)
+        let ell = sparse::Ell::from_csr(&a, f64::INFINITY).unwrap();
+        assert_eq!(ell.to_csr(), a, "{ctx}: ELL");
+
+        // CSR ↔ hybrid, at the stats-driven split and at a random one
+        let hybrid = sparse::Hybrid::from_csr_auto(&a);
+        assert_eq!(hybrid.to_csr(), a, "{ctx}: hybrid(auto)");
+        let max_row = a.row_lengths().into_iter().max().unwrap_or(0);
+        let width = rng.index(0, max_row + 2);
+        let forced = sparse::Hybrid::from_csr(&a, width);
+        assert_eq!(forced.to_csr(), a, "{ctx}: hybrid(width={width})");
+
+        // CSR ↔ CSC: same triplets, column-major order
+        let csc = sparse::convert::csr_to_csc(&a);
+        let mut csc_triplets: Vec<(u32, u32, u32)> = Vec::with_capacity(csc.nnz());
+        for c in 0..csc.cols() {
+            let (rows_in_col, vals) = csc.col(c);
+            for (&r, &v) in rows_in_col.iter().zip(vals) {
+                csc_triplets.push((r, c as u32, v.to_bits()));
+            }
+        }
+        csc_triplets.sort_unstable();
+        let mut csr_triplets: Vec<(u32, u32, u32)> = Vec::with_capacity(a.nnz());
+        for r in 0..a.rows() {
+            let (cols_in_row, vals) = a.row(r);
+            for (&c, &v) in cols_in_row.iter().zip(vals) {
+                csr_triplets.push((r as u32, c, v.to_bits()));
+            }
+        }
+        csr_triplets.sort_unstable();
+        assert_eq!(csc_triplets, csr_triplets, "{ctx}: CSC triplets");
+
+        // The grand tour: CSR → ELL → CSR → COO → CSR → hybrid → CSR
+        let toured = sparse::Hybrid::from_csr_auto(&sparse::convert::coo_to_csr(
+            &sparse::convert::csr_to_coo(&ell.to_csr()),
+        ))
+        .to_csr();
+        assert_eq!(toured, a, "{ctx}: chained tour");
+    }
+}
+
+#[test]
+fn format_generic_spmv_matches_csr_at_one_and_four_host_threads() {
+    // Property: for ANY random matrix, serving format, and schedule,
+    // the format-generic SpMV is bitwise identical to the CSR kernel
+    // under the schedule the cell coerces to — on the sequential host
+    // backend (the `LOOPS_HOST_THREADS=1` resolution) and on four
+    // worker threads, with identical stripped launch reports across
+    // backends.
+    use kernels::formats::{coerce_for_format, spmv_format};
+    use sparse::FormatKind;
+
+    let mut rng = Prng::seed_from_u64(0x666d_7370);
+    let formats = [
+        FormatKind::Csr,
+        FormatKind::Coo,
+        FormatKind::Ell,
+        FormatKind::Hybrid,
+    ];
+    let schedules = [
+        ScheduleKind::ThreadMapped,
+        ScheduleKind::WarpMapped,
+        ScheduleKind::GroupMapped(16),
+        ScheduleKind::MergePath,
+        ScheduleKind::WorkQueue(8),
+        ScheduleKind::Lrb,
+    ];
+    let spec = GpuSpec::test_tiny();
+    let model = simt::CostModel::standard();
+    let strip = |mut r: simt::LaunchReport| {
+        r.host_wall_ms = 0.0;
+        r
+    };
+    for case in 0..CASES {
+        let rows = rng.index(1, 200);
+        let cols = rng.index(1, 200);
+        let nnz = rows * cols * rng.index(0, 25) / 100;
+        let mseed = rng.index(0, 1000) as u64;
+        let a = sparse::gen::powerlaw(rows, cols, nnz, 1.5 + 0.1 * (case % 6) as f64, mseed);
+        let x = sparse::dense::test_vector(cols);
+        let format = formats[rng.index(0, formats.len())];
+        let kind = schedules[rng.index(0, schedules.len())];
+        let ctx = format!("case {case}: {kind}@{format} {rows}x{cols} nnz={} mseed={mseed}", a.nnz());
+
+        let op = kernels::PreparedOperand::prepare(&a, format).unwrap();
+        let eff = coerce_for_format(format, kind);
+        let want = kernels::spmv::spmv_with_model(&spec, &model, &a, &x, eff, 256).unwrap();
+
+        let seq = spmv_format(&spec, &model, &a, &op, &x, kind, 256).unwrap();
+        let par = simt::host::scoped(simt::HostBackend::Parallel { threads: 4 }, || {
+            spmv_format(&spec, &model, &a, &op, &x, kind, 256)
+        })
+        .unwrap();
+
+        let bits = |y: &[f32]| -> Vec<u32> { y.iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&seq.y), bits(&want.y), "{ctx}: sequential vs CSR");
+        assert_eq!(bits(&par.y), bits(&want.y), "{ctx}: 4 threads vs CSR");
+        assert_eq!(
+            strip(seq.report),
+            strip(par.report),
+            "{ctx}: launch report diverged across backends"
+        );
+    }
+}
+
+#[test]
 fn row_stats_invariants() {
     let mut rng = Prng::seed_from_u64(0x7374_6174);
     for _ in 0..CASES {
